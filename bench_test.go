@@ -1,0 +1,291 @@
+// Package hetesim's top-level benchmark harness: one benchmark per table
+// and figure of the paper's evaluation section (regenerating the same
+// rows/series via the internal/exp drivers), the Section 4.6 complexity
+// comparison against SimRank, and ablation benches for the design choices
+// DESIGN.md calls out (path cache, query plans, pruning, literal edge
+// objects). Run with:
+//
+//	go test -bench=. -benchmem
+package hetesim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hetesim/internal/baseline"
+	"hetesim/internal/core"
+	"hetesim/internal/datagen"
+	"hetesim/internal/exp"
+	"hetesim/internal/metapath"
+)
+
+// benchCtx shares one experiment context (and thus one pair of generated
+// datasets) across all paper-table benchmarks.
+var benchCtx = sync.OnceValue(func() *exp.Context {
+	return exp.NewContext(benchConfig())
+})
+
+// benchConfig scales the benchmark datasets so the full suite runs in
+// seconds while preserving the planted structure; use cmd/experiments
+// -scale full for the paper-scale run recorded in EXPERIMENTS.md.
+func benchConfig() exp.Config {
+	cfg := exp.SmallConfig()
+	cfg.ACM = datagen.ACMConfig{
+		Papers: 3000, Authors: 3000, Affiliations: 300,
+		Terms: 500, Subjects: 40, Years: 8, Seed: 1,
+	}
+	cfg.DBLP = datagen.DBLPConfig{
+		Papers: 2000, Authors: 2000, Terms: 800,
+		LabeledAuthors: 500, LabeledPapers: 100, Seed: 1,
+	}
+	cfg.TopAuthors = 200
+	cfg.ClusterRuns = 2
+	cfg.ClusterAuthors = 300
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ctx := benchCtx()
+	// Generate datasets and warm caches outside the timed region.
+	if _, err := exp.Run(ctx, id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1AuthorProfile(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2ConfProfile(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkTable3SymmetryStudy(b *testing.B)       { benchExperiment(b, "table3") }
+func BenchmarkTable4RelatedAuthors(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkTable5QueryAUC(b *testing.B)            { benchExperiment(b, "table5") }
+func BenchmarkTable6ClusteringNMI(b *testing.B)       { benchExperiment(b, "table6") }
+func BenchmarkTable7PathSemantics(b *testing.B)       { benchExperiment(b, "table7") }
+func BenchmarkFig6RankDifference(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7ReachableDistribution(b *testing.B) { benchExperiment(b, "fig7") }
+
+// complexityGraph builds a small two-type network with n nodes per type for
+// the HeteSim-vs-SimRank comparison: SimRank's whole-network state is
+// (T·n)², HeteSim's is n² along one path (Section 4.6).
+func complexityGraph(n int) *datagen.Dataset {
+	ds, err := datagen.DBLP(datagen.DBLPConfig{
+		Papers: n, Authors: n, Terms: n / 2,
+		LabeledAuthors: 0, LabeledPapers: 0, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// BenchmarkComplexityHeteSimVsSimRank regenerates the Section 4.6
+// complexity comparison: HeteSim's single-path relevance matrix versus
+// whole-network SimRank at matched sizes.
+func BenchmarkComplexityHeteSimVsSimRank(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		ds := complexityGraph(n)
+		g := ds.Graph
+		p := metapath.MustParse(g.Schema(), "APCPA")
+		b.Run(fmt.Sprintf("HeteSim/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.NewEngine(g) // cold engine: full computation
+				if _, err := e.AllPairs(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("SimRank/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.SimRankHIN(g, 0.8, 5)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPathCache measures the Section 4.6 materialization
+// speedup: single-source queries against cold and warmed path caches.
+func BenchmarkAblationPathCache(b *testing.B) {
+	ds := complexityGraph(1500)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g)
+			if _, err := e.SingleSourceByIndex(p, i%g.NodeCount("author")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := core.NewEngine(g)
+		if err := e.Precompute(p); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SingleSourceByIndex(p, i%g.NodeCount("author")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationQueryPlans compares the three query plans for the same
+// quantity: pair (two sparse vector chains), single-source (vector against
+// a materialized half), and all-pairs (full relevance matrix).
+func BenchmarkAblationQueryPlans(b *testing.B) {
+	ds := complexityGraph(1000)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	e := core.NewEngine(g)
+	if err := e.Precompute(p); err != nil {
+		b.Fatal(err)
+	}
+	n := g.NodeCount("author")
+	b.Run("pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.PairByIndex(p, i%n, (i*7)%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single-source", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SingleSourceByIndex(p, i%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("all-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AllPairs(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPruning measures the Section 4.6 truncation speedup:
+// exact versus pruned reachable probability chains.
+func BenchmarkAblationPruning(b *testing.B) {
+	ds := complexityGraph(2000)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "APCPAPCPA") // long chain: pruning matters
+	for _, eps := range []float64{0, 1e-4} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.NewEngine(g, core.WithPruning(eps))
+				if _, err := e.SingleSourceByIndex(p, i%g.NodeCount("author")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNormalization measures the cost of the cosine
+// normalization (Definition 10) on top of the raw meeting probability.
+func BenchmarkAblationNormalization(b *testing.B) {
+	ds := complexityGraph(1500)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "CPAPC")
+	for _, normalized := range []bool{true, false} {
+		name := "normalized"
+		if !normalized {
+			name = "raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.NewEngine(g, core.WithNormalization(normalized))
+				if _, err := e.AllPairs(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOddPathEdgeObjects measures the cost of the edge-object
+// decomposition (Definition 6) by comparing an odd path against an even
+// path of similar work.
+func BenchmarkAblationOddPathEdgeObjects(b *testing.B) {
+	ds := complexityGraph(1500)
+	g := ds.Graph
+	odd := metapath.MustParse(g.Schema(), "CPA")   // decomposes through edge objects
+	even := metapath.MustParse(g.Schema(), "CPAP") // meets at a node type
+	for name, p := range map[string]*metapath.Path{"odd-CPA": odd, "even-CPAP": even} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.NewEngine(g)
+				if _, err := e.AllPairs(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMonteCarlo compares an exact cold pair query against the
+// Section 4.6 Monte Carlo approximation at fixed sample counts.
+func BenchmarkAblationMonteCarlo(b *testing.B) {
+	ds := complexityGraph(2000)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	b.Run("exact-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g, core.WithCaching(false))
+			if _, err := e.PairByIndex(p, i%g.NodeCount("author"), (i*13)%g.NodeCount("author")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, walks := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("montecarlo-%d", walks), func(b *testing.B) {
+			e := core.NewEngine(g)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.PairMonteCarlo(p, i%g.NodeCount("author"), (i*13)%g.NodeCount("author"), walks, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTopKSearch compares the full single-source scan against
+// the candidate-restricted pruned top-k search.
+func BenchmarkAblationTopKSearch(b *testing.B) {
+	ds := complexityGraph(2000)
+	g := ds.Graph
+	// APA meets at the large paper type: each author's middle support is
+	// tiny, so candidate restriction skips almost every target — the
+	// pruned search's winning case.
+	p := metapath.MustParse(g.Schema(), "APA")
+	e := core.NewEngine(g)
+	if err := e.Precompute(p); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.TopKSearch(p, 0, 10, 0); err != nil { // warm transpose cache
+		b.Fatal(err)
+	}
+	n := g.NodeCount("author")
+	b.Run("single-source-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SingleSourceByIndex(p, i%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("topk-pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.TopKSearch(p, i%n, 10, 1e-3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1–7, Figures 6–7) on the synthetic ACM and
+// DBLP networks.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-list] [-scale small|full] [-seed n]
+//
+// Without -run, the whole suite runs in the paper's presentation order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hetesim/internal/exp"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		scale  = flag.String("scale", "full", "dataset scale: small | full")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	var cfg exp.Config
+	switch *scale {
+	case "small":
+		cfg = exp.SmallConfig()
+	case "full":
+		cfg = exp.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want small or full)\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	cfg.ACM.Seed = *seed
+	cfg.DBLP.Seed = *seed
+	ctx := exp.NewContext(cfg)
+
+	ids := exp.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := exp.Run(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.2fs)\n\n%s\n", id, time.Since(start).Seconds(), res.Render())
+	}
+}

@@ -1,0 +1,230 @@
+// Command hetesim answers relevance queries over a heterogeneous network
+// stored in the JSON format of package hin (produce one with cmd/datagen).
+//
+// Usage:
+//
+//	hetesim -graph g.json -path APVC -source <id> [-target <id>] [-k 10]
+//	        [-measure hetesim|pcrw|pathsim] [-raw] [-montecarlo walks]
+//	hetesim -graph g.json -enumerate author,conference [-maxlen 4]
+//
+// With -target it prints the pair's relevance; without, the top-k most
+// related objects of the path's target type. -montecarlo estimates a pair
+// by sampled walks instead of exact propagation (Section 4.6 of the
+// paper). -enumerate lists the candidate relevance paths between two
+// types, the input to path selection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetesim/internal/baseline"
+	"hetesim/internal/core"
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/rank"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "graph JSON file (required)")
+		pathSpec   = flag.String("path", "", "relevance path, e.g. APVC or author>paper>venue")
+		source     = flag.String("source", "", "source object id")
+		target     = flag.String("target", "", "target object id (optional: pair query)")
+		k          = flag.Int("k", 10, "top-k for list queries")
+		measure    = flag.String("measure", "hetesim", "measure: hetesim | pcrw | pathsim")
+		raw        = flag.Bool("raw", false, "report unnormalized HeteSim (meeting probability)")
+		montecarlo = flag.Int("montecarlo", 0, "approximate a pair with this many sampled walks")
+		enumerate  = flag.String("enumerate", "", "list relevance paths between two comma-separated types")
+		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate")
+		explain    = flag.Int("explain", 0, "print the query plans for -path amortized over this many queries")
+		why        = flag.Int("why", 0, "with -target: show this many top meeting-object contributions")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch {
+	case *enumerate != "":
+		err = runEnumerate(*graphPath, *enumerate, *maxLen)
+	case *explain > 0 && *pathSpec != "":
+		err = runExplain(*graphPath, *pathSpec, *explain)
+	case *why > 0 && *pathSpec != "" && *source != "" && *target != "":
+		err = runWhy(*graphPath, *pathSpec, *source, *target, *why, *raw)
+	case *pathSpec != "" && *source != "":
+		err = run(*graphPath, *pathSpec, *source, *target, *measure, *k, *raw, *montecarlo)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetesim:", err)
+		os.Exit(1)
+	}
+}
+
+func runEnumerate(graphPath, spec string, maxLen int) error {
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-enumerate wants from,to (got %q)", spec)
+	}
+	paths, err := metapath.Enumerate(g.Schema(), strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), maxLen, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d relevance paths from %s to %s (maxlen %d):\n", len(paths), parts[0], parts[1], maxLen)
+	for _, p := range paths {
+		note := ""
+		if p.IsSymmetric() {
+			note = "  (symmetric)"
+		}
+		fmt.Printf("  %s%s\n", p, note)
+	}
+	return nil
+}
+
+func runExplain(graphPath, pathSpec string, queries int) error {
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	p, err := metapath.Parse(g.Schema(), pathSpec)
+	if err != nil {
+		return err
+	}
+	out, _, err := core.NewEngine(g).Explain(p, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runWhy(graphPath, pathSpec, source, target string, k int, raw bool) error {
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	p, err := metapath.Parse(g.Schema(), pathSpec)
+	if err != nil {
+		return err
+	}
+	opts := []core.Option{}
+	if raw {
+		opts = append(opts, core.WithNormalization(false))
+	}
+	e := core.NewEngine(g, opts...)
+	src, err := g.NodeIndex(p.Source(), source)
+	if err != nil {
+		return err
+	}
+	dst, err := g.NodeIndex(p.Target(), target)
+	if err != nil {
+		return err
+	}
+	score, contribs, err := e.PairContributions(p, src, dst, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hetesim(%s, %s | %s) = %.6f; top meeting objects:\n", source, target, p, score)
+	for _, c := range contribs {
+		fmt.Printf("  %-24s %.6f (%.1f%%)\n", c.Label, c.Value, 100*c.Fraction)
+	}
+	return nil
+}
+
+func loadGraph(graphPath string) (*hin.Graph, error) {
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hin.Read(f)
+}
+
+func run(graphPath, pathSpec, source, target, measure string, k int, raw bool, montecarlo int) error {
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	p, err := metapath.Parse(g.Schema(), pathSpec)
+	if err != nil {
+		return err
+	}
+	if montecarlo > 0 {
+		if target == "" || measure != "hetesim" {
+			return fmt.Errorf("-montecarlo needs -target and the hetesim measure")
+		}
+		opts := []core.Option{}
+		if raw {
+			opts = append(opts, core.WithNormalization(false))
+		}
+		e := core.NewEngine(g, opts...)
+		src, err := g.NodeIndex(p.Source(), source)
+		if err != nil {
+			return err
+		}
+		dst, err := g.NodeIndex(p.Target(), target)
+		if err != nil {
+			return err
+		}
+		res, err := e.PairMonteCarlo(p, src, dst, montecarlo, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hetesim~mc(%s, %s | %s) = %.6f (%d walks per endpoint)\n",
+			source, target, p, res.Score, res.Walks)
+		return nil
+	}
+
+	var single func(string) ([]float64, error)
+	var pair func(string, string) (float64, error)
+	switch measure {
+	case "hetesim":
+		opts := []core.Option{}
+		if raw {
+			opts = append(opts, core.WithNormalization(false))
+		}
+		e := core.NewEngine(g, opts...)
+		single = func(s string) ([]float64, error) { return e.SingleSource(p, s) }
+		pair = func(s, t string) (float64, error) { return e.Pair(p, s, t) }
+	case "pcrw":
+		m := baseline.NewPCRW(g)
+		single = func(s string) ([]float64, error) { return m.SingleSource(p, s) }
+		pair = func(s, t string) (float64, error) { return m.Pair(p, s, t) }
+	case "pathsim":
+		m := baseline.NewPathSim(g)
+		single = func(s string) ([]float64, error) { return m.SingleSource(p, s) }
+		pair = func(s, t string) (float64, error) { return m.Pair(p, s, t) }
+	default:
+		return fmt.Errorf("unknown measure %q", measure)
+	}
+
+	if target != "" {
+		v, err := pair(source, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s(%s, %s | %s) = %.6f\n", measure, source, target, p, v)
+		return nil
+	}
+	scores, err := single(source)
+	if err != nil {
+		return err
+	}
+	items, err := rank.List(scores, g.NodeIDs(p.Target()), k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d %s objects related to %s along %s (%s):\n", len(items), p.Target(), source, p, measure)
+	fmt.Print(rank.Format(items))
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command hetesimd serves relevance search over a heterogeneous network as
+// an HTTP JSON API (see internal/server for the endpoints).
+//
+// Usage:
+//
+//	hetesimd -graph g.json [-addr :8080] [-precompute APVC,CVPA]
+//
+// -precompute materializes the listed relevance paths at startup so their
+// queries are served from cached reaching distributions (the offline
+// materialization of Section 4.6 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/server"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "graph JSON file (required)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		precompute = flag.String("precompute", "", "comma-separated relevance paths to materialize at startup")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal("hetesimd: ", err)
+	}
+	g, err := hin.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal("hetesimd: ", err)
+	}
+	log.Printf("hetesimd: loaded %s", g.Stats())
+
+	srv := server.New(g)
+	if *precompute != "" {
+		for _, spec := range strings.Split(*precompute, ",") {
+			spec = strings.TrimSpace(spec)
+			if err := srv.Precompute(spec); err != nil {
+				log.Fatalf("hetesimd: precomputing %s: %v", spec, err)
+			}
+			log.Printf("hetesimd: materialized %s", spec)
+		}
+	}
+	fmt.Printf("hetesimd: listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

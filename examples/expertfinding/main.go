@@ -1,0 +1,74 @@
+// Expert finding: the relative-importance application of Table 3 in the
+// paper. HeteSim's symmetry lets scores of different author–conference
+// pairs be compared directly: knowing one area's expert, similar HeteSim
+// scores identify experts of other areas. PCRW's direction-dependent
+// scores cannot support the same inference — the two directions disagree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetesim/internal/baseline"
+	"hetesim/internal/core"
+	"hetesim/internal/datagen"
+	"hetesim/internal/metapath"
+)
+
+func main() {
+	ds, err := datagen.ACM(datagen.SmallACMConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	engine := core.NewEngine(g)
+	pcrw := baseline.NewPCRWFromEngine(engine)
+	apvc := metapath.MustParse(g.Schema(), "APVC")
+	cvpa := apvc.Reverse()
+
+	// The most prolific author of each conference, across research areas.
+	writes, _ := g.Adjacency("writes")
+	pub, _ := g.Adjacency("published_in")
+	part, _ := g.Adjacency("part_of")
+	counts := writes.Mul(pub).Mul(part)
+	topOf := func(conf string) string {
+		c, err := g.NodeIndex("conference", conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, bv := 0, -1.0
+		for a := 0; a < counts.Rows(); a++ {
+			if v := counts.At(a, c); v > bv {
+				best, bv = a, v
+			}
+		}
+		id, _ := g.NodeID("author", best)
+		return id
+	}
+
+	fmt.Println("relative importance of top authors to their home conferences (path APVC):")
+	fmt.Printf("\n  %-24s %-9s %-10s %-10s\n", "pair", "HeteSim", "PCRW A→C", "PCRW C→A")
+	for _, conf := range []string{"KDD", "SIGMOD", "SIGIR", "SODA", "SIGCOMM"} {
+		author := topOf(conf)
+		hs, err := engine.Pair(apvc, author, conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fw, err := pcrw.Pair(apvc, author, conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw, err := pcrw.Pair(cvpa, conf, author)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s %-9.4f %-10.4f %-10.4f\n", author+" / "+conf, hs, fw, bw)
+	}
+
+	fmt.Println(`
+Reading the table: the HeteSim column is comparable across rows — similar
+scores mean similar standing in the respective community, so known experts
+in one area reveal experts in others. The two PCRW columns are on different
+scales and tell conflicting stories, which is exactly the asymmetry problem
+Section 1 of the paper illustrates with W. B. Croft and J. F. Naughton.`)
+}

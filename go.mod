@@ -1,0 +1,3 @@
+module hetesim
+
+go 1.22

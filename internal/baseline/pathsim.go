@@ -1,0 +1,245 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/sparse"
+)
+
+// ErrAsymmetricPath is returned when PathSim is asked to score a path it is
+// not defined on.
+var ErrAsymmetricPath = errors.New("baseline: PathSim requires a symmetric relevance path")
+
+// PathSim is the meta path-based similarity of Sun et al. (VLDB 2011):
+//
+//	PathSim(a, b | P) = 2·M(a,b) / (M(a,a) + M(b,b))
+//
+// where M is the path-count matrix of the symmetric path P. It is defined
+// only for same-typed objects connected by symmetric paths — the limitation
+// (Section 2 of the HeteSim paper) that motivates HeteSim's uniform
+// treatment of arbitrary paths.
+type PathSim struct {
+	g     *hin.Graph
+	cache map[string]*sparse.Matrix // count matrices per cache key
+	diag  map[string][]float64      // count-matrix diagonals per path
+}
+
+// NewPathSim creates a PathSim measure over g.
+func NewPathSim(g *hin.Graph) *PathSim {
+	return &PathSim{
+		g:     g,
+		cache: make(map[string]*sparse.Matrix),
+		diag:  make(map[string][]float64),
+	}
+}
+
+// countMatrix returns the path-count matrix M_P: the product of the raw
+// (unnormalized) adjacency matrices along the path, whose (i,j) entry counts
+// path instances between i and j.
+func (m *PathSim) countMatrix(p *metapath.Path) (*sparse.Matrix, error) {
+	key := p.String()
+	if c, ok := m.cache[key]; ok {
+		return c, nil
+	}
+	var acc *sparse.Matrix
+	for _, s := range p.Steps() {
+		w, err := m.g.Adjacency(s.Relation.Name)
+		if err != nil {
+			return nil, err
+		}
+		if s.Inverse {
+			w = w.Transpose()
+		}
+		if acc == nil {
+			acc = w
+		} else {
+			acc = acc.Mul(w)
+		}
+	}
+	m.cache[key] = acc
+	return acc, nil
+}
+
+// AllPairs returns the PathSim similarity matrix for a symmetric path.
+func (m *PathSim) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
+	if !p.IsSymmetric() {
+		return nil, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
+	}
+	cnt, err := m.countMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := cnt.Dims()
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = cnt.At(i, i)
+	}
+	ts := cnt.Triplets()
+	out := make([]sparse.Triplet, 0, len(ts))
+	for _, t := range ts {
+		den := diag[t.Row] + diag[t.Col]
+		if den > 0 {
+			out = append(out, sparse.Triplet{Row: t.Row, Col: t.Col, Val: 2 * t.Val / den})
+		}
+	}
+	return sparse.New(n, n, out), nil
+}
+
+// Subset returns the PathSim similarity matrix restricted to the given
+// node-index subset (in the given order). For a symmetric path P = PL·PL^-1
+// the path-count matrix factors as M = C·C' with C the raw path-count
+// matrix of PL, so only the selected rows of C are ever multiplied — the
+// same submatrix plan the HeteSim engine uses for clustering experiments.
+func (m *PathSim) Subset(p *metapath.Path, idx []int) (*sparse.Matrix, error) {
+	if !p.IsSymmetric() {
+		return nil, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
+	}
+	left, err := m.halfCountMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	n := left.Rows()
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("%w: index %d of %d", hin.ErrUnknownNode, i, n)
+		}
+	}
+	sub := left.SelectRows(idx)
+	cnt := sub.Mul(sub.Transpose())
+	diag := make([]float64, len(idx))
+	for i := range idx {
+		diag[i] = cnt.At(i, i)
+	}
+	ts := cnt.Triplets()
+	out := make([]sparse.Triplet, 0, len(ts))
+	for _, t := range ts {
+		den := diag[t.Row] + diag[t.Col]
+		if den > 0 {
+			out = append(out, sparse.Triplet{Row: t.Row, Col: t.Col, Val: 2 * t.Val / den})
+		}
+	}
+	return sparse.New(len(idx), len(idx), out), nil
+}
+
+// Pair returns PathSim(src, dst | p) for nodes identified by string IDs.
+func (m *PathSim) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
+	if !p.IsSymmetric() {
+		return 0, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
+	}
+	i, err := m.g.NodeIndex(p.Source(), srcID)
+	if err != nil {
+		return 0, err
+	}
+	j, err := m.g.NodeIndex(p.Target(), dstID)
+	if err != nil {
+		return 0, err
+	}
+	return m.PairByIndex(p, i, j)
+}
+
+// PairByIndex is Pair addressed by node indices.
+func (m *PathSim) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
+	if !p.IsSymmetric() {
+		return 0, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
+	}
+	cnt, err := m.countMatrix(p)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := cnt.Dims()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return 0, hin.ErrUnknownNode
+	}
+	den := cnt.At(src, src) + cnt.At(dst, dst)
+	if den == 0 {
+		return 0, nil
+	}
+	return 2 * cnt.At(src, dst) / den, nil
+}
+
+// SingleSource returns PathSim scores of one source against all same-typed
+// objects. For a symmetric path the count matrix factors as M = C·C', so
+// one row of M is a single matrix-vector product — the full n×n count
+// matrix is never materialized.
+func (m *PathSim) SingleSource(p *metapath.Path, srcID string) ([]float64, error) {
+	i, err := m.g.NodeIndex(p.Source(), srcID)
+	if err != nil {
+		return nil, err
+	}
+	return m.SingleSourceByIndex(p, i)
+}
+
+// SingleSourceByIndex is SingleSource addressed by node index.
+func (m *PathSim) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, error) {
+	if !p.IsSymmetric() {
+		return nil, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
+	}
+	left, err := m.halfCountMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	n := left.Rows()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("%w: index %d of %d", hin.ErrUnknownNode, src, n)
+	}
+	diag := m.countDiagonal(p, left)
+	row := left.MulVec(left.RowDense(src, nil))
+	for j := range row {
+		den := diag[src] + diag[j]
+		if den > 0 {
+			row[j] = 2 * row[j] / den
+		} else {
+			row[j] = 0
+		}
+	}
+	return row, nil
+}
+
+// halfCountMatrix returns (and caches) the raw path-count matrix of the
+// left half PL of a symmetric path P = PL·PL^-1.
+func (m *PathSim) halfCountMatrix(p *metapath.Path) (*sparse.Matrix, error) {
+	key := "half:" + p.String()
+	if c, ok := m.cache[key]; ok {
+		return c, nil
+	}
+	d := p.Decompose()
+	if d.Middle != nil {
+		return nil, fmt.Errorf("%w: %s has odd length", ErrAsymmetricPath, p)
+	}
+	var left *sparse.Matrix
+	for _, s := range d.Left {
+		w, err := m.g.Adjacency(s.Relation.Name)
+		if err != nil {
+			return nil, err
+		}
+		if s.Inverse {
+			w = w.Transpose()
+		}
+		if left == nil {
+			left = w
+		} else {
+			left = left.Mul(w)
+		}
+	}
+	m.cache[key] = left
+	return left, nil
+}
+
+// countDiagonal returns (and caches) the diagonal of M = C·C': the per-row
+// squared Euclidean norms of the half-count matrix.
+func (m *PathSim) countDiagonal(p *metapath.Path, left *sparse.Matrix) []float64 {
+	key := "diag:" + p.String()
+	if d, ok := m.diag[key]; ok {
+		return d
+	}
+	norms := left.RowNorms()
+	d := make([]float64, len(norms))
+	for i, x := range norms {
+		d[i] = x * x
+	}
+	m.diag[key] = d
+	return d
+}

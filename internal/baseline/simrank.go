@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"fmt"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/sparse"
+)
+
+// SimRank computes the classic Jeh & Widom similarity on a homogeneous
+// directed graph given by a square adjacency matrix, using in-neighbors:
+//
+//	s(a, b) = C / (|I(a)||I(b)|) · ΣΣ s(I_i(a), I_j(b)),  s(a, a) = 1
+//
+// iterated iters times from s_0 = I. Nodes without in-neighbors score 0
+// against everything but themselves. The result is a dense n×n matrix —
+// SimRank's O(n²) similarity state is precisely the space cost the paper's
+// Section 4.6 complexity comparison highlights.
+func SimRank(adj *sparse.Matrix, c float64, iters int) [][]float64 {
+	n, m := adj.Dims()
+	if n != m {
+		panic(fmt.Sprintf("baseline: SimRank needs a square adjacency, got %dx%d", n, m))
+	}
+	// Column-normalized transition: P(i,j) = 1/|I(j)| for each in-edge.
+	// s_{k+1} = C · P' s_k P with the diagonal pinned to 1.
+	p := adj.ColNormalize()
+	pt := p.Transpose()
+	s := sparse.Identity(n)
+	for it := 0; it < iters; it++ {
+		s = pt.Mul(s).Mul(p).Scale(c)
+		s = pinDiagonal(s, n)
+	}
+	return s.Dense()
+}
+
+func pinDiagonal(s *sparse.Matrix, n int) *sparse.Matrix {
+	ts := s.Triplets()
+	out := make([]sparse.Triplet, 0, len(ts)+n)
+	for _, t := range ts {
+		if t.Row != t.Col {
+			out = append(out, t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, sparse.Triplet{Row: i, Col: i, Val: 1})
+	}
+	return sparse.New(n, n, out)
+}
+
+// BipartiteSimRank holds the two similarity matrices of SimRank on a
+// bipartite graph W: A-side similarities (via out-neighbors) and B-side
+// similarities (via in-neighbors), the setting of Property 5 in the paper.
+type BipartiteSimRank struct {
+	A [][]float64
+	B [][]float64
+}
+
+// SimRankBipartite iterates the bipartite SimRank recursion
+//
+//	s_A(a1,a2) = C/(|O(a1)||O(a2)|) ΣΣ s_B(O_i(a1), O_j(a2))
+//	s_B(b1,b2) = C/(|I(b1)||I(b2)|) ΣΣ s_A(I_i(b1), I_j(b2))
+//
+// from s_A = s_B = I, pinning diagonals to 1 after every hop.
+func SimRankBipartite(w *sparse.Matrix, c float64, iters int) BipartiteSimRank {
+	nA, nB := w.Dims()
+	u := w.RowNormalize()             // A -> B transition
+	v := w.Transpose().RowNormalize() // B -> A transition
+	sA := sparse.Identity(nA)
+	sB := sparse.Identity(nB)
+	for it := 0; it < iters; it++ {
+		nsA := u.Mul(sB).Mul(u.Transpose()).Scale(c)
+		nsB := v.Mul(sA).Mul(v.Transpose()).Scale(c)
+		sA = pinDiagonal(nsA, nA)
+		sB = pinDiagonal(nsB, nB)
+	}
+	return BipartiteSimRank{A: sA.Dense(), B: sB.Dense()}
+}
+
+// SimRankBipartiteRecursion computes the pure pairwise-random-walk recursion
+// used in the paper's Property 5 proof: with C = 1 and s_0 = δ (no diagonal
+// pinning), the k-th iterate on the A side is
+//
+//	S_A^(k) = C_k · C_k'   with   C_k = U·V·U·V· ... (k factors),
+//
+// where U is the A→B and V the B→A transition matrix — exactly the
+// unnormalized HeteSim(a1, a2 | (R R^-1)^k), the probability of two walkers
+// meeting after k steps each. It returns the A-side iterate after k hops.
+func SimRankBipartiteRecursion(w *sparse.Matrix, k int) [][]float64 {
+	nA, _ := w.Dims()
+	u := w.RowNormalize()
+	v := w.Transpose().RowNormalize()
+	c := sparse.Identity(nA)
+	for it := 0; it < k; it++ {
+		if it%2 == 0 {
+			c = c.Mul(u)
+		} else {
+			c = c.Mul(v)
+		}
+	}
+	return c.Mul(c.Transpose()).Dense()
+}
+
+// GlobalNode identifies a node of the flattened whole-network graph used by
+// whole-graph baselines (SimRank on the HIN, personalized PageRank).
+type GlobalNode struct {
+	Type  string
+	Index int
+}
+
+// GlobalGraph flattens a heterogeneous network into one directed graph over
+// all nodes of all types, with an edge in both directions for every relation
+// instance (a relation and its implicit inverse both carry semantics). It
+// returns the combined adjacency, the global nodes in index order, and the
+// per-type index offsets.
+func GlobalGraph(g *hin.Graph) (*sparse.Matrix, []GlobalNode, map[string]int) {
+	offsets := make(map[string]int)
+	var nodes []GlobalNode
+	for _, t := range g.Schema().Types() {
+		offsets[t.Name] = len(nodes)
+		for i := 0; i < g.NodeCount(t.Name); i++ {
+			nodes = append(nodes, GlobalNode{Type: t.Name, Index: i})
+		}
+	}
+	n := len(nodes)
+	var ts []sparse.Triplet
+	for _, rel := range g.Schema().Relations() {
+		w, err := g.Adjacency(rel.Name)
+		if err != nil {
+			continue
+		}
+		so, to := offsets[rel.Source], offsets[rel.Target]
+		for _, t := range w.Triplets() {
+			ts = append(ts, sparse.Triplet{Row: so + t.Row, Col: to + t.Col, Val: t.Val})
+			ts = append(ts, sparse.Triplet{Row: to + t.Col, Col: so + t.Row, Val: t.Val})
+		}
+	}
+	return sparse.New(n, n, ts), nodes, offsets
+}
+
+// SimRankHIN runs whole-graph SimRank over the flattened heterogeneous
+// network — every node pair of every type at once. This is the measure the
+// paper's complexity analysis (Section 4.6) contrasts with HeteSim: its
+// state is (T·n)² where HeteSim's is n². Returned scores are indexed by
+// global node index (see GlobalGraph).
+func SimRankHIN(g *hin.Graph, c float64, iters int) ([][]float64, []GlobalNode, map[string]int) {
+	adj, nodes, offsets := GlobalGraph(g)
+	return SimRank(adj, c, iters), nodes, offsets
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetesim/internal/eval"
+	"hetesim/internal/sparse"
+)
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	var truth []int
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for c, ctr := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				ctr[0] + rng.NormFloat64()*0.3,
+				ctr[1] + rng.NormFloat64()*0.3,
+			})
+			truth = append(truth, c)
+		}
+	}
+	res, err := KMeans(points, 3, KMeansConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := eval.NMI(truth, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.999 {
+		t.Errorf("blob NMI = %v, want ~1", nmi)
+	}
+	if res.Inertia < 0 {
+		t.Errorf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points := make([][]float64, 30)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	a, _ := KMeans(points, 4, KMeansConfig{Seed: 42})
+	b, _ := KMeans(points, 4, KMeansConfig{Seed: 42})
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, KMeansConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := KMeans(pts, 3, KMeansConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := KMeans(nil, 1, KMeansConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, KMeansConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestKMeansDuplicatePointsDoNotCrash(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, 2, KMeansConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 4 {
+		t.Errorf("assignments = %v", res.Assignments)
+	}
+}
+
+// blockSimilarity builds a noisy block-diagonal similarity matrix with k
+// planted communities of the given size.
+func blockSimilarity(rng *rand.Rand, k, size int, within, between float64) (*sparse.Matrix, []int) {
+	n := k * size
+	truth := make([]int, n)
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		truth[i] = i / size
+		for j := 0; j < n; j++ {
+			p := between
+			if truth[i] == j/size {
+				p = within
+			}
+			if rng.Float64() < p {
+				ts = append(ts, sparse.Triplet{Row: i, Col: j, Val: 0.5 + rng.Float64()/2})
+			}
+		}
+	}
+	// Strong self-similarity, as HeteSim matrices have.
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: 1})
+	}
+	return sparse.New(n, n, ts), truth
+}
+
+func TestNormalizedCutRecoversPlantedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sim, truth := blockSimilarity(rng, 4, 25, 0.7, 0.02)
+	got, err := NormalizedCut(sim, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := eval.NMI(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.9 {
+		t.Errorf("planted-block NMI = %v, want > 0.9", nmi)
+	}
+}
+
+func TestNormalizedCutValidation(t *testing.T) {
+	if _, err := NormalizedCut(sparse.Zeros(2, 3), 2, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("non-square err = %v", err)
+	}
+	if _, err := NormalizedCut(sparse.Identity(3), 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := NormalizedCut(sparse.Identity(3), 4, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k>n err = %v", err)
+	}
+}
+
+func TestNormalizedCutHandlesIsolatedNodes(t *testing.T) {
+	// Two clear pairs plus one object with no similarity to anything.
+	sim := sparse.FromDense([][]float64{
+		{1, 0.9, 0, 0, 0},
+		{0.9, 1, 0, 0, 0},
+		{0, 0, 1, 0.9, 0},
+		{0, 0, 0.9, 1, 0},
+		{0, 0, 0, 0, 0},
+	})
+	got, err := NormalizedCut(sim, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != got[1] || got[2] != got[3] || got[0] == got[2] {
+		t.Errorf("pairs not separated: %v", got)
+	}
+}
+
+func TestNormalizedCutDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sim, _ := blockSimilarity(rng, 3, 10, 0.8, 0.05)
+	a, err := NormalizedCut(sim, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NormalizedCut(sim, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different normalized-cut clusterings")
+		}
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	if d := sqDist([]float64{0, 3}, []float64{4, 0}); math.Abs(d-25) > 1e-12 {
+		t.Errorf("sqDist = %v, want 25", d)
+	}
+}

@@ -1,0 +1,36 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"hetesim/internal/cluster"
+	"hetesim/internal/sparse"
+)
+
+func ExampleNormalizedCut() {
+	// Two obvious communities in a similarity matrix.
+	sim := sparse.FromDense([][]float64{
+		{1.0, 0.9, 0.0, 0.0},
+		{0.9, 1.0, 0.0, 0.0},
+		{0.0, 0.0, 1.0, 0.8},
+		{0.0, 0.0, 0.8, 1.0},
+	})
+	assign, err := cluster.NormalizedCut(sim, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(assign[0] == assign[1], assign[2] == assign[3], assign[0] != assign[2])
+	// Output: true true true
+}
+
+func ExampleKMeans() {
+	points := [][]float64{{0, 0}, {0.1, 0}, {5, 5}, {5.1, 5}}
+	res, err := cluster.KMeans(points, 2, cluster.KMeansConfig{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Assignments[0] == res.Assignments[1],
+		res.Assignments[2] == res.Assignments[3],
+		res.Assignments[0] != res.Assignments[2])
+	// Output: true true true
+}

@@ -1,0 +1,172 @@
+// Package cluster implements the clustering substrate for the paper's
+// Table 6 experiment: Normalized Cut spectral clustering (Shi & Malik)
+// applied to pairwise similarity matrices, with k-means(++) on the spectral
+// embedding.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadInput marks invalid clustering inputs.
+var ErrBadInput = errors.New("cluster: bad input")
+
+// KMeansConfig tunes Lloyd's algorithm.
+type KMeansConfig struct {
+	MaxIters int   // per restart; default 100
+	Restarts int   // independent k-means++ restarts; default 8
+	Seed     int64 // RNG seed for reproducibility
+}
+
+// KMeansResult is a clustering of points.
+type KMeansResult struct {
+	Assignments []int
+	Centroids   [][]float64
+	Inertia     float64 // sum of squared distances to assigned centroids
+}
+
+// KMeans clusters points (all of equal dimension) into k groups with
+// k-means++ seeding and Lloyd iterations, keeping the best of several
+// restarts by inertia. The result is deterministic for a fixed seed.
+func KMeans(points [][]float64, k int, cfg KMeansConfig) (KMeansResult, error) {
+	n := len(points)
+	if k <= 0 || n == 0 || k > n {
+		return KMeansResult{}, fmt.Errorf("%w: k=%d with %d points", ErrBadInput, k, n)
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return KMeansResult{}, fmt.Errorf("%w: ragged points", ErrBadInput)
+		}
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	best := KMeansResult{Inertia: math.Inf(1)}
+	for r := 0; r < cfg.Restarts; r++ {
+		res := kmeansOnce(points, k, dim, cfg.MaxIters, rng)
+		if res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(points [][]float64, k, dim, maxIters int, rng *rand.Rand) KMeansResult {
+	n := len(points)
+	centroids := seedPlusPlus(points, k, dim, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var inertia float64
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		inertia = 0
+		for i, p := range points {
+			bi, bd := 0, math.Inf(1)
+			for c := range centroids {
+				d := sqDist(p, centroids[c])
+				if d < bd {
+					bi, bd = c, d
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+			inertia += bd
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				centroids[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its centroid, a standard fix that avoids dead clusters.
+				far, fd := 0, -1.0
+				for i, p := range points {
+					d := sqDist(p, centroids[assign[i]])
+					if d > fd {
+						far, fd = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+	return KMeansResult{Assignments: assign, Centroids: centroids, Inertia: inertia}
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k, dim int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[rng.Intn(n)]...)
+	centroids = append(centroids, first)
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

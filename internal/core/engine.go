@@ -1,0 +1,560 @@
+// Package core implements HeteSim, the relevance measure of the paper
+// (Definitions 3, 7 and 10): a path-constrained, symmetric, semi-metric
+// measure of the relatedness of same-typed or different-typed objects in a
+// heterogeneous information network.
+//
+// HeteSim(s, t | P) measures how likely a walker starting at s following the
+// relevance path P and a walker starting at t going against P meet at the
+// same middle object. Computationally (Equations 6–8):
+//
+//	HeteSim(A1, Al+1 | P) = PM_PL · PM'_{PR^-1}
+//
+// where the path is decomposed into equal halves P = PL · PR (Definition 5,
+// inserting an edge-object type into the middle atomic relation when the
+// length is odd, Definition 6), PM is the reachable probability matrix of
+// Definition 9, and the normalized form (Definition 10) is the cosine of the
+// two reaching distributions.
+//
+// The Engine caches transition matrices and materialized reachable
+// probability matrices per path prefix, implementing the offline
+// materialization and partial-path concatenation speedups of Section 4.6.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/sparse"
+)
+
+// Engine evaluates HeteSim queries over one graph. It is safe for
+// concurrent use; all caches are guarded internally.
+type Engine struct {
+	g *hin.Graph
+
+	normalized bool
+	caching    bool
+	pruneEps   float64
+
+	mu    sync.Mutex
+	trans map[string]*sparse.Matrix // U per step key
+	edgeU map[string]*sparse.Matrix // U_SE / U_TE per middle-step key
+	reach map[string]*sparse.Matrix // PM per chain key (every prefix cached)
+	norms map[string][]float64      // row L2 norms per chain key
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithNormalization controls whether scores use the cosine-normalized form
+// of Definition 10 (the default, true) or the raw meeting probability of
+// Definition 3 (false). The unnormalized form is primarily useful for
+// studying Property 5 (the SimRank connection) and the Fig. 5(c) example.
+func WithNormalization(on bool) Option { return func(e *Engine) { e.normalized = on } }
+
+// WithCaching controls materialization of reachable probability matrices
+// (default true). Disable to measure cold-query cost or bound memory.
+func WithCaching(on bool) Option { return func(e *Engine) { e.caching = on } }
+
+// WithPruning drops reachable probabilities below eps after every
+// propagation step — the truncation speedup sketched in Section 4.6, trading
+// a small, bounded score error for sparser intermediates. eps = 0 (default)
+// disables pruning.
+func WithPruning(eps float64) Option { return func(e *Engine) { e.pruneEps = eps } }
+
+// NewEngine creates a HeteSim engine over g.
+func NewEngine(g *hin.Graph, opts ...Option) *Engine {
+	e := &Engine{
+		g:          g,
+		normalized: true,
+		caching:    true,
+		trans:      make(map[string]*sparse.Matrix),
+		edgeU:      make(map[string]*sparse.Matrix),
+		reach:      make(map[string]*sparse.Matrix),
+		norms:      make(map[string][]float64),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Graph returns the engine's underlying graph.
+func (e *Engine) Graph() *hin.Graph { return e.g }
+
+// Normalized reports whether the engine returns cosine-normalized scores.
+func (e *Engine) Normalized() bool { return e.normalized }
+
+// stepKey identifies the transition matrix of one path step.
+func stepKey(s metapath.Step) string {
+	if s.Inverse {
+		return s.Relation.Name + "~" // inverse traversal
+	}
+	return s.Relation.Name
+}
+
+func chainKey(steps []metapath.Step, suffix string) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = stepKey(s)
+	}
+	k := strings.Join(parts, "|")
+	if suffix != "" {
+		if k != "" {
+			k += "|"
+		}
+		k += suffix
+	}
+	return k
+}
+
+// transition returns the row-stochastic transition matrix U for one step
+// (Definition 8): row-normalized adjacency, transposed first when the step
+// traverses the relation inversely. By Property 2 this equals V' of the
+// forward relation.
+func (e *Engine) transition(s metapath.Step) (*sparse.Matrix, error) {
+	key := stepKey(s)
+	e.mu.Lock()
+	if u, ok := e.trans[key]; ok {
+		e.mu.Unlock()
+		return u, nil
+	}
+	e.mu.Unlock()
+	w, err := e.g.Adjacency(s.Relation.Name)
+	if err != nil {
+		return nil, err
+	}
+	if s.Inverse {
+		w = w.Transpose()
+	}
+	u := w.RowNormalize()
+	e.mu.Lock()
+	e.trans[key] = u
+	e.mu.Unlock()
+	return u, nil
+}
+
+// middleEdgeTransitions returns (U_SE, U_TE) for the middle atomic relation
+// of an odd-length path: the transition matrices from the relation's source
+// side and target side into the inserted edge-object type E (Definition 6).
+// Column k of either matrix corresponds to the k-th relation instance in
+// row-major order of the step's effective adjacency. Per the Property 1
+// proof, instance weights w split as sqrt(w) on both half-edges.
+func (e *Engine) middleEdgeTransitions(s metapath.Step) (use, ute *sparse.Matrix, err error) {
+	key := stepKey(s)
+	e.mu.Lock()
+	u1, ok1 := e.edgeU["SE|"+key]
+	u2, ok2 := e.edgeU["TE|"+key]
+	e.mu.Unlock()
+	if ok1 && ok2 {
+		return u1, u2, nil
+	}
+	w, err := e.g.Adjacency(s.Relation.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Inverse {
+		w = w.Transpose()
+	}
+	rows, cols := w.Dims()
+	ts := w.Triplets()
+	seTrip := make([]sparse.Triplet, len(ts))
+	teTrip := make([]sparse.Triplet, len(ts))
+	for k, t := range ts {
+		sq := sqrtWeight(t.Val)
+		seTrip[k] = sparse.Triplet{Row: t.Row, Col: k, Val: sq}
+		teTrip[k] = sparse.Triplet{Row: t.Col, Col: k, Val: sq}
+	}
+	use = sparse.New(rows, len(ts), seTrip).RowNormalize()
+	ute = sparse.New(cols, len(ts), teTrip).RowNormalize()
+	e.mu.Lock()
+	e.edgeU["SE|"+key] = use
+	e.edgeU["TE|"+key] = ute
+	e.mu.Unlock()
+	return use, ute, nil
+}
+
+func sqrtWeight(w float64) float64 {
+	if w < 0 {
+		panic(fmt.Sprintf("core: negative adjacency weight %v", w))
+	}
+	if w == 1 { // fast path for the common 0/1 adjacency
+		return 1
+	}
+	return math.Sqrt(w)
+}
+
+// halves describes the two reachable-probability chains of a decomposed
+// path: leftSteps propagate the source forward to the meeting type,
+// rightSteps propagate the target backward to it. When the original path
+// has odd length, both chains end with an extra half-step into the
+// edge-object type of the middle relation.
+type halves struct {
+	leftSteps  []metapath.Step
+	rightSteps []metapath.Step // already reversed: target → meeting type
+	middle     *metapath.Step
+}
+
+func splitPath(p *metapath.Path) halves {
+	d := p.Decompose()
+	right := make([]metapath.Step, len(d.Right))
+	for i, s := range d.Right {
+		right[len(d.Right)-1-i] = s.Reversed()
+	}
+	return halves{leftSteps: d.Left, rightSteps: right, middle: d.Middle}
+}
+
+// chainMatrix materializes the reachable probability matrix of a chain of
+// steps, optionally extended by an edge half-step, caching every prefix so
+// that paths sharing prefixes reuse work (the concatenation speedup of
+// Section 4.6).
+func (e *Engine) chainMatrix(steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
+	fullKey := e.chainFullKey(steps, middle, side)
+	if e.caching {
+		e.mu.Lock()
+		if m, ok := e.reach[fullKey]; ok {
+			e.mu.Unlock()
+			return m, nil
+		}
+		e.mu.Unlock()
+	}
+	var pm *sparse.Matrix
+	startType := e.chainStartType(steps, middle, side)
+	pm = sparse.Identity(e.g.NodeCount(startType))
+	for i, s := range steps {
+		u, err := e.transition(s)
+		if err != nil {
+			return nil, err
+		}
+		pm = pm.MulAuto(u)
+		if e.pruneEps > 0 {
+			pm = pm.Prune(e.pruneEps)
+		}
+		if e.caching {
+			key := e.chainFullKey(steps[:i+1], nil, side)
+			e.mu.Lock()
+			e.reach[key] = pm
+			e.mu.Unlock()
+		}
+	}
+	if middle != nil {
+		use, ute, err := e.middleEdgeTransitions(*middle)
+		if err != nil {
+			return nil, err
+		}
+		if side == 'L' {
+			pm = pm.MulAuto(use)
+		} else {
+			pm = pm.MulAuto(ute)
+		}
+		if e.pruneEps > 0 {
+			pm = pm.Prune(e.pruneEps)
+		}
+	}
+	if e.caching {
+		e.mu.Lock()
+		e.reach[fullKey] = pm
+		e.mu.Unlock()
+	}
+	return pm, nil
+}
+
+// chainFullKey identifies a chain's materialized matrix. Pure step chains
+// share one key regardless of which query plan built them, so a path's left
+// half, a PCRW reachable matrix, and a longer path's prefix all reuse the
+// same cache entry; only the edge half-step suffix distinguishes sides.
+func (e *Engine) chainFullKey(steps []metapath.Step, middle *metapath.Step, side byte) string {
+	if middle == nil {
+		return "C:" + chainKey(steps, "")
+	}
+	mk := stepKey(*middle)
+	if side == 'L' {
+		return "C:" + chainKey(steps, "SE("+mk+")")
+	}
+	return "C:" + chainKey(steps, "TE("+mk+")")
+}
+
+// chainStartType returns the node type a chain starts from. An empty chain
+// with a middle step starts at the middle relation's near side.
+func (e *Engine) chainStartType(steps []metapath.Step, middle *metapath.Step, side byte) string {
+	if len(steps) > 0 {
+		return steps[0].From()
+	}
+	if middle == nil {
+		panic("core: empty chain with no middle step")
+	}
+	if side == 'L' {
+		return middle.From()
+	}
+	return middle.To()
+}
+
+// chainRowNorms returns cached per-row L2 norms of a chain matrix.
+func (e *Engine) chainRowNorms(key string, pm *sparse.Matrix) []float64 {
+	e.mu.Lock()
+	if n, ok := e.norms[key]; ok {
+		e.mu.Unlock()
+		return n
+	}
+	e.mu.Unlock()
+	n := pm.RowNorms()
+	e.mu.Lock()
+	e.norms[key] = n
+	e.mu.Unlock()
+	return n
+}
+
+// chainVector propagates a single-source distribution along a chain without
+// materializing matrices — the cheap plan for one-off pair queries.
+func (e *Engine) chainVector(start int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Vector, error) {
+	startType := e.chainStartType(steps, middle, side)
+	v := sparse.Unit(e.g.NodeCount(startType), start)
+	for _, s := range steps {
+		u, err := e.transition(s)
+		if err != nil {
+			return nil, err
+		}
+		v = v.MulMat(u)
+	}
+	if middle != nil {
+		use, ute, err := e.middleEdgeTransitions(*middle)
+		if err != nil {
+			return nil, err
+		}
+		if side == 'L' {
+			v = v.MulMat(use)
+		} else {
+			v = v.MulMat(ute)
+		}
+	}
+	return v, nil
+}
+
+// Pair returns HeteSim(src, dst | p) for nodes identified by string IDs.
+// src must be of type p.Source() and dst of type p.Target().
+func (e *Engine) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
+	i, err := e.g.NodeIndex(p.Source(), srcID)
+	if err != nil {
+		return 0, err
+	}
+	j, err := e.g.NodeIndex(p.Target(), dstID)
+	if err != nil {
+		return 0, err
+	}
+	return e.PairByIndex(p, i, j)
+}
+
+// PairByIndex is Pair addressed by node indices. It propagates sparse
+// distributions from both endpoints to the meeting type and combines them,
+// without materializing any matrix.
+func (e *Engine) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return 0, err
+	}
+	if err := e.checkIndex(p.Target(), dst); err != nil {
+		return 0, err
+	}
+	h := splitPath(p)
+	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return 0, err
+	}
+	right, err := e.chainVector(dst, h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return 0, err
+	}
+	if e.normalized {
+		return left.Cosine(right), nil
+	}
+	return left.Dot(right), nil
+}
+
+// SingleSource returns the HeteSim scores of one source node against every
+// node of the path's target type, indexed by target node index.
+func (e *Engine) SingleSource(p *metapath.Path, srcID string) ([]float64, error) {
+	i, err := e.g.NodeIndex(p.Source(), srcID)
+	if err != nil {
+		return nil, err
+	}
+	return e.SingleSourceByIndex(p, i)
+}
+
+// SingleSourceByIndex is SingleSource addressed by node index. It propagates
+// the source distribution and combines it with the (cached) right-half
+// reachable probability matrix.
+func (e *Engine) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, error) {
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return nil, err
+	}
+	h := splitPath(p)
+	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return nil, err
+	}
+	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return nil, err
+	}
+	scores := pmr.MulVec(left.Dense())
+	if e.normalized {
+		ln := left.Norm()
+		rns := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
+		for b := range scores {
+			if ln == 0 || rns[b] == 0 {
+				scores[b] = 0
+			} else {
+				scores[b] /= ln * rns[b]
+			}
+		}
+	}
+	return scores, nil
+}
+
+// AllPairs returns the full relevance matrix HeteSim(A1, Al+1 | p) with rows
+// indexed by source nodes and columns by target nodes (Equation 6, plus the
+// normalization of Definition 10 when enabled).
+func (e *Engine) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
+	h := splitPath(p)
+	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return nil, err
+	}
+	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return nil, err
+	}
+	rel := pml.MulAuto(pmr.Transpose())
+	if !e.normalized {
+		return rel, nil
+	}
+	ln := e.chainRowNorms(e.chainFullKey(h.leftSteps, h.middle, 'L'), pml)
+	rn := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
+	inv := func(x float64) float64 {
+		if x == 0 {
+			return 0
+		}
+		return 1 / x
+	}
+	li := make([]float64, len(ln))
+	for i, x := range ln {
+		li[i] = inv(x)
+	}
+	ri := make([]float64, len(rn))
+	for i, x := range rn {
+		ri[i] = inv(x)
+	}
+	return rel.ScaleRows(li).ScaleCols(ri), nil
+}
+
+// PairsSubset returns the relevance matrix restricted to the given source
+// and target node-index subsets (in the given orders). It multiplies only
+// the selected rows of the two half-path matrices, so scoring a labeled
+// subset of a large network never materializes the full |A1| x |Al+1|
+// relevance matrix — the plan the clustering experiments rely on.
+func (e *Engine) PairsSubset(p *metapath.Path, srcs, dsts []int) (*sparse.Matrix, error) {
+	for _, i := range srcs {
+		if err := e.checkIndex(p.Source(), i); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range dsts {
+		if err := e.checkIndex(p.Target(), j); err != nil {
+			return nil, err
+		}
+	}
+	h := splitPath(p)
+	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return nil, err
+	}
+	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return nil, err
+	}
+	subL := pml.SelectRows(srcs)
+	subR := pmr.SelectRows(dsts)
+	rel := subL.MulAuto(subR.Transpose())
+	if !e.normalized {
+		return rel, nil
+	}
+	ln := subL.RowNorms()
+	rn := subR.RowNorms()
+	inv := func(x float64) float64 {
+		if x == 0 {
+			return 0
+		}
+		return 1 / x
+	}
+	for i := range ln {
+		ln[i] = inv(ln[i])
+	}
+	for i := range rn {
+		rn[i] = inv(rn[i])
+	}
+	return rel.ScaleRows(ln).ScaleCols(rn), nil
+}
+
+// Precompute materializes and caches both half-path reachable probability
+// matrices and their row norms, so subsequent SingleSource and Pair queries
+// on the same path are served from the cache — the offline materialization
+// speedup of Section 4.6.
+func (e *Engine) Precompute(p *metapath.Path) error {
+	h := splitPath(p)
+	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return err
+	}
+	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return err
+	}
+	e.chainRowNorms(e.chainFullKey(h.leftSteps, h.middle, 'L'), pml)
+	e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
+	return nil
+}
+
+// ReachableMatrix returns the reachable probability matrix PM_P of
+// Definition 9: the product of the transition matrices of every step. This
+// is exactly the Path Constrained Random Walk distribution, exposed for the
+// PCRW baseline and Fig. 7-style analyses.
+func (e *Engine) ReachableMatrix(p *metapath.Path) (*sparse.Matrix, error) {
+	return e.chainMatrix(p.Steps(), nil, 'P')
+}
+
+// ReachableFrom returns row src of PM_P without materializing the matrix.
+func (e *Engine) ReachableFrom(p *metapath.Path, src int) (*sparse.Vector, error) {
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return nil, err
+	}
+	return e.chainVector(src, p.Steps(), nil, 'P')
+}
+
+// CacheSize reports the number of cached matrices (transition plus
+// reachable), mostly for tests and diagnostics.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.trans) + len(e.edgeU) + len(e.reach)
+}
+
+// ClearCache drops all cached matrices and norms.
+func (e *Engine) ClearCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.trans = make(map[string]*sparse.Matrix)
+	e.edgeU = make(map[string]*sparse.Matrix)
+	e.reach = make(map[string]*sparse.Matrix)
+	e.norms = make(map[string][]float64)
+}
+
+func (e *Engine) checkIndex(typeName string, i int) error {
+	n := e.g.NodeCount(typeName)
+	if i < 0 || i >= n {
+		return fmt.Errorf("%w: %s #%d (have %d)", hin.ErrUnknownNode, typeName, i, n)
+	}
+	return nil
+}

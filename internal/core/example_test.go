@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hetesim/internal/core"
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+)
+
+// buildExampleGraph constructs the Fig. 4 network of the paper.
+func buildExampleGraph() *hin.Graph {
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "conference")
+	b := hin.NewBuilder(s)
+	b.AddEdge("writes", "Tom", "p1")
+	b.AddEdge("writes", "Tom", "p2")
+	b.AddEdge("writes", "Mary", "p2")
+	b.AddEdge("writes", "Mary", "p3")
+	b.AddEdge("published_in", "p1", "KDD")
+	b.AddEdge("published_in", "p2", "KDD")
+	b.AddEdge("published_in", "p3", "SIGMOD")
+	return b.MustBuild()
+}
+
+func ExampleEngine_Pair() {
+	g := buildExampleGraph()
+	engine := core.NewEngine(g)
+	apc := metapath.MustParse(g.Schema(), "APC")
+	score, err := engine.Pair(apc, "Tom", "KDD")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", score)
+	// Output: 1.00
+}
+
+func ExampleEngine_Pair_symmetry() {
+	// Property 3: HeteSim(a, b | P) equals HeteSim(b, a | P^-1).
+	g := buildExampleGraph()
+	engine := core.NewEngine(g)
+	apc := metapath.MustParse(g.Schema(), "APC")
+	fwd, _ := engine.Pair(apc, "Mary", "KDD")
+	bwd, _ := engine.Pair(apc.Reverse(), "KDD", "Mary")
+	fmt.Printf("%.4f %.4f\n", fwd, bwd)
+	// Output: 0.5000 0.5000
+}
+
+func ExampleWithNormalization() {
+	// The raw meeting probability of Example 2 in the paper.
+	g := buildExampleGraph()
+	engine := core.NewEngine(g, core.WithNormalization(false))
+	apc := metapath.MustParse(g.Schema(), "APC")
+	score, _ := engine.Pair(apc, "Tom", "KDD")
+	fmt.Printf("%.2f\n", score)
+	// Output: 0.50
+}
+
+func ExampleEngine_SingleSource() {
+	g := buildExampleGraph()
+	engine := core.NewEngine(g)
+	apc := metapath.MustParse(g.Schema(), "APC")
+	scores, _ := engine.SingleSource(apc, "Tom")
+	for i, s := range scores {
+		id, _ := g.NodeID("conference", i)
+		fmt.Printf("%s %.2f\n", id, s)
+	}
+	// Output:
+	// KDD 1.00
+	// SIGMOD 0.00
+}
+
+func ExampleEngine_TopKSearch() {
+	g := buildExampleGraph()
+	engine := core.NewEngine(g)
+	apa := metapath.MustParse(g.Schema(), "APA")
+	tom, _ := g.NodeIndex("author", "Tom")
+	top, _ := engine.TopKSearch(apa, tom, 2, 0)
+	for _, s := range top {
+		id, _ := g.NodeID("author", s.Index)
+		fmt.Printf("%s %.2f\n", id, s.Score)
+	}
+	// Output:
+	// Tom 1.00
+	// Mary 0.50
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hetesim/internal/metapath"
+	"hetesim/internal/sparse"
+)
+
+// Persistence of materialized relevance paths: Section 4.6's first speedup
+// is computing the relatedness of frequently-used paths offline so online
+// queries only combine precomputed reaching distributions. SaveMaterialized
+// writes the two half-path reachable probability matrices of a path;
+// LoadMaterialized restores them into an engine's cache, after which
+// SingleSource and AllPairs queries on that path never touch the adjacency
+// matrices.
+//
+// Layout: magic "HSPM" | version u32 | path string (u32 len + bytes) |
+// left matrix | right matrix, with matrices in the sparse binary format.
+
+// ErrBadSnapshot marks a malformed or mismatched materialized-path file.
+var ErrBadSnapshot = errors.New("core: bad materialized path snapshot")
+
+var (
+	snapshotMagic   = [4]byte{'H', 'S', 'P', 'M'}
+	snapshotVersion = uint32(1)
+)
+
+// SaveMaterialized computes (or fetches from cache) the two half-path
+// matrices of p and writes them to w.
+func (e *Engine) SaveMaterialized(w io.Writer, p *metapath.Path) error {
+	h := splitPath(p)
+	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return err
+	}
+	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, snapshotVersion); err != nil {
+		return err
+	}
+	spec := p.String()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(spec))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(spec); err != nil {
+		return err
+	}
+	if err := sparse.WriteMatrix(bw, pml); err != nil {
+		return err
+	}
+	if err := sparse.WriteMatrix(bw, pmr); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadMaterialized reads a snapshot written by SaveMaterialized and installs
+// the matrices (and their row norms) in the engine's cache for path p. The
+// snapshot's recorded path must match p, and the matrix shapes must match
+// the engine's graph, so a snapshot from a different path or graph is
+// rejected rather than silently producing wrong scores.
+func (e *Engine) LoadMaterialized(r io.Reader, p *metapath.Path) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: reading magic: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("%w: reading version: %v", ErrBadSnapshot, err)
+	}
+	if version != snapshotVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	var specLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &specLen); err != nil {
+		return fmt.Errorf("%w: reading path length: %v", ErrBadSnapshot, err)
+	}
+	if specLen > 1<<16 {
+		return fmt.Errorf("%w: implausible path length %d", ErrBadSnapshot, specLen)
+	}
+	specBytes := make([]byte, specLen)
+	if _, err := io.ReadFull(br, specBytes); err != nil {
+		return fmt.Errorf("%w: reading path: %v", ErrBadSnapshot, err)
+	}
+	if got, want := string(specBytes), p.String(); got != want {
+		return fmt.Errorf("%w: snapshot is for path %q, not %q", ErrBadSnapshot, got, want)
+	}
+	pml, err := sparse.ReadMatrix(br)
+	if err != nil {
+		return fmt.Errorf("%w: left matrix: %v", ErrBadSnapshot, err)
+	}
+	pmr, err := sparse.ReadMatrix(br)
+	if err != nil {
+		return fmt.Errorf("%w: right matrix: %v", ErrBadSnapshot, err)
+	}
+	if pml.Rows() != e.g.NodeCount(p.Source()) || pmr.Rows() != e.g.NodeCount(p.Target()) {
+		return fmt.Errorf("%w: matrix shapes %dx%d / %dx%d do not match graph (%d sources, %d targets)",
+			ErrBadSnapshot, pml.Rows(), pml.Cols(), pmr.Rows(), pmr.Cols(),
+			e.g.NodeCount(p.Source()), e.g.NodeCount(p.Target()))
+	}
+	if pml.Cols() != pmr.Cols() {
+		return fmt.Errorf("%w: half matrices disagree on meeting dimension (%d vs %d)",
+			ErrBadSnapshot, pml.Cols(), pmr.Cols())
+	}
+	h := splitPath(p)
+	leftKey := e.chainFullKey(h.leftSteps, h.middle, 'L')
+	rightKey := e.chainFullKey(h.rightSteps, h.middle, 'R')
+	e.mu.Lock()
+	e.reach[leftKey] = pml
+	e.reach[rightKey] = pmr
+	e.mu.Unlock()
+	e.chainRowNorms(leftKey, pml)
+	e.chainRowNorms(rightKey, pmr)
+	return nil
+}

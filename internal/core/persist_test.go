@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"hetesim/internal/metapath"
+)
+
+func TestSaveLoadMaterializedRoundTrip(t *testing.T) {
+	g := randomBibGraph(31)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+
+	src := NewEngine(g)
+	want, err := src.AllPairs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveMaterialized(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewEngine(g)
+	if err := dst.LoadMaterialized(bytes.NewReader(buf.Bytes()), p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.AllPairs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Error("scores differ after snapshot round trip")
+	}
+	// Single-source must also be served from the snapshot.
+	for i := 0; i < g.NodeCount("author"); i++ {
+		ss, err := dst.SingleSourceByIndex(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ss {
+			if math.Abs(ss[j]-want.At(i, j)) > 1e-12 {
+				t.Fatalf("single-source mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSaveLoadMaterializedOddPath(t *testing.T) {
+	g := randomBibGraph(32)
+	p := metapath.MustParse(g.Schema(), "APVC") // odd: edge-object halves
+	src := NewEngine(g)
+	want, err := src.AllPairs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveMaterialized(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewEngine(g)
+	if err := dst.LoadMaterialized(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.AllPairs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Error("odd-path scores differ after snapshot round trip")
+	}
+}
+
+func TestLoadMaterializedRejectsMismatch(t *testing.T) {
+	g := randomBibGraph(33)
+	apvc := metapath.MustParse(g.Schema(), "APVC")
+	apa := metapath.MustParse(g.Schema(), "APA")
+	e := NewEngine(g)
+
+	var buf bytes.Buffer
+	if err := e.SaveMaterialized(&buf, apvc); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := buf.Bytes()
+
+	// Wrong path.
+	if err := e.LoadMaterialized(bytes.NewReader(snapshot), apa); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("wrong-path err = %v, want ErrBadSnapshot", err)
+	}
+	// Wrong graph (different node counts).
+	g2 := randomBibGraph(999)
+	if g2.NodeCount("author") != g.NodeCount("author") {
+		e2 := NewEngine(g2)
+		p2 := metapath.MustParse(g2.Schema(), "APVC")
+		if err := e2.LoadMaterialized(bytes.NewReader(snapshot), p2); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("wrong-graph err = %v, want ErrBadSnapshot", err)
+		}
+	}
+	// Garbage input.
+	if err := e.LoadMaterialized(bytes.NewReader([]byte("junk")), apvc); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("garbage err = %v, want ErrBadSnapshot", err)
+	}
+	// Truncated snapshot.
+	if err := e.LoadMaterialized(bytes.NewReader(snapshot[:len(snapshot)-9]), apvc); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated err = %v, want ErrBadSnapshot", err)
+	}
+	// Corrupted magic.
+	bad := append([]byte{}, snapshot...)
+	bad[0] = 'X'
+	if err := e.LoadMaterialized(bytes.NewReader(bad), apvc); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad-magic err = %v, want ErrBadSnapshot", err)
+	}
+}

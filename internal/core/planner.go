@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hetesim/internal/metapath"
+)
+
+// Query planning for relevance paths. A HeteSim query has several physical
+// plans — sparse vector propagation from both endpoints, vector against a
+// materialized half, the full matrix product, Monte Carlo sampling — whose
+// costs diverge by orders of magnitude depending on the path's type
+// cardinalities and densities. The planner estimates the work of each plan
+// from the adjacency statistics (a classic database cardinality estimation,
+// applied to the reachable probability chains of Definition 9) and Explain
+// renders the comparison, so operators can choose what to materialize.
+
+// PlanKind identifies a physical query plan.
+type PlanKind string
+
+// The available plans.
+const (
+	PlanPairVectors    PlanKind = "pair-vectors"     // two sparse vector chains + dot
+	PlanSingleVsMatrix PlanKind = "single-vs-matrix" // one vector chain against the right-half matrix
+	PlanAllPairs       PlanKind = "all-pairs"        // full half-matrix product
+)
+
+// ChainEstimate predicts the shape of one half-chain's reachable
+// probability matrix.
+type ChainEstimate struct {
+	Rows int
+	Cols int
+	// NNZ is the predicted non-zero count under an independence
+	// assumption on row supports (capped by the dense size).
+	NNZ float64
+	// Flops is the predicted multiply-adds to materialize the chain.
+	Flops float64
+}
+
+// PlanEstimate is one plan's predicted cost for a query on a path.
+type PlanEstimate struct {
+	Kind PlanKind
+	// Flops estimates multiply-add work for one query, including (for
+	// matrix plans) the one-time materialization amortized into the
+	// first query.
+	Flops float64
+	// Materialize is the one-time cost component included in Flops.
+	Materialize float64
+	Description string
+}
+
+// Explain estimates the cost of every applicable plan for a query on path
+// p, cheapest first, and renders a report. queries is the anticipated
+// number of queries on this path: materialization costs amortize over it
+// (Section 4.6's offline materialization trade-off made explicit).
+func (e *Engine) Explain(p *metapath.Path, queries int) (string, []PlanEstimate, error) {
+	if queries < 1 {
+		queries = 1
+	}
+	h := splitPath(p)
+	left, err := e.estimateChain(h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return "", nil, err
+	}
+	right, err := e.estimateChain(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return "", nil, err
+	}
+	q := float64(queries)
+
+	// pair-vectors: one sparse row through each chain per query.
+	pairPer := left.Flops/float64(maxInt(left.Rows, 1)) +
+		right.Flops/float64(maxInt(right.Rows, 1))
+	plans := []PlanEstimate{{
+		Kind:        PlanPairVectors,
+		Flops:       pairPer * q,
+		Description: "propagate sparse vectors from both endpoints, combine at the meeting type",
+	}}
+
+	// single-vs-matrix: materialize the right half once, then one left
+	// vector + one matrix-vector product per query.
+	svPer := left.Flops/float64(maxInt(left.Rows, 1)) + right.NNZ
+	plans = append(plans, PlanEstimate{
+		Kind:        PlanSingleVsMatrix,
+		Flops:       right.Flops + svPer*q,
+		Materialize: right.Flops,
+		Description: "materialize the right half; per query, one vector chain and one SpMV",
+	})
+
+	// all-pairs: materialize both halves and their product once; queries
+	// are lookups.
+	product := left.NNZ * right.NNZ / float64(maxInt(left.Cols, 1))
+	plans = append(plans, PlanEstimate{
+		Kind:        PlanAllPairs,
+		Flops:       left.Flops + right.Flops + product,
+		Materialize: left.Flops + right.Flops + product,
+		Description: "materialize the full relevance matrix; queries are lookups",
+	})
+
+	// Order cheapest first (stable for ties).
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0 && plans[j].Flops < plans[j-1].Flops; j-- {
+			plans[j], plans[j-1] = plans[j-1], plans[j]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN %s (%d queries)\n", p, queries)
+	fmt.Fprintf(&b, "  left half : %d x %d, ~%.0f nnz, ~%.0f flops to materialize\n",
+		left.Rows, left.Cols, left.NNZ, left.Flops)
+	fmt.Fprintf(&b, "  right half: %d x %d, ~%.0f nnz, ~%.0f flops to materialize\n",
+		right.Rows, right.Cols, right.NNZ, right.Flops)
+	for i, pl := range plans {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Fprintf(&b, "%s %-16s ~%12.0f flops  %s\n", marker, pl.Kind, pl.Flops, pl.Description)
+	}
+	return b.String(), plans, nil
+}
+
+// estimateChain predicts the half-chain matrix shape by propagating row
+// supports through each step: if the current matrix has expected row
+// support s and the next transition has average row support d over n
+// columns, the product's expected row support is min(n, s·d) under
+// independence, and its flops are rows·s·d.
+func (e *Engine) estimateChain(steps []metapath.Step, middle *metapath.Step, side byte) (ChainEstimate, error) {
+	startType := e.chainStartType(steps, middle, side)
+	rows := e.g.NodeCount(startType)
+	est := ChainEstimate{Rows: rows, Cols: rows, NNZ: float64(rows)} // identity
+	support := 1.0                                                   // expected nnz per row
+	advance := func(stepRows, stepCols int, stepNNZ float64) {
+		if stepRows == 0 {
+			support = 0
+			est.Cols = stepCols
+			est.NNZ = 0
+			return
+		}
+		avg := stepNNZ / float64(stepRows)
+		est.Flops += float64(rows) * support * avg
+		support *= avg
+		if support > float64(stepCols) {
+			support = float64(stepCols)
+		}
+		est.Cols = stepCols
+		est.NNZ = float64(rows) * support
+		if dense := float64(rows) * float64(stepCols); est.NNZ > dense {
+			est.NNZ = dense
+		}
+	}
+	for _, s := range steps {
+		u, err := e.transition(s)
+		if err != nil {
+			return ChainEstimate{}, err
+		}
+		r, c := u.Dims()
+		advance(r, c, float64(u.NNZ()))
+	}
+	if middle != nil {
+		use, ute, err := e.middleEdgeTransitions(*middle)
+		if err != nil {
+			return ChainEstimate{}, err
+		}
+		u := use
+		if side != 'L' {
+			u = ute
+		}
+		r, c := u.Dims()
+		advance(r, c, float64(u.NNZ()))
+	}
+	return est, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ChainStats returns the planner's estimate and, when materialize is true,
+// the actual materialized shape of a path's left and right halves — useful
+// for validating the cost model.
+func (e *Engine) ChainStats(p *metapath.Path, materialize bool) (estL, estR ChainEstimate, actL, actR ChainEstimate, err error) {
+	h := splitPath(p)
+	estL, err = e.estimateChain(h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return
+	}
+	estR, err = e.estimateChain(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return
+	}
+	if !materialize {
+		return
+	}
+	pml, err2 := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	if err2 != nil {
+		err = err2
+		return
+	}
+	pmr, err2 := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err2 != nil {
+		err = err2
+		return
+	}
+	actL = ChainEstimate{Rows: pml.Rows(), Cols: pml.Cols(), NNZ: float64(pml.NNZ())}
+	actR = ChainEstimate{Rows: pmr.Rows(), Cols: pmr.Cols(), NNZ: float64(pmr.NNZ())}
+	return
+}

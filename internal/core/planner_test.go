@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetesim/internal/metapath"
+)
+
+func TestExplainRendersAllPlans(t *testing.T) {
+	g := randomBibGraph(51)
+	e := NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+	out, plans, err := e.Explain(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d, want 3", len(plans))
+	}
+	// Cheapest first.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Flops < plans[i-1].Flops {
+			t.Error("plans not sorted by cost")
+		}
+	}
+	for _, want := range []string{"EXPLAIN", "left half", "right half",
+		string(PlanPairVectors), string(PlanSingleVsMatrix), string(PlanAllPairs)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q", want)
+		}
+	}
+	// queries < 1 is clamped, not an error.
+	if _, _, err := e.Explain(p, 0); err != nil {
+		t.Errorf("queries=0 err = %v", err)
+	}
+}
+
+func TestExplainAmortizationFlipsPlans(t *testing.T) {
+	// With one query, vector propagation should beat materializing the
+	// full relevance matrix; with very many queries, all-pairs lookups
+	// must win.
+	g := randomBibGraph(53)
+	e := NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+	_, one, err := e.Explain(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0].Kind == PlanAllPairs {
+		t.Errorf("single query picked %s", one[0].Kind)
+	}
+	_, many, err := e.Explain(p, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many[0].Kind != PlanAllPairs {
+		t.Errorf("10^9 queries picked %s", many[0].Kind)
+	}
+}
+
+func TestChainEstimateTracksActualNNZ(t *testing.T) {
+	// The independence estimate should land within a generous factor of
+	// the materialized nnz on random networks — it is a planner, not an
+	// oracle.
+	f := func(seed int64) bool {
+		g := randomBibGraph(seed)
+		e := NewEngine(g)
+		rng := rand.New(rand.NewSource(seed))
+		p := metapath.MustParse(g.Schema(), testPaths[rng.Intn(len(testPaths))])
+		estL, estR, actL, actR, err := e.ChainStats(p, true)
+		if err != nil {
+			return false
+		}
+		within := func(est, act ChainEstimate) bool {
+			if est.Rows != act.Rows || est.Cols != act.Cols {
+				return false
+			}
+			if act.NNZ == 0 {
+				return true // trivially fine on empty chains
+			}
+			ratio := est.NNZ / act.NNZ
+			return ratio > 0.05 && ratio < 20
+		}
+		return within(estL, actL) && within(estR, actR)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainStatsWithoutMaterialization(t *testing.T) {
+	g := randomBibGraph(57)
+	e := NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "APVC")
+	estL, estR, actL, actR, err := e.ChainStats(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estL.Rows == 0 || estR.Rows == 0 {
+		t.Error("estimates empty")
+	}
+	if actL.Rows != 0 || actR.Rows != 0 {
+		t.Error("actuals should be zero without materialization")
+	}
+	if e.CacheSize() > 6 { // transitions + edge matrices only, no chains
+		t.Errorf("estimation materialized chains: cache size %d", e.CacheSize())
+	}
+}

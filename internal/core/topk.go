@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hetesim/internal/metapath"
+	"hetesim/internal/sparse"
+)
+
+// Scored is one target of a top-k search.
+type Scored struct {
+	Index int
+	Score float64
+}
+
+// TopKSearch returns the k most related targets of one source along a path,
+// descending by score (ties by ascending index). It implements the search
+// pruning of Section 4.6 of the paper: source-side reaching probabilities
+// below eps times the largest entry are dropped, and only targets that
+// overlap the surviving middle distribution are ever scored — "the related
+// objects to a searched object are a very small percentage of all objects
+// in the target type," so most targets are never touched. eps = 0 gives the
+// exact answer; small eps (e.g. 1e-3) trades a bounded score error for a
+// sparser scan.
+func (e *Engine) TopKSearch(p *metapath.Path, src, k int, eps float64) ([]Scored, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: TopKSearch k=%d must be positive", k)
+	}
+	if eps < 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: TopKSearch eps=%v outside [0,1)", eps)
+	}
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return nil, err
+	}
+	h := splitPath(p)
+	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	if err != nil {
+		return nil, err
+	}
+	// Prune the source's middle distribution.
+	if eps > 0 {
+		var max float64
+		left.Entries(func(_ int, v float64) {
+			if v > max {
+				max = v
+			}
+		})
+		threshold := eps * max
+		var idx []int
+		var val []float64
+		left.Entries(func(i int, v float64) {
+			if v >= threshold {
+				idx = append(idx, i)
+				val = append(val, v)
+			}
+		})
+		left = sparse.NewVector(left.Len(), idx, val)
+	}
+	pmrT, err := e.rightTranspose(h)
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate scores only over candidates that share middle support,
+	// using a dense scratch with a touched list so the cost is the size
+	// of the overlapped rows, not the target population.
+	nT := e.g.NodeCount(p.Target())
+	acc := make([]float64, nT)
+	seen := make([]bool, nT)
+	var touched []int
+	left.Entries(func(m int, v float64) {
+		row := pmrT.Row(m)
+		row.Entries(func(b int, w float64) {
+			if !seen[b] {
+				seen[b] = true
+				touched = append(touched, b)
+			}
+			acc[b] += v * w
+		})
+	})
+	var rns []float64
+	var ln float64
+	if e.normalized {
+		ln = left.Norm()
+		pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+		if err != nil {
+			return nil, err
+		}
+		rns = e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
+	}
+	out := make([]Scored, 0, len(touched))
+	for _, b := range touched {
+		s := acc[b]
+		if e.normalized {
+			if ln == 0 || rns[b] == 0 {
+				continue
+			}
+			s /= ln * rns[b]
+		}
+		if s != 0 {
+			out = append(out, Scored{Index: b, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k], nil
+}
+
+// rightTranspose caches the transposed right-half matrix, giving
+// middle-object → target access for candidate-restricted scans.
+func (e *Engine) rightTranspose(h halves) (*sparse.Matrix, error) {
+	key := "T:" + e.chainFullKey(h.rightSteps, h.middle, 'R')
+	e.mu.Lock()
+	if m, ok := e.reach[key]; ok {
+		e.mu.Unlock()
+		return m, nil
+	}
+	e.mu.Unlock()
+	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	if err != nil {
+		return nil, err
+	}
+	t := pmr.Transpose()
+	e.mu.Lock()
+	e.reach[key] = t
+	e.mu.Unlock()
+	return t, nil
+}

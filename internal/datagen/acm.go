@@ -1,0 +1,258 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetesim/internal/hin"
+)
+
+// ACMConferences are the 14 conferences of the paper's ACM dataset
+// (Section 5.1), grouped below into five research areas.
+var ACMConferences = []string{
+	"KDD", "SIGMOD", "WWW", "SIGIR", "CIKM", "SODA", "STOC",
+	"SOSP", "SPAA", "SIGCOMM", "MobiCOMM", "ICML", "COLT", "VLDB",
+}
+
+// ACMAreaNames names the planted research areas of the ACM generator.
+var ACMAreaNames = []string{
+	"data mining & machine learning",
+	"databases",
+	"web & information retrieval",
+	"theory",
+	"systems & networking",
+}
+
+// acmAreaOfConf maps each conference (by index into ACMConferences) to its
+// area (by index into ACMAreaNames).
+var acmAreaOfConf = []int{
+	0, // KDD
+	1, // SIGMOD
+	2, // WWW
+	2, // SIGIR
+	2, // CIKM
+	3, // SODA
+	3, // STOC
+	4, // SOSP
+	3, // SPAA
+	4, // SIGCOMM
+	4, // MobiCOMM
+	0, // ICML
+	0, // COLT
+	1, // VLDB
+}
+
+// ACMConfig sizes the synthetic ACM network. The defaults of
+// DefaultACMConfig match the scale reported in Section 5.1 of the paper.
+type ACMConfig struct {
+	Papers       int
+	Authors      int
+	Affiliations int
+	Terms        int
+	Subjects     int
+	Years        int // proceedings (venues) per conference
+	Seed         int64
+}
+
+// DefaultACMConfig mirrors the paper's ACM dataset: 12K papers, 17K
+// authors, 1.8K affiliations, 1.5K terms, 73 subjects, and 196 venues
+// (14 proceedings for each of the 14 conferences).
+func DefaultACMConfig() ACMConfig {
+	return ACMConfig{
+		Papers:       12000,
+		Authors:      17000,
+		Affiliations: 1800,
+		Terms:        1500,
+		Subjects:     73,
+		Years:        14,
+		Seed:         1,
+	}
+}
+
+// SmallACMConfig is a reduced network with the same planted structure, for
+// tests and quick runs.
+func SmallACMConfig() ACMConfig {
+	return ACMConfig{
+		Papers:       800,
+		Authors:      600,
+		Affiliations: 60,
+		Terms:        200,
+		Subjects:     30,
+		Years:        4,
+		Seed:         1,
+	}
+}
+
+// ACMSchema returns the network schema of Fig. 3(a): papers (P), authors
+// (A), affiliations (F), terms (T), subjects (S), venues (V), conferences
+// (C).
+func ACMSchema() *hin.Schema {
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("affiliation", 'F')
+	s.MustAddType("term", 'T')
+	s.MustAddType("subject", 'S')
+	s.MustAddType("venue", 'V')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("affiliated_with", "author", "affiliation")
+	s.MustAddRelation("mentions", "paper", "term")
+	s.MustAddRelation("about", "paper", "subject")
+	s.MustAddRelation("published_in", "paper", "venue")
+	s.MustAddRelation("part_of", "venue", "conference")
+	return s
+}
+
+// ACM generates a synthetic ACM-style network per the configuration. The
+// planted structure: every author has a home area, a favorite conference
+// and a co-author group; papers are led by Zipf-sampled authors, published
+// overwhelmingly in the lead author's area, and draw terms and subjects
+// from area-specific Zipf vocabularies; affiliations specialize by area.
+// Authors, conferences, venues and papers carry area labels.
+func ACM(cfg ACMConfig) (*Dataset, error) {
+	if cfg.Papers <= 0 || cfg.Authors <= 0 || cfg.Affiliations <= 0 ||
+		cfg.Terms <= 0 || cfg.Subjects <= 0 || cfg.Years <= 0 {
+		return nil, fmt.Errorf("datagen: all ACM sizes must be positive: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := ACMSchema()
+	b := hin.NewBuilder(schema)
+	nAreas := len(ACMAreaNames)
+	nConf := len(ACMConferences)
+
+	confsByArea := make([][]int, nAreas)
+	for c, a := range acmAreaOfConf {
+		confsByArea[a] = append(confsByArea[a], c)
+	}
+
+	// Register conferences and their venues (proceedings).
+	venueIDs := make([][]string, nConf) // per conference, per year
+	venueArea := make([]int, 0, nConf*cfg.Years)
+	for c, name := range ACMConferences {
+		b.AddNode("conference", name)
+		venueIDs[c] = make([]string, cfg.Years)
+		for y := 0; y < cfg.Years; y++ {
+			vid := fmt.Sprintf("%s'%02d", name, y)
+			venueIDs[c][y] = vid
+			b.AddEdge("part_of", vid, name)
+			venueArea = append(venueArea, acmAreaOfConf[c])
+		}
+	}
+
+	// Authors with latent state, registered up front so indices are
+	// stable and labels align.
+	authors := buildAuthors(rng, cfg.Authors, nAreas, confsByArea, 10)
+	for i := range authors {
+		b.AddNode("author", id("author", i))
+	}
+	groups := groupMembers(authors)
+
+	// Affiliations: each author joins one, drawn from an area-specific
+	// Zipf so each area has its dominant organizations.
+	affPerm := rng.Perm(cfg.Affiliations)
+	affSamplers := make([]*sampler, nAreas)
+	for a := 0; a < nAreas; a++ {
+		affSamplers[a] = permutedZipf(cfg.Affiliations, 1.1, affPerm, a*cfg.Affiliations/nAreas)
+	}
+	for i, a := range authors {
+		b.AddEdge("affiliated_with", id("author", i), id("affil", affSamplers[a.area].draw(rng)))
+	}
+
+	// Area-specific term and subject vocabularies (overlapping Zipf).
+	termPerm := rng.Perm(cfg.Terms)
+	subjPerm := rng.Perm(cfg.Subjects)
+	termSamplers := make([]*sampler, nAreas)
+	subjSamplers := make([]*sampler, nAreas)
+	for a := 0; a < nAreas; a++ {
+		termSamplers[a] = permutedZipf(cfg.Terms, 1.05, termPerm, a*cfg.Terms/nAreas)
+		subjSamplers[a] = permutedZipf(cfg.Subjects, 1.3, subjPerm, a*cfg.Subjects/nAreas)
+	}
+
+	// Zipf productivity over authors.
+	lead := newSampler(zipfWeights(cfg.Authors, 0.35))
+
+	paperArea := make([]int, cfg.Papers)
+	for p := 0; p < cfg.Papers; p++ {
+		la := lead.draw(rng)
+		am := authors[la]
+		area := am.area
+		if rng.Float64() < 0.05 { // occasional out-of-area paper
+			area = rng.Intn(nAreas)
+		}
+		paperArea[p] = area
+
+		// Conference choice: the lead author's favorite when it matches
+		// the paper's area, otherwise an area conference; small chance
+		// of publishing anywhere.
+		var conf int
+		switch {
+		case rng.Float64() < 0.08:
+			conf = rng.Intn(nConf)
+		case area == am.area && rng.Float64() < am.focus:
+			conf = am.favConf
+		default:
+			confs := confsByArea[area]
+			conf = confs[rng.Intn(len(confs))]
+		}
+		pid := id("paper", p)
+		b.AddEdge("published_in", pid, venueIDs[conf][rng.Intn(cfg.Years)])
+
+		// Authors: the lead plus co-authors drawn mostly from the
+		// lead's group; the author set is deduplicated so writes stays
+		// a 0/1 relation.
+		b.AddEdge("writes", id("author", la), pid)
+		nCo := coauthorCount(rng, la, cfg.Authors)
+		pool := groups[[2]int{am.area, am.group}]
+		seen := map[int]bool{la: true}
+		for k := 0; k < nCo; k++ {
+			// Mostly in-group co-authors with a cross-area minority
+			// from the global productivity distribution.
+			var co int
+			if len(pool) > 1 && rng.Float64() < 0.7 {
+				co = pool[rng.Intn(len(pool))]
+			} else {
+				co = lead.draw(rng)
+			}
+			if !seen[co] {
+				seen[co] = true
+				b.AddEdge("writes", id("author", co), pid)
+			}
+		}
+
+		// Terms and subjects from the paper area's vocabulary.
+		nT := 5 + rng.Intn(6)
+		for k := 0; k < nT; k++ {
+			b.AddEdge("mentions", pid, id("term", termSamplers[area].draw(rng)))
+		}
+		nS := 1 + rng.Intn(2)
+		for k := 0; k < nS; k++ {
+			b.AddEdge("about", pid, id("subject", subjSamplers[area].draw(rng)))
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Graph:     g,
+		AreaNames: append([]string(nil), ACMAreaNames...),
+		Labels:    make(map[string][]int),
+	}
+	authorLabels := make([]int, g.NodeCount("author"))
+	for i := range authorLabels {
+		authorLabels[i] = authors[i].area
+	}
+	ds.Labels["author"] = authorLabels
+	confLabels := make([]int, g.NodeCount("conference"))
+	for c := range confLabels {
+		confLabels[c] = acmAreaOfConf[c]
+	}
+	ds.Labels["conference"] = confLabels
+	ds.Labels["venue"] = venueArea
+	paperLabels := make([]int, g.NodeCount("paper"))
+	copy(paperLabels, paperArea)
+	ds.Labels["paper"] = paperLabels
+	return ds, nil
+}

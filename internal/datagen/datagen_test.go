@@ -1,0 +1,266 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetesim/internal/core"
+	"hetesim/internal/metapath"
+)
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(100, 1.0)
+	var sum float64
+	for i, x := range w {
+		sum += x
+		if i > 0 && x > w[i-1] {
+			t.Fatal("zipf weights must be non-increasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("zipf sum = %v, want 1", sum)
+	}
+}
+
+func TestAliasSamplerMatchesWeights(t *testing.T) {
+	weights := []float64{0.5, 0.3, 0.15, 0.05}
+	s := newSampler(weights)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]float64, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.draw(rng)]++
+	}
+	for i, w := range weights {
+		got := counts[i] / n
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("empirical p[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestAliasSamplerRejectsBadWeights(t *testing.T) {
+	for _, w := range [][]float64{{0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v accepted", w)
+				}
+			}()
+			newSampler(w)
+		}()
+	}
+}
+
+func TestACMSmallShape(t *testing.T) {
+	cfg := SmallACMConfig()
+	ds, err := ACM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if got := g.NodeCount("conference"); got != 14 {
+		t.Errorf("conferences = %d, want 14", got)
+	}
+	if got := g.NodeCount("venue"); got != 14*cfg.Years {
+		t.Errorf("venues = %d, want %d", got, 14*cfg.Years)
+	}
+	if got := g.NodeCount("paper"); got != cfg.Papers {
+		t.Errorf("papers = %d, want %d", got, cfg.Papers)
+	}
+	if got := g.NodeCount("author"); got != cfg.Authors {
+		t.Errorf("authors = %d, want %d", got, cfg.Authors)
+	}
+	// Every paper has exactly one venue and at least one author.
+	pub, _ := g.Adjacency("published_in")
+	writesT, _ := g.Adjacency("writes")
+	wt := writesT.Transpose()
+	for p := 0; p < cfg.Papers; p++ {
+		if pub.RowNNZ(p) != 1 {
+			t.Fatalf("paper %d has %d venues", p, pub.RowNNZ(p))
+		}
+		if wt.RowNNZ(p) == 0 {
+			t.Fatalf("paper %d has no authors", p)
+		}
+	}
+	// Labels cover every labeled type with the right lengths.
+	for _, typ := range []string{"author", "conference", "venue", "paper"} {
+		if got := len(ds.Labels[typ]); got != g.NodeCount(typ) {
+			t.Errorf("%s labels = %d, want %d", typ, got, g.NodeCount(typ))
+		}
+	}
+	for _, l := range ds.Labels["conference"] {
+		if l < 0 || l >= len(ds.AreaNames) {
+			t.Errorf("conference label %d out of range", l)
+		}
+	}
+}
+
+func TestACMPlantedCommunityStructure(t *testing.T) {
+	ds, err := ACM(SmallACMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	// Authors should reach home-area conferences with far more probability
+	// than other areas along APVC.
+	e := core.NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "APVC")
+	pm, err := e.ReachableMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confArea := ds.Labels["conference"]
+	var inHome, total float64
+	for a := 0; a < g.NodeCount("author"); a++ {
+		home := ds.Labels["author"][a]
+		for c := 0; c < g.NodeCount("conference"); c++ {
+			v := pm.At(a, c)
+			total += v
+			if confArea[c] == home {
+				inHome += v
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no author reaches any conference")
+	}
+	if frac := inHome / total; frac < 0.7 {
+		t.Errorf("home-area publication mass = %v, want > 0.7", frac)
+	}
+}
+
+func TestACMDeterministicBySeed(t *testing.T) {
+	cfg := SmallACMConfig()
+	a, err := ACM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ACM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Stats() != b.Graph.Stats() {
+		t.Error("same seed produced different graphs")
+	}
+	wa, _ := a.Graph.Adjacency("writes")
+	wb, _ := b.Graph.Adjacency("writes")
+	if !wa.Equal(wb) {
+		t.Error("same seed produced different adjacency")
+	}
+	cfg.Seed = 2
+	c, err := ACM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, _ := c.Graph.Adjacency("writes")
+	if wa.Equal(wc) {
+		t.Error("different seeds produced identical adjacency")
+	}
+}
+
+func TestACMConfigValidation(t *testing.T) {
+	cfg := SmallACMConfig()
+	cfg.Papers = 0
+	if _, err := ACM(cfg); err == nil {
+		t.Error("zero papers accepted")
+	}
+}
+
+func TestDBLPSmallShape(t *testing.T) {
+	cfg := SmallDBLPConfig()
+	ds, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if got := g.NodeCount("conference"); got != 20 {
+		t.Errorf("conferences = %d, want 20", got)
+	}
+	if got := g.NodeCount("paper"); got != cfg.Papers {
+		t.Errorf("papers = %d, want %d", got, cfg.Papers)
+	}
+	// Exactly LabeledAuthors labeled authors and LabeledPapers papers.
+	if got := len(ds.LabeledIndices("author")); got != cfg.LabeledAuthors {
+		t.Errorf("labeled authors = %d, want %d", got, cfg.LabeledAuthors)
+	}
+	if got := len(ds.LabeledIndices("paper")); got != cfg.LabeledPapers {
+		t.Errorf("labeled papers = %d, want %d", got, cfg.LabeledPapers)
+	}
+	// Labeled authors must be prolific: every labeled author has at
+	// least as many papers as... at minimum, one paper.
+	w, _ := g.Adjacency("writes")
+	for _, i := range ds.LabeledIndices("author") {
+		if w.RowNNZ(i) == 0 {
+			t.Errorf("labeled author %d has no papers", i)
+		}
+	}
+	if got := ds.AreaOf("conference", 0); got != 0 {
+		t.Errorf("SIGMOD area = %d, want 0 (database)", got)
+	}
+	if got := ds.AreaOf("conference", 5); got != 1 {
+		t.Errorf("KDD area = %d, want 1 (data mining)", got)
+	}
+	if got := ds.AreaOf("nope", 0); got != -1 {
+		t.Errorf("unknown type area = %d, want -1", got)
+	}
+	if got := ds.AreaOf("author", -5); got != -1 {
+		t.Errorf("bad index area = %d, want -1", got)
+	}
+}
+
+func TestDBLPLabelAllProtocol(t *testing.T) {
+	cfg := SmallDBLPConfig()
+	cfg.LabeledAuthors = 0
+	cfg.LabeledPapers = 0
+	ds, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ds.LabeledIndices("author")); got != cfg.Authors {
+		t.Errorf("labeled authors = %d, want all %d", got, cfg.Authors)
+	}
+	if got := len(ds.LabeledIndices("paper")); got != cfg.Papers {
+		t.Errorf("labeled papers = %d, want all %d", got, cfg.Papers)
+	}
+}
+
+func TestDBLPValidation(t *testing.T) {
+	cfg := SmallDBLPConfig()
+	cfg.Authors = 0
+	if _, err := DBLP(cfg); err == nil {
+		t.Error("zero authors accepted")
+	}
+	cfg = SmallDBLPConfig()
+	cfg.LabeledAuthors = cfg.Authors + 1
+	if _, err := DBLP(cfg); err == nil {
+		t.Error("LabeledAuthors > Authors accepted")
+	}
+	cfg = SmallDBLPConfig()
+	cfg.LabeledPapers = cfg.Papers + 1
+	if _, err := DBLP(cfg); err == nil {
+		t.Error("LabeledPapers > Papers accepted")
+	}
+}
+
+func TestTopIndices(t *testing.T) {
+	got := topIndices([]float64{1, 9, 5, 9}, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("topIndices = %v, want [1 3]", got)
+	}
+	if got := topIndices([]float64{1, 2}, 5); len(got) != 2 {
+		t.Errorf("topIndices overflow = %v", got)
+	}
+}
+
+func TestDBLPDeterministicBySeed(t *testing.T) {
+	cfg := SmallDBLPConfig()
+	a, _ := DBLP(cfg)
+	b, _ := DBLP(cfg)
+	wa, _ := a.Graph.Adjacency("writes")
+	wb, _ := b.Graph.Adjacency("writes")
+	if !wa.Equal(wb) {
+		t.Error("same seed produced different DBLP graphs")
+	}
+}

@@ -1,0 +1,194 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetesim/internal/hin"
+)
+
+// MovieGenres are the planted genres of the recommendation network.
+var MovieGenres = []string{
+	"action", "comedy", "drama", "horror", "sci-fi",
+	"romance", "thriller", "animation", "documentary", "fantasy",
+}
+
+// MoviesConfig sizes the synthetic user–movie heterogeneous network used
+// by the recommendation example — the application the paper's introduction
+// motivates ("in a recommendation system, we need to know the relatedness
+// between users and movies").
+type MoviesConfig struct {
+	Users          int
+	Movies         int
+	Actors         int
+	Directors      int
+	RatingsPerUser int
+	Seed           int64
+}
+
+// DefaultMoviesConfig is a laptop-fast recommendation network.
+func DefaultMoviesConfig() MoviesConfig {
+	return MoviesConfig{
+		Users:          2000,
+		Movies:         800,
+		Actors:         600,
+		Directors:      150,
+		RatingsPerUser: 15,
+		Seed:           1,
+	}
+}
+
+// SmallMoviesConfig is a reduced network for tests.
+func SmallMoviesConfig() MoviesConfig {
+	return MoviesConfig{
+		Users:          200,
+		Movies:         120,
+		Actors:         80,
+		Directors:      25,
+		RatingsPerUser: 8,
+		Seed:           1,
+	}
+}
+
+// MoviesSchema returns the recommendation network schema: users (U) rate
+// movies (M) that have genres (G), star actors (A) and are directed by
+// directors (D).
+func MoviesSchema() *hin.Schema {
+	s := hin.NewSchema()
+	s.MustAddType("user", 'U')
+	s.MustAddType("movie", 'M')
+	s.MustAddType("genre", 'G')
+	s.MustAddType("actor", 'A')
+	s.MustAddType("director", 'D')
+	s.MustAddRelation("rates", "user", "movie")
+	s.MustAddRelation("has_genre", "movie", "genre")
+	s.MustAddRelation("stars", "movie", "actor")
+	s.MustAddRelation("directed_by", "movie", "director")
+	return s
+}
+
+// Movies generates a synthetic user–movie network with planted genre
+// communities: every movie has a primary genre (plus occasional secondary
+// ones), actors and directors specialize in genres, and users rate mostly
+// within a favorite genre. Movies and users carry genre labels.
+func Movies(cfg MoviesConfig) (*Dataset, error) {
+	if cfg.Users <= 0 || cfg.Movies <= 0 || cfg.Actors <= 0 ||
+		cfg.Directors <= 0 || cfg.RatingsPerUser <= 0 {
+		return nil, fmt.Errorf("datagen: all movie sizes must be positive: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := hin.NewBuilder(MoviesSchema())
+	nG := len(MovieGenres)
+	for _, g := range MovieGenres {
+		b.AddNode("genre", g)
+	}
+
+	// Actors and directors specialize in a genre.
+	actorGenre := make([]int, cfg.Actors)
+	for a := range actorGenre {
+		actorGenre[a] = rng.Intn(nG)
+		b.AddNode("actor", id("actor", a))
+	}
+	directorGenre := make([]int, cfg.Directors)
+	for d := range directorGenre {
+		directorGenre[d] = rng.Intn(nG)
+		b.AddNode("director", id("director", d))
+	}
+	actorsByGenre := make([][]int, nG)
+	for a, g := range actorGenre {
+		actorsByGenre[g] = append(actorsByGenre[g], a)
+	}
+	directorsByGenre := make([][]int, nG)
+	for d, g := range directorGenre {
+		directorsByGenre[g] = append(directorsByGenre[g], d)
+	}
+
+	// Movies: primary genre, 0-1 secondary genre, 2-4 actors mostly from
+	// the genre, one director.
+	movieGenre := make([]int, cfg.Movies)
+	moviesByGenre := make([][]int, nG)
+	for m := 0; m < cfg.Movies; m++ {
+		g := rng.Intn(nG)
+		movieGenre[m] = g
+		moviesByGenre[g] = append(moviesByGenre[g], m)
+		mid := id("movie", m)
+		b.AddEdge("has_genre", mid, MovieGenres[g])
+		if rng.Float64() < 0.3 {
+			b.AddEdge("has_genre", mid, MovieGenres[rng.Intn(nG)])
+		}
+		nA := 2 + rng.Intn(3)
+		seen := map[int]bool{}
+		for k := 0; k < nA; k++ {
+			var a int
+			if pool := actorsByGenre[g]; len(pool) > 0 && rng.Float64() < 0.8 {
+				a = pool[rng.Intn(len(pool))]
+			} else {
+				a = rng.Intn(cfg.Actors)
+			}
+			if !seen[a] {
+				seen[a] = true
+				b.AddEdge("stars", mid, id("actor", a))
+			}
+		}
+		var d int
+		if pool := directorsByGenre[g]; len(pool) > 0 && rng.Float64() < 0.8 {
+			d = pool[rng.Intn(len(pool))]
+		} else {
+			d = rng.Intn(cfg.Directors)
+		}
+		b.AddEdge("directed_by", mid, id("director", d))
+	}
+
+	// Users rate movies, mostly from their favorite genre; movie
+	// popularity within a genre is Zipf.
+	popularity := make([]*sampler, nG)
+	for g := range popularity {
+		if len(moviesByGenre[g]) > 0 {
+			popularity[g] = newSampler(zipfWeights(len(moviesByGenre[g]), 0.8))
+		}
+	}
+	userGenre := make([]int, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		fav := rng.Intn(nG)
+		userGenre[u] = fav
+		uid := id("user", u)
+		b.AddNode("user", uid)
+		seen := map[int]bool{}
+		for k := 0; k < cfg.RatingsPerUser; k++ {
+			g := fav
+			if rng.Float64() > 0.75 {
+				g = rng.Intn(nG)
+			}
+			if len(moviesByGenre[g]) == 0 {
+				continue
+			}
+			m := moviesByGenre[g][popularity[g].draw(rng)]
+			if !seen[m] {
+				seen[m] = true
+				b.AddEdge("rates", uid, id("movie", m))
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Graph:     g,
+		AreaNames: append([]string(nil), MovieGenres...),
+		Labels:    make(map[string][]int),
+	}
+	ml := make([]int, g.NodeCount("movie"))
+	copy(ml, movieGenre)
+	ds.Labels["movie"] = ml
+	ul := make([]int, g.NodeCount("user"))
+	copy(ul, userGenre)
+	ds.Labels["user"] = ul
+	gl := make([]int, nG)
+	for i := range gl {
+		gl[i] = i
+	}
+	ds.Labels["genre"] = gl
+	return ds, nil
+}

@@ -1,0 +1,86 @@
+package datagen
+
+import (
+	"testing"
+
+	"hetesim/internal/core"
+	"hetesim/internal/metapath"
+)
+
+func TestMoviesShape(t *testing.T) {
+	cfg := SmallMoviesConfig()
+	ds, err := Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if got := g.NodeCount("genre"); got != len(MovieGenres) {
+		t.Errorf("genres = %d, want %d", got, len(MovieGenres))
+	}
+	if got := g.NodeCount("movie"); got != cfg.Movies {
+		t.Errorf("movies = %d, want %d", got, cfg.Movies)
+	}
+	if got := g.NodeCount("user"); got != cfg.Users {
+		t.Errorf("users = %d, want %d", got, cfg.Users)
+	}
+	// Every movie has at least one genre, actor and a director.
+	hg, _ := g.Adjacency("has_genre")
+	st, _ := g.Adjacency("stars")
+	db, _ := g.Adjacency("directed_by")
+	for m := 0; m < cfg.Movies; m++ {
+		if hg.RowNNZ(m) == 0 || st.RowNNZ(m) == 0 || db.RowNNZ(m) != 1 {
+			t.Fatalf("movie %d: genres=%d actors=%d directors=%d",
+				m, hg.RowNNZ(m), st.RowNNZ(m), db.RowNNZ(m))
+		}
+	}
+	if len(ds.Labels["movie"]) != cfg.Movies || len(ds.Labels["user"]) != cfg.Users {
+		t.Error("labels missing")
+	}
+}
+
+func TestMoviesPlantedPreferences(t *testing.T) {
+	ds, err := Movies(SmallMoviesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	// Users should reach their favorite genre with dominant probability
+	// along UMG (user → rated movies → genres).
+	e := core.NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "UMG")
+	pm, err := e.ReachableMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for u := 0; u < g.NodeCount("user"); u++ {
+		fav := ds.AreaOf("user", u)
+		best, bv := -1, -1.0
+		for gi := 0; gi < g.NodeCount("genre"); gi++ {
+			if v := pm.At(u, gi); v > bv {
+				best, bv = gi, v
+			}
+		}
+		if best == fav {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(g.NodeCount("user")); frac < 0.8 {
+		t.Errorf("favorite genre recovered for %.2f of users, want > 0.8", frac)
+	}
+}
+
+func TestMoviesValidationAndDeterminism(t *testing.T) {
+	cfg := SmallMoviesConfig()
+	cfg.Movies = 0
+	if _, err := Movies(cfg); err == nil {
+		t.Error("zero movies accepted")
+	}
+	a, _ := Movies(SmallMoviesConfig())
+	b, _ := Movies(SmallMoviesConfig())
+	ra, _ := a.Graph.Adjacency("rates")
+	rb, _ := b.Graph.Adjacency("rates")
+	if !ra.Equal(rb) {
+		t.Error("same seed produced different ratings")
+	}
+}

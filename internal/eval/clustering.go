@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+)
+
+// Purity returns clustering purity: the fraction of objects whose cluster's
+// majority true class matches their own. In [0, 1]; trivially 1 for
+// singleton clusters, so it is reported alongside NMI rather than alone.
+func Purity(truth, pred []int) (float64, error) {
+	if len(truth) != len(pred) {
+		return 0, fmt.Errorf("%w: label lengths %d vs %d", ErrBadInput, len(truth), len(pred))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("%w: empty labelings", ErrBadInput)
+	}
+	// For each predicted cluster, count its dominant true class.
+	counts := make(map[int]map[int]int)
+	for i := range pred {
+		m := counts[pred[i]]
+		if m == nil {
+			m = make(map[int]int)
+			counts[pred[i]] = m
+		}
+		m[truth[i]]++
+	}
+	var hit int
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		hit += best
+	}
+	return float64(hit) / float64(len(truth)), nil
+}
+
+// AdjustedRandIndex returns the Adjusted Rand Index between two labelings:
+// the Rand index corrected for chance, 1 for identical partitions, ~0 for
+// independent ones (it can go slightly negative for anti-correlated
+// partitions).
+func AdjustedRandIndex(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: label lengths %d vs %d", ErrBadInput, len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 0, fmt.Errorf("%w: empty labelings", ErrBadInput)
+	}
+	joint := make(map[[2]int]int)
+	ca := make(map[int]int)
+	cb := make(map[int]int)
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+		ca[a[i]]++
+		cb[b[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ca {
+		sumA += choose2(c)
+	}
+	for _, c := range cb {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		// Both partitions trivial (all singletons or one cluster):
+		// identical by construction of the degenerate case.
+		return 1, nil
+	}
+	return (sumJoint - expected) / (maxIndex - expected), nil
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPurityKnownValues(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	// Perfect clustering (relabeled).
+	got, err := Purity(truth, []int{7, 7, 7, 9, 9, 9})
+	if err != nil || got != 1 {
+		t.Errorf("perfect purity = %v, %v", got, err)
+	}
+	// One object misplaced: 5/6.
+	got, _ = Purity(truth, []int{7, 7, 9, 9, 9, 9})
+	if math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("purity = %v, want 5/6", got)
+	}
+	// Singleton clusters are trivially pure.
+	got, _ = Purity(truth, []int{0, 1, 2, 3, 4, 5})
+	if got != 1 {
+		t.Errorf("singleton purity = %v, want 1", got)
+	}
+	if _, err := Purity(truth, truth[:2]); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length err = %v", err)
+	}
+	if _, err := Purity(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestARIKnownValues(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	got, err := AdjustedRandIndex(truth, []int{5, 5, 8, 8})
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect ARI = %v, %v", got, err)
+	}
+	// Orthogonal 2x2 grid: ARI should be below ~0 (chance level).
+	got, _ = AdjustedRandIndex([]int{0, 0, 1, 1}, []int{0, 1, 0, 1})
+	if got > 0.01 {
+		t.Errorf("orthogonal ARI = %v, want <= ~0", got)
+	}
+	if _, err := AdjustedRandIndex(truth, truth[:1]); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length err = %v", err)
+	}
+}
+
+func TestARIInvariantUnderRelabeling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		v1, err := AdjustedRandIndex(a, b)
+		if err != nil {
+			return false
+		}
+		// Relabel b by a fixed permutation.
+		perm := []int{2, 3, 0, 1}
+		b2 := make([]int, n)
+		for i := range b {
+			b2[i] = perm[b[i]]
+		}
+		v2, err := AdjustedRandIndex(a, b2)
+		if err != nil {
+			return false
+		}
+		v3, err := AdjustedRandIndex(b, a) // symmetry
+		if err != nil {
+			return false
+		}
+		return math.Abs(v1-v2) < 1e-12 && math.Abs(v1-v3) < 1e-12 && v1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARIDegeneratePartitions(t *testing.T) {
+	all := []int{1, 1, 1}
+	got, err := AdjustedRandIndex(all, all)
+	if err != nil || got != 1 {
+		t.Errorf("trivial vs trivial ARI = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,39 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"hetesim/internal/eval"
+)
+
+func ExampleNMI() {
+	truth := []int{0, 0, 1, 1}
+	perfect := []int{5, 5, 9, 9} // same partition, different labels
+	v, _ := eval.NMI(truth, perfect)
+	fmt.Printf("%.2f\n", v)
+	// Output: 1.00
+}
+
+func ExampleAUC() {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	relevant := []bool{true, true, false, false}
+	v, _ := eval.AUC(scores, relevant)
+	fmt.Printf("%.2f\n", v)
+	// Output: 1.00
+}
+
+func ExampleAverageRankDifference() {
+	truth := []float64{10, 9, 8}    // ground-truth importance
+	measured := []float64{8, 9, 10} // fully reversed ranking
+	v, _ := eval.AverageRankDifference(truth, measured, 0)
+	fmt.Printf("%.2f\n", v)
+	// Output: 1.33
+}
+
+func ExampleSpearman() {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30} // same order
+	v, _ := eval.Spearman(a, b)
+	fmt.Printf("%.2f\n", v)
+	// Output: 1.00
+}

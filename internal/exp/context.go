@@ -1,0 +1,252 @@
+// Package exp implements the paper's experiment section: one driver per
+// table and figure (Tables 1–7, Figures 6–7 of Section 5), each regenerating
+// the same rows/series the paper reports, on the synthetic ACM and DBLP
+// networks of package datagen. The drivers are shared by the
+// cmd/experiments binary and the repository's benchmark harness.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"hetesim/internal/core"
+	"hetesim/internal/datagen"
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/sparse"
+)
+
+// Config selects dataset scales for the experiment suite.
+type Config struct {
+	ACM  datagen.ACMConfig
+	DBLP datagen.DBLPConfig
+	// TopAuthors bounds the ground-truth author pool of the Fig. 6 rank
+	// study (the paper uses 200).
+	TopAuthors int
+	// ClusterRuns is how many Normalized Cut runs Table 6 averages over
+	// (the paper averages 100).
+	ClusterRuns int
+	// ClusterAuthors caps the labeled-author subset clustered in
+	// Table 6, keeping the spectral step tractable.
+	ClusterAuthors int
+	Seed           int64
+}
+
+// DefaultConfig runs the suite at the paper's ACM scale and a
+// proportionally reduced DBLP scale (see DESIGN.md §4).
+func DefaultConfig() Config {
+	return Config{
+		ACM:            datagen.DefaultACMConfig(),
+		DBLP:           datagen.DefaultDBLPConfig(),
+		TopAuthors:     200,
+		ClusterRuns:    20,
+		ClusterAuthors: 600,
+		Seed:           1,
+	}
+}
+
+// SmallConfig runs the suite on reduced networks, for tests and smoke runs.
+func SmallConfig() Config {
+	return Config{
+		ACM:            datagen.SmallACMConfig(),
+		DBLP:           datagen.SmallDBLPConfig(),
+		TopAuthors:     50,
+		ClusterRuns:    3,
+		ClusterAuthors: 120,
+		Seed:           1,
+	}
+}
+
+// Context lazily builds and caches the datasets, engines and baseline
+// measures the experiment drivers share. It is safe for concurrent use.
+type Context struct {
+	cfg Config
+
+	mu      sync.Mutex
+	acm     *datagen.Dataset
+	dblp    *datagen.Dataset
+	engines map[string]*core.Engine // per dataset key
+	unnorm  map[string]*core.Engine
+}
+
+// NewContext creates an experiment context.
+func NewContext(cfg Config) *Context {
+	return &Context{
+		cfg:     cfg,
+		engines: make(map[string]*core.Engine),
+		unnorm:  make(map[string]*core.Engine),
+	}
+}
+
+// Config returns the context configuration.
+func (c *Context) Config() Config { return c.cfg }
+
+// ACM returns the (lazily generated) ACM dataset.
+func (c *Context) ACM() (*datagen.Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.acm == nil {
+		ds, err := datagen.ACM(c.cfg.ACM)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating ACM: %w", err)
+		}
+		c.acm = ds
+	}
+	return c.acm, nil
+}
+
+// DBLP returns the (lazily generated) DBLP dataset.
+func (c *Context) DBLP() (*datagen.Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dblp == nil {
+		ds, err := datagen.DBLP(c.cfg.DBLP)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating DBLP: %w", err)
+		}
+		c.dblp = ds
+	}
+	return c.dblp, nil
+}
+
+// Engine returns a shared normalized HeteSim engine over the given graph,
+// keyed by dataset name ("acm" or "dblp").
+func (c *Context) Engine(key string, g *hin.Graph) *core.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.engines[key]; ok {
+		return e
+	}
+	e := core.NewEngine(g)
+	c.engines[key] = e
+	return e
+}
+
+// UnnormalizedEngine returns a shared raw-meeting-probability engine.
+func (c *Context) UnnormalizedEngine(key string, g *hin.Graph) *core.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.unnorm[key]; ok {
+		return e
+	}
+	e := core.NewEngine(g, core.WithNormalization(false))
+	c.unnorm[key] = e
+	return e
+}
+
+// paperCounts returns the author×conference path-count matrix of the ACM
+// network (how many papers each author published in each conference) — the
+// ground truth of the Fig. 6 rank study and the persona-selection helper of
+// the case-study tables.
+func paperCounts(g *hin.Graph) (*sparse.Matrix, error) {
+	writes, err := g.Adjacency("writes")
+	if err != nil {
+		return nil, err
+	}
+	pub, err := g.Adjacency("published_in")
+	if err != nil {
+		return nil, err
+	}
+	part, err := g.Adjacency("part_of")
+	if err != nil {
+		return nil, err
+	}
+	return writes.Mul(pub).Mul(part), nil
+}
+
+// starAuthor returns the persona playing the paper's case-study expert for
+// a conference (e.g. the "C. Faloutsos" role for KDD): the author with the
+// most papers in that conference among authors for whom it is also their
+// top conference. Without the dominance condition the pick can be a broad
+// giant whose own profile is led by a different venue, which would not
+// match the paper's star (32 of Faloutsos's papers are in KDD, far ahead
+// of his other venues). Falls back to the plain per-conference maximum
+// when no author is dominated by the conference.
+func starAuthor(g *hin.Graph, counts *sparse.Matrix, conference string) (int, error) {
+	c, err := g.NodeIndex("conference", conference)
+	if err != nil {
+		return 0, err
+	}
+	best, bestCount := -1, -1.0
+	fallback, fallbackCount := -1, -1.0
+	for a := 0; a < counts.Rows(); a++ {
+		v := counts.At(a, c)
+		if v > fallbackCount {
+			fallback, fallbackCount = a, v
+		}
+		if v <= bestCount {
+			continue
+		}
+		dominant := true
+		counts.Row(a).Entries(func(j int, w float64) {
+			if j != c && w > v {
+				dominant = false
+			}
+		})
+		if dominant {
+			best, bestCount = a, v
+		}
+	}
+	if best >= 0 {
+		return best, nil
+	}
+	if fallback >= 0 {
+		return fallback, nil
+	}
+	return 0, fmt.Errorf("exp: no authors in %s", conference)
+}
+
+// rankedAuthorOf returns the author at the given 1-based publication-count
+// rank for a conference (rank 1 = the star author).
+func rankedAuthorOf(g *hin.Graph, counts *sparse.Matrix, conference string, rankPos int) (int, error) {
+	c, err := g.NodeIndex("conference", conference)
+	if err != nil {
+		return 0, err
+	}
+	col := make([]float64, counts.Rows())
+	for a := range col {
+		col[a] = counts.At(a, c)
+	}
+	idx := topIdx(col, rankPos)
+	if len(idx) < rankPos {
+		return 0, fmt.Errorf("exp: conference %s has fewer than %d authors", conference, rankPos)
+	}
+	return idx[rankPos-1], nil
+}
+
+// topIdx returns the indices of the k largest values, descending, ties by
+// ascending index.
+func topIdx(vals []float64, k int) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k && i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if vals[idx[j]] > vals[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// mustPath parses a path spec against a graph's schema, panicking on
+// failure: experiment paths are static and a parse failure is a bug.
+func mustPath(g *hin.Graph, spec string) *metapath.Path {
+	return metapath.MustParse(g.Schema(), spec)
+}
+
+// columnOf extracts column j of a matrix as a dense vector.
+func columnOf(m *sparse.Matrix, j int) []float64 {
+	col := make([]float64, m.Rows())
+	for i := range col {
+		col[i] = m.At(i, j)
+	}
+	return col
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hetesim/internal/baseline"
+	"hetesim/internal/eval"
+)
+
+// Table3Pair is one row of Table 3: an author–conference pair scored by
+// HeteSim (identical on APVC and CVPA by symmetry) and by PCRW in both
+// directions (which disagree — the asymmetry the table demonstrates).
+type Table3Pair struct {
+	Author     string
+	Conference string
+	Role       string // persona played in the paper's table
+	HeteSim    float64
+	PCRWAPVC   float64 // author → conference
+	PCRWCVPA   float64 // conference → author
+}
+
+// Table3Result is the relative-importance study of Table 3.
+type Table3Result struct {
+	Pairs []Table3Pair
+}
+
+// Render formats the study as the paper's table layout.
+func (r Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — author/conference relatedness: HeteSim (symmetric) vs PCRW (asymmetric)\n\n")
+	fmt.Fprintf(&b, "  %-28s %-10s %-9s %-10s %-10s\n", "pair", "role", "HeteSim", "PCRW A→C", "PCRW C→A")
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&b, "  %-28s %-10s %-9.4f %-10.4f %-10.4f\n",
+			p.Author+" / "+p.Conference, p.Role, p.HeteSim, p.PCRWAPVC, p.PCRWCVPA)
+	}
+	return b.String()
+}
+
+// Table3SymmetryStudy reproduces Table 3: the top author of each of four
+// conferences across research areas (the personas of C. Faloutsos / KDD,
+// W. B. Croft / SIGIR, J. F. Naughton / SIGMOD, A. Gupta / SODA) plus two
+// "rising" authors (the Luo Si / SIGIR and Yan Chen / SIGCOMM roles),
+// scored by HeteSim and PCRW along APVC / CVPA.
+func (c *Context) Table3SymmetryStudy() (Table3Result, error) {
+	ds, err := c.ACM()
+	if err != nil {
+		return Table3Result{}, err
+	}
+	g := ds.Graph
+	counts, err := paperCounts(g)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	type sel struct {
+		conf string
+		rank int
+		role string
+	}
+	sels := []sel{
+		{"KDD", 1, "top"},
+		{"SIGIR", 1, "top"},
+		{"SIGMOD", 1, "top"},
+		{"SODA", 1, "top"},
+		{"SIGIR", 12, "rising"},
+		{"SIGCOMM", 12, "rising"},
+	}
+	e := c.Engine("acm", g)
+	pcrw := baseline.NewPCRWFromEngine(e)
+	apvc := mustPath(g, "APVC")
+	cvpa := apvc.Reverse()
+	var out Table3Result
+	for _, s := range sels {
+		a, err := rankedAuthorOf(g, counts, s.conf, s.rank)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		aid, err := g.NodeID("author", a)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		hs, err := e.Pair(apvc, aid, s.conf)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		// Sanity of Property 3: the reverse-path score must agree.
+		hs2, err := e.Pair(cvpa, s.conf, aid)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		if diff := hs - hs2; diff > 1e-9 || diff < -1e-9 {
+			return Table3Result{}, fmt.Errorf("exp: HeteSim symmetry violated on %s/%s", aid, s.conf)
+		}
+		fw, err := pcrw.Pair(apvc, aid, s.conf)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		bw, err := pcrw.Pair(cvpa, s.conf, aid)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		out.Pairs = append(out.Pairs, Table3Pair{
+			Author: aid, Conference: s.conf, Role: s.role,
+			HeteSim: hs, PCRWAPVC: fw, PCRWCVPA: bw,
+		})
+	}
+	return out, nil
+}
+
+// Fig6Row is one bar pair of Fig. 6: the average rank difference from the
+// publication-count ground truth on one conference.
+type Fig6Row struct {
+	Conference  string
+	HeteSimDiff float64
+	PCRWDiff    float64
+}
+
+// Fig6Result is the expert-finding rank study of Fig. 6 (lower is better).
+type Fig6Result struct {
+	TopAuthors int
+	Rows       []Fig6Row
+}
+
+// Render formats the study as the figure's per-conference series.
+func (r Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — average rank difference vs publication-count ground truth (top %d authors; lower is better)\n\n", r.TopAuthors)
+	fmt.Fprintf(&b, "  %-10s %10s %10s\n", "conference", "HeteSim", "PCRW")
+	var hWins int
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %10.2f %10.2f\n", row.Conference, row.HeteSimDiff, row.PCRWDiff)
+		if row.HeteSimDiff <= row.PCRWDiff {
+			hWins++
+		}
+	}
+	fmt.Fprintf(&b, "\n  HeteSim at or below PCRW on %d of %d conferences\n", hWins, len(r.Rows))
+	return b.String()
+}
+
+// Fig6RankDifference reproduces Fig. 6: for each of the 14 ACM conferences,
+// rank authors by publication count (ground truth), by HeteSim and by PCRW
+// (averaging PCRW's two direction-dependent rankings, as the paper does),
+// and report the average rank difference over the ground-truth top authors.
+func (c *Context) Fig6RankDifference() (Fig6Result, error) {
+	ds, err := c.ACM()
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	g := ds.Graph
+	counts, err := paperCounts(g)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	e := c.Engine("acm", g)
+	pcrw := baseline.NewPCRWFromEngine(e)
+	cvpa := mustPath(g, "CVPA")
+	apvc := mustPath(g, "APVC")
+	// PCRW author→conference scores for every author at once.
+	pmAC, err := pcrw.AllPairs(apvc)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	top := c.cfg.TopAuthors
+	res := Fig6Result{TopAuthors: top}
+	for ci, conf := range g.NodeIDs("conference") {
+		truth := columnOf(counts, ci)
+		hs, err := e.SingleSource(cvpa, conf)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		hsDiff, err := eval.AverageRankDifference(truth, hs, top)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		// PCRW: average the rank differences of its two orderings.
+		fwd, err := pcrw.SingleSource(cvpa, conf)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		fwdDiff, err := eval.AverageRankDifference(truth, fwd, top)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		bwdDiff, err := eval.AverageRankDifference(truth, columnOf(pmAC, ci), top)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{
+			Conference:  conf,
+			HeteSimDiff: hsDiff,
+			PCRWDiff:    (fwdDiff + bwdDiff) / 2,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hetesim/internal/rank"
+)
+
+// RankedList is one column of a case-study table: a relevance path and the
+// top objects it surfaces.
+type RankedList struct {
+	Path  string
+	Title string
+	Items []rank.Item
+}
+
+// ProfileResult is an automatic object profiling outcome (Tables 1 and 2):
+// the profiled object and one ranked list per relevance path.
+type ProfileResult struct {
+	Table  string
+	Object string
+	Lists  []RankedList
+}
+
+// Render formats the profile as the paper's table layout.
+func (r ProfileResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — automatic object profiling of %q\n", r.Table, r.Object)
+	for _, l := range r.Lists {
+		fmt.Fprintf(&b, "\n  path %s (%s):\n", l.Path, l.Title)
+		for _, line := range strings.Split(strings.TrimRight(rank.Format(l.Items), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// profileLists runs single-source HeteSim along each (path, title, target
+// type) triple and keeps the top k objects.
+func (c *Context) profileLists(key string, srcType, srcID string, specs [][3]string, k int) ([]RankedList, error) {
+	ds, err := c.ACM()
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Graph
+	e := c.Engine(key, g)
+	var lists []RankedList
+	for _, spec := range specs {
+		p := mustPath(g, spec[0])
+		if p.Source() != srcType {
+			return nil, fmt.Errorf("exp: path %s does not start at %s", spec[0], srcType)
+		}
+		scores, err := e.SingleSource(p, srcID)
+		if err != nil {
+			return nil, err
+		}
+		items, err := rank.List(scores, g.NodeIDs(p.Target()), k)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, RankedList{Path: spec[0], Title: spec[1], Items: items})
+	}
+	return lists, nil
+}
+
+// Table1AuthorProfile reproduces Table 1: profiling the star data-mining
+// author (the "Christos Faloutsos" persona — the author with the most KDD
+// papers) along APVC (conferences), APT (terms), APS (subjects) and APA
+// (co-authors).
+func (c *Context) Table1AuthorProfile() (ProfileResult, error) {
+	ds, err := c.ACM()
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	g := ds.Graph
+	counts, err := paperCounts(g)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	star, err := starAuthor(g, counts, "KDD")
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	starID, err := g.NodeID("author", star)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	specs := [][3]string{
+		{"APVC", "conferences the author participates in"},
+		{"APT", "research-interest terms"},
+		{"APS", "subject areas"},
+		{"APA", "closest co-authors"},
+	}
+	lists, err := c.profileLists("acm", "author", starID, specs, 5)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	return ProfileResult{Table: "Table 1", Object: starID, Lists: lists}, nil
+}
+
+// Table2ConferenceProfile reproduces Table 2: profiling the KDD conference
+// along CVPA (active authors), CVPAF (research affiliations), CVPS (topic
+// subjects) and CVPAPVC (similar conferences via shared authors).
+func (c *Context) Table2ConferenceProfile() (ProfileResult, error) {
+	specs := [][3]string{
+		{"CVPA", "most active authors"},
+		{"CVPAF", "most related affiliations"},
+		{"CVPS", "conference topics"},
+		{"CVPAPVC", "similar conferences (shared authors)"},
+	}
+	lists, err := c.profileLists("acm", "conference", "KDD", specs, 5)
+	if err != nil {
+		return ProfileResult{}, err
+	}
+	return ProfileResult{Table: "Table 2", Object: "KDD", Lists: lists}, nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RobustnessResult aggregates the suite's headline comparative statistics
+// across several generator seeds. On a synthetic substrate the paper's
+// qualitative claims must hold across seeds, not just on one lucky draw;
+// this driver is the check.
+type RobustnessResult struct {
+	Seeds []int64
+	// Fig6Wins is, per seed, how many of the 14 conferences HeteSim
+	// tracks the ground truth at least as well as PCRW.
+	Fig6Wins []int
+	// Table5MeanDelta is, per seed, mean(HeteSim AUC - PCRW AUC) over
+	// the nine conferences.
+	Table5MeanDelta []float64
+	// Table6PaperGap is, per seed, HeteSim NMI - PathSim NMI on the
+	// paper-clustering task (the paper's largest HeteSim margin).
+	Table6PaperGap []float64
+}
+
+// Render formats the per-seed statistics with means.
+func (r RobustnessResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Robustness — headline comparisons across generator seeds\n\n")
+	fmt.Fprintf(&b, "  %-6s %14s %18s %16s\n", "seed", "Fig6 wins/14", "Table5 mean ΔAUC", "Table6 paper Δ")
+	for i, s := range r.Seeds {
+		fmt.Fprintf(&b, "  %-6d %14d %18.4f %16.4f\n",
+			s, r.Fig6Wins[i], r.Table5MeanDelta[i], r.Table6PaperGap[i])
+	}
+	mean := func(xs []float64) float64 {
+		var t float64
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+	wins := 0
+	for _, w := range r.Fig6Wins {
+		wins += w
+	}
+	fmt.Fprintf(&b, "\n  means: Fig6 %.1f/14, Table5 ΔAUC %+.4f, Table6 paper Δ %+.4f\n",
+		float64(wins)/float64(len(r.Seeds)), mean(r.Table5MeanDelta), mean(r.Table6PaperGap))
+	return b.String()
+}
+
+// Robustness reruns the Fig. 6, Table 5 and Table 6 comparisons across
+// three seeds at the context's configured scale and reports the per-seed
+// headline statistics.
+func (c *Context) Robustness() (RobustnessResult, error) {
+	res := RobustnessResult{Seeds: []int64{1, 2, 3}}
+	for _, seed := range res.Seeds {
+		cfg := c.cfg
+		cfg.Seed = seed
+		cfg.ACM.Seed = seed
+		cfg.DBLP.Seed = seed
+		// Table 6 is the expensive stage; a couple of runs suffice for a
+		// robustness check.
+		if cfg.ClusterRuns > 3 {
+			cfg.ClusterRuns = 3
+		}
+		ctx := NewContext(cfg)
+
+		fig6, err := ctx.Fig6RankDifference()
+		if err != nil {
+			return res, fmt.Errorf("exp: robustness seed %d: %w", seed, err)
+		}
+		wins := 0
+		for _, row := range fig6.Rows {
+			if row.HeteSimDiff <= row.PCRWDiff {
+				wins++
+			}
+		}
+		res.Fig6Wins = append(res.Fig6Wins, wins)
+
+		t5, err := ctx.Table5QueryAUC()
+		if err != nil {
+			return res, fmt.Errorf("exp: robustness seed %d: %w", seed, err)
+		}
+		var delta float64
+		for _, row := range t5.Rows {
+			delta += row.HeteSimAUC - row.PCRWAUC
+		}
+		res.Table5MeanDelta = append(res.Table5MeanDelta, delta/float64(len(t5.Rows)))
+
+		t6, err := ctx.Table6ClusteringNMI()
+		if err != nil {
+			return res, fmt.Errorf("exp: robustness seed %d: %w", seed, err)
+		}
+		gap := math.NaN()
+		for _, row := range t6.Rows {
+			if row.Task == "paper" {
+				gap = row.HeteSimNMI - row.PathSimNMI
+			}
+		}
+		res.Table6PaperGap = append(res.Table6PaperGap, gap)
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hetesim/internal/baseline"
+	"hetesim/internal/rank"
+)
+
+// Table4Result is the path-semantics relevance search of Table 4: the top
+// authors related to the star author along APVCVPA under three measures.
+type Table4Result struct {
+	Author  string
+	HeteSim []rank.Item
+	PathSim []rank.Item
+	PCRW    []rank.Item
+	// SelfRankPCRW is the star author's position in their own PCRW
+	// ranking — the paper's point is that it is often not 1.
+	SelfRankPCRW int
+}
+
+// Render formats the three rankings side by side.
+func (r Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — top related authors to %q along APVCVPA\n\n", r.Author)
+	fmt.Fprintf(&b, "  %-4s %-22s %-22s %-22s\n", "rank", "HeteSim", "PathSim", "PCRW")
+	for i := range r.HeteSim {
+		cell := func(items []rank.Item) string {
+			if i >= len(items) {
+				return ""
+			}
+			return fmt.Sprintf("%s %.4f", items[i].ID, items[i].Score)
+		}
+		fmt.Fprintf(&b, "  %-4d %-22s %-22s %-22s\n", i+1, cell(r.HeteSim), cell(r.PathSim), cell(r.PCRW))
+	}
+	fmt.Fprintf(&b, "\n  star author's rank in its own PCRW list: %d (HeteSim and PathSim rank it 1st)\n", r.SelfRankPCRW)
+	return b.String()
+}
+
+// Table4RelatedAuthors reproduces Table 4: the top-10 authors related to
+// the star data-mining author via APVCVPA (authors publishing in the same
+// conferences) under HeteSim, PathSim and PCRW.
+func (c *Context) Table4RelatedAuthors() (Table4Result, error) {
+	ds, err := c.ACM()
+	if err != nil {
+		return Table4Result{}, err
+	}
+	g := ds.Graph
+	counts, err := paperCounts(g)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	star, err := starAuthor(g, counts, "KDD")
+	if err != nil {
+		return Table4Result{}, err
+	}
+	starID, err := g.NodeID("author", star)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	p := mustPath(g, "APVCVPA")
+	ids := g.NodeIDs("author")
+	const k = 10
+
+	e := c.Engine("acm", g)
+	hs, err := e.SingleSource(p, starID)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	hsTop, err := rank.List(hs, ids, k)
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	ps := baseline.NewPathSim(g)
+	pss, err := ps.SingleSource(p, starID)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	psTop, err := rank.List(pss, ids, k)
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	pcrw := baseline.NewPCRWFromEngine(e)
+	pcs, err := pcrw.SingleSource(p, starID)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	pcTop, err := rank.List(pcs, ids, k)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	selfRank := rank.Positions(pcs)[star]
+
+	return Table4Result{
+		Author:       starID,
+		HeteSim:      hsTop,
+		PathSim:      psTop,
+		PCRW:         pcTop,
+		SelfRankPCRW: selfRank,
+	}, nil
+}
+
+// Table7Result contrasts the CVPA and CVPAPA rankings for one conference —
+// the path-semantics study of Table 7.
+type Table7Result struct {
+	Conference string
+	CVPA       []rank.Item // most active authors
+	CVPAPA     []rank.Item // authors with the most active co-author groups
+}
+
+// Render formats the two rankings side by side.
+func (r Table7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 7 — top authors related to %q under different relevance paths\n\n", r.Conference)
+	fmt.Fprintf(&b, "  %-4s %-26s %-26s\n", "rank", "CVPA (active authors)", "CVPAPA (active co-author groups)")
+	for i := range r.CVPA {
+		left := fmt.Sprintf("%s %.4f", r.CVPA[i].ID, r.CVPA[i].Score)
+		right := ""
+		if i < len(r.CVPAPA) {
+			right = fmt.Sprintf("%s %.4f", r.CVPAPA[i].ID, r.CVPAPA[i].Score)
+		}
+		fmt.Fprintf(&b, "  %-4d %-26s %-26s\n", i+1, left, right)
+	}
+	return b.String()
+}
+
+// Table7PathSemantics reproduces Table 7: the top-10 authors related to KDD
+// via CVPA (publication record) versus CVPAPA (co-author group activity).
+func (c *Context) Table7PathSemantics() (Table7Result, error) {
+	ds, err := c.ACM()
+	if err != nil {
+		return Table7Result{}, err
+	}
+	g := ds.Graph
+	e := c.Engine("acm", g)
+	ids := g.NodeIDs("author")
+	const k = 10
+	var out Table7Result
+	out.Conference = "KDD"
+	for _, spec := range []string{"CVPA", "CVPAPA"} {
+		scores, err := e.SingleSource(mustPath(g, spec), "KDD")
+		if err != nil {
+			return Table7Result{}, err
+		}
+		items, err := rank.List(scores, ids, k)
+		if err != nil {
+			return Table7Result{}, err
+		}
+		if spec == "CVPA" {
+			out.CVPA = items
+		} else {
+			out.CVPAPA = items
+		}
+	}
+	return out, nil
+}
+
+// Fig7Series is one author's reachable probability distribution over the 14
+// conferences along APVC.
+type Fig7Series struct {
+	Author string
+	Probs  []float64
+}
+
+// Fig7Result is the distribution study of Fig. 7, explaining Table 4's
+// HeteSim ranking: authors whose conference distributions are closest to
+// the star author's are the most related under APVCVPA.
+type Fig7Result struct {
+	Conferences []string
+	Series      []Fig7Series
+}
+
+// Render formats the distributions as aligned rows.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — authors' paper probability distribution over conferences (path APVC)\n\n")
+	fmt.Fprintf(&b, "  %-14s", "author")
+	for _, c := range r.Conferences {
+		fmt.Fprintf(&b, " %8s", c)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  %-14s", s.Author)
+		for _, p := range s.Probs {
+			fmt.Fprintf(&b, " %8.3f", p)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig7ReachableDistribution reproduces Fig. 7: the PCRW (reachable
+// probability) distribution over conferences for the star author and the
+// next-most-related authors from Table 4's HeteSim ranking.
+func (c *Context) Fig7ReachableDistribution() (Fig7Result, error) {
+	t4, err := c.Table4RelatedAuthors()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	ds, err := c.ACM()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	g := ds.Graph
+	e := c.Engine("acm", g)
+	pcrw := baseline.NewPCRWFromEngine(e)
+	p := mustPath(g, "APVC")
+	res := Fig7Result{Conferences: g.NodeIDs("conference")}
+	n := 5
+	if n > len(t4.HeteSim) {
+		n = len(t4.HeteSim)
+	}
+	for _, it := range t4.HeteSim[:n] {
+		probs, err := pcrw.SingleSource(p, it.ID)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Series = append(res.Series, Fig7Series{Author: it.ID, Probs: probs})
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetesim/internal/datagen"
+)
+
+// DatasetStatsResult summarizes the generated datasets the way Section 5.1
+// of the paper describes its ACM and DBLP crawls — the checkable side of
+// the dataset substitution in DESIGN.md §4.
+type DatasetStatsResult struct {
+	Sections []DatasetSection
+}
+
+// DatasetSection is one dataset's summary.
+type DatasetSection struct {
+	Name      string
+	NodeRows  [][2]string // type, count
+	EdgeRows  [][2]string // relation, count
+	AreaNames []string
+}
+
+// Render formats the summaries.
+func (r DatasetStatsResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Dataset statistics (Section 5.1 substitution; see DESIGN.md §4)\n")
+	for _, s := range r.Sections {
+		fmt.Fprintf(&b, "\n  == %s\n", s.Name)
+		for _, row := range s.NodeRows {
+			fmt.Fprintf(&b, "    %-14s %8s nodes\n", row[0], row[1])
+		}
+		for _, row := range s.EdgeRows {
+			fmt.Fprintf(&b, "    %-14s %8s edges\n", row[0], row[1])
+		}
+		fmt.Fprintf(&b, "    areas: %s\n", strings.Join(s.AreaNames, ", "))
+	}
+	return b.String()
+}
+
+// DatasetStats generates (or reuses) both networks and reports their sizes.
+func (c *Context) DatasetStats() (DatasetStatsResult, error) {
+	var res DatasetStatsResult
+	add := func(name string, ds *datagen.Dataset) {
+		g := ds.Graph
+		sec := DatasetSection{Name: name, AreaNames: ds.AreaNames}
+		var types []string
+		for _, t := range g.Schema().Types() {
+			types = append(types, t.Name)
+		}
+		sort.Strings(types)
+		for _, t := range types {
+			sec.NodeRows = append(sec.NodeRows, [2]string{t, fmt.Sprint(g.NodeCount(t))})
+		}
+		var rels []string
+		for _, r := range g.Schema().Relations() {
+			rels = append(rels, r.Name)
+		}
+		sort.Strings(rels)
+		for _, r := range rels {
+			adj, err := g.Adjacency(r)
+			if err != nil {
+				continue
+			}
+			sec.EdgeRows = append(sec.EdgeRows, [2]string{r, fmt.Sprint(adj.NNZ())})
+		}
+		res.Sections = append(res.Sections, sec)
+	}
+	acm, err := c.ACM()
+	if err != nil {
+		return res, err
+	}
+	add("ACM-style network", acm)
+	dblp, err := c.DBLP()
+	if err != nil {
+		return res, err
+	}
+	add("DBLP-style network", dblp)
+	return res, nil
+}

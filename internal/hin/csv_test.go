@@ -1,0 +1,115 @@
+package hin
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	s := bibSchema(t)
+	in := `relation,source,target,weight
+writes,Tom,p1
+writes,Mary,p1,2
+# a comment line
+published_in,p1,KDD09,1
+part_of,KDD09,KDD
+`
+	g, err := ReadCSV(strings.NewReader(in), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount("author") != 2 || g.NodeCount("paper") != 1 {
+		t.Errorf("counts wrong: %s", g.Stats())
+	}
+	w, _ := g.Adjacency("writes")
+	mary, _ := g.NodeIndex("author", "Mary")
+	p1, _ := g.NodeIndex("paper", "p1")
+	if got := w.At(mary, p1); got != 2 {
+		t.Errorf("weighted edge = %v, want 2", got)
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	s := bibSchema(t)
+	g, err := ReadCSV(strings.NewReader("writes,Tom,p1\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.TotalEdges())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := bibSchema(t)
+	cases := map[string]string{
+		"unknown relation": "writes,Tom,p1\nloves,Tom,p2\n",
+		"bad field count":  "writes,Tom\n",
+		"bad weight":       "writes,Tom,p1,heavy\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), s); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Unknown relation specifically surfaces ErrUnknownRelation.
+	_, err := ReadCSV(strings.NewReader("writes,Tom,p1\nloves,a,b\n"), s)
+	if !errors.Is(err, ErrUnknownRelation) {
+		t.Errorf("unknown relation err = %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := toyGraph(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadCSV(&buf, g.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.TotalEdges() != g.TotalEdges() {
+		t.Fatalf("edges changed: %d vs %d", g2.TotalEdges(), g.TotalEdges())
+	}
+	for _, rel := range g.Schema().Relations() {
+		a, _ := g.Adjacency(rel.Name)
+		b, _ := g2.Adjacency(rel.Name)
+		// Node index order may differ; compare via IDs.
+		for _, tr := range a.Triplets() {
+			src, _ := g.NodeID(rel.Source, tr.Row)
+			dst, _ := g.NodeID(rel.Target, tr.Col)
+			si, err := g2.NodeIndex(rel.Source, src)
+			if err != nil {
+				t.Fatalf("node %s lost in round trip", src)
+			}
+			di, err := g2.NodeIndex(rel.Target, dst)
+			if err != nil {
+				t.Fatalf("node %s lost in round trip", dst)
+			}
+			if b.At(si, di) != tr.Val {
+				t.Errorf("edge %s %s->%s weight %v vs %v", rel.Name, src, dst, b.At(si, di), tr.Val)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripWeights(t *testing.T) {
+	b := NewBuilder(bibSchema(t))
+	b.AddWeightedEdge("writes", "Tom", "p1", 0.125)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadCSV(&buf, g.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := g2.Adjacency("writes")
+	if got := w.At(0, 0); got != 0.125 {
+		t.Errorf("weight = %v, want 0.125", got)
+	}
+}

@@ -1,0 +1,62 @@
+package hin_test
+
+import (
+	"fmt"
+
+	"hetesim/internal/hin"
+)
+
+func ExampleBuilder() {
+	schema := hin.NewSchema()
+	schema.MustAddType("user", 'U')
+	schema.MustAddType("movie", 'M')
+	schema.MustAddRelation("rates", "user", "movie")
+
+	b := hin.NewBuilder(schema)
+	b.AddEdge("rates", "alice", "heat")
+	b.AddWeightedEdge("rates", "bob", "heat", 5)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NodeCount("user"), "users,", g.TotalEdges(), "ratings")
+	// Output: 2 users, 2 ratings
+}
+
+func ExampleGraph_Neighbors() {
+	schema := hin.NewSchema()
+	schema.MustAddType("author", 'A')
+	schema.MustAddType("paper", 'P')
+	schema.MustAddRelation("writes", "author", "paper")
+	b := hin.NewBuilder(schema)
+	b.AddEdge("writes", "knuth", "taocp1")
+	b.AddEdge("writes", "knuth", "taocp2")
+	g := b.MustBuild()
+
+	knuth, _ := g.NodeIndex("author", "knuth")
+	papers, _ := g.Neighbors("writes", knuth)
+	for _, p := range papers {
+		id, _ := g.NodeID("paper", p)
+		fmt.Println(id)
+	}
+	// Output:
+	// taocp1
+	// taocp2
+}
+
+func ExampleSchema_RelationBetween() {
+	schema := hin.NewSchema()
+	schema.MustAddType("paper", 'P')
+	schema.MustAddType("venue", 'V')
+	schema.MustAddRelation("published_in", "paper", "venue")
+
+	// Forward direction.
+	rel, inverse, _ := schema.RelationBetween("paper", "venue")
+	fmt.Println(rel.Name, inverse)
+	// The implicit inverse R^-1.
+	rel, inverse, _ = schema.RelationBetween("venue", "paper")
+	fmt.Println(rel.Name, inverse)
+	// Output:
+	// published_in false
+	// published_in true
+}

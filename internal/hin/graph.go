@@ -1,0 +1,277 @@
+package hin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetesim/internal/sparse"
+)
+
+// Graph is a heterogeneous information network instance over a Schema:
+// string-identified nodes partitioned by type, and a weighted adjacency
+// matrix per relation. Graphs are built through a Builder and immutable
+// afterwards, so they are safe for concurrent readers.
+type Graph struct {
+	schema *Schema
+	// nodes[t] holds the IDs of type t's nodes in insertion order.
+	nodes map[string][]string
+	// index[t][id] is the position of node id within nodes[t].
+	index map[string]map[string]int
+	// adj[r] is the |source| x |target| weighted adjacency of relation r.
+	adj map[string]*sparse.Matrix
+}
+
+// Schema returns the graph's schema.
+func (g *Graph) Schema() *Schema { return g.schema }
+
+// NodeCount returns the number of nodes of the given type, or 0 for unknown
+// types.
+func (g *Graph) NodeCount(typeName string) int { return len(g.nodes[typeName]) }
+
+// TotalNodes returns the number of nodes across all types.
+func (g *Graph) TotalNodes() int {
+	n := 0
+	for _, ids := range g.nodes {
+		n += len(ids)
+	}
+	return n
+}
+
+// TotalEdges returns the number of stored relation instances across all
+// relations.
+func (g *Graph) TotalEdges() int {
+	n := 0
+	for _, m := range g.adj {
+		n += m.NNZ()
+	}
+	return n
+}
+
+// NodeIDs returns the identifiers of all nodes of a type, in index order.
+// The returned slice is a copy.
+func (g *Graph) NodeIDs(typeName string) []string {
+	return append([]string(nil), g.nodes[typeName]...)
+}
+
+// NodeID returns the identifier of node i of the given type.
+func (g *Graph) NodeID(typeName string, i int) (string, error) {
+	ids, ok := g.nodes[typeName]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	if i < 0 || i >= len(ids) {
+		return "", fmt.Errorf("%w: %s #%d (have %d)", ErrUnknownNode, typeName, i, len(ids))
+	}
+	return ids[i], nil
+}
+
+// NodeIndex returns the index of the node with the given identifier.
+func (g *Graph) NodeIndex(typeName, id string) (int, error) {
+	m, ok := g.index[typeName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	i, ok := m[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s %q", ErrUnknownNode, typeName, id)
+	}
+	return i, nil
+}
+
+// HasNode reports whether the identified node exists.
+func (g *Graph) HasNode(typeName, id string) bool {
+	_, err := g.NodeIndex(typeName, id)
+	return err == nil
+}
+
+// Adjacency returns the weighted adjacency matrix W of a relation
+// (|R.S| x |R.T|). The matrix is shared and must not be mutated (sparse
+// matrices are immutable by construction).
+func (g *Graph) Adjacency(relName string) (*sparse.Matrix, error) {
+	m, ok := g.adj[relName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, relName)
+	}
+	return m, nil
+}
+
+// Degree returns the out-degree of node i under the relation (the number of
+// out-neighbors |O(s|R)| of Definition 3).
+func (g *Graph) Degree(relName string, i int) (int, error) {
+	m, err := g.Adjacency(relName)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= m.Rows() {
+		return 0, fmt.Errorf("%w: index %d under relation %q", ErrUnknownNode, i, relName)
+	}
+	return m.RowNNZ(i), nil
+}
+
+// Neighbors returns the target indices adjacent to source node i under the
+// relation, in increasing order.
+func (g *Graph) Neighbors(relName string, i int) ([]int, error) {
+	m, err := g.Adjacency(relName)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= m.Rows() {
+		return nil, fmt.Errorf("%w: index %d under relation %q", ErrUnknownNode, i, relName)
+	}
+	var out []int
+	m.Row(i).Entries(func(j int, _ float64) { out = append(out, j) })
+	return out, nil
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Adding an edge implicitly creates its endpoints. Duplicate edges sum their
+// weights, matching sparse triplet semantics.
+type Builder struct {
+	schema *Schema
+	nodes  map[string][]string
+	index  map[string]map[string]int
+	edges  map[string][]edge
+	err    error
+}
+
+type edge struct {
+	src, dst int
+	w        float64
+}
+
+// NewBuilder creates a Builder over the given schema.
+func NewBuilder(s *Schema) *Builder {
+	return &Builder{
+		schema: s,
+		nodes:  make(map[string][]string),
+		index:  make(map[string]map[string]int),
+		edges:  make(map[string][]edge),
+	}
+}
+
+// Err returns the first error encountered by the builder, if any.
+func (b *Builder) Err() error { return b.err }
+
+// AddNode registers a node of the given type, returning its index. Adding
+// an existing node is a no-op returning the existing index.
+func (b *Builder) AddNode(typeName, id string) int {
+	if b.err != nil {
+		return -1
+	}
+	if !b.schema.HasType(typeName) {
+		b.err = fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+		return -1
+	}
+	idx, ok := b.index[typeName]
+	if !ok {
+		idx = make(map[string]int)
+		b.index[typeName] = idx
+	}
+	if i, ok := idx[id]; ok {
+		return i
+	}
+	i := len(b.nodes[typeName])
+	idx[id] = i
+	b.nodes[typeName] = append(b.nodes[typeName], id)
+	return i
+}
+
+// AddEdge records a relation instance between two identified nodes with
+// weight 1, creating the nodes as needed.
+func (b *Builder) AddEdge(relName, srcID, dstID string) {
+	b.AddWeightedEdge(relName, srcID, dstID, 1)
+}
+
+// AddWeightedEdge records a relation instance with an explicit weight.
+// Weights must be positive and finite: adjacency weights are relation
+// instance strengths, and the Definition 6 decomposition splits them as
+// square roots.
+func (b *Builder) AddWeightedEdge(relName, srcID, dstID string, w float64) {
+	if b.err != nil {
+		return
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		b.err = fmt.Errorf("hin: edge %s(%s->%s) has invalid weight %v", relName, srcID, dstID, w)
+		return
+	}
+	rel, err := b.schema.RelationByName(relName)
+	if err != nil {
+		b.err = err
+		return
+	}
+	s := b.AddNode(rel.Source, srcID)
+	d := b.AddNode(rel.Target, dstID)
+	if b.err != nil {
+		return
+	}
+	b.edges[relName] = append(b.edges[relName], edge{s, d, w})
+}
+
+// Build finalizes the graph. Every schema relation gets an adjacency matrix
+// (possibly empty). Build fails if any prior builder call failed.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		schema: b.schema,
+		nodes:  make(map[string][]string, len(b.nodes)),
+		index:  make(map[string]map[string]int, len(b.index)),
+		adj:    make(map[string]*sparse.Matrix),
+	}
+	for t, ids := range b.nodes {
+		g.nodes[t] = append([]string(nil), ids...)
+	}
+	for t, m := range b.index {
+		cp := make(map[string]int, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		g.index[t] = cp
+	}
+	for _, rel := range b.schema.Relations() {
+		rows := len(b.nodes[rel.Source])
+		cols := len(b.nodes[rel.Target])
+		es := b.edges[rel.Name]
+		ts := make([]sparse.Triplet, len(es))
+		for i, e := range es {
+			ts[i] = sparse.Triplet{Row: e.src, Col: e.dst, Val: e.w}
+		}
+		g.adj[rel.Name] = sparse.New(rows, cols, ts)
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Stats summarizes a graph for display: node counts per type and edge counts
+// per relation, each sorted by name.
+func (g *Graph) Stats() string {
+	var types []string
+	for t := range g.nodes {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	s := "nodes:"
+	for _, t := range types {
+		s += fmt.Sprintf(" %s=%d", t, len(g.nodes[t]))
+	}
+	var rels []string
+	for r := range g.adj {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	s += "; edges:"
+	for _, r := range rels {
+		s += fmt.Sprintf(" %s=%d", r, g.adj[r].NNZ())
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package hin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON representation of a graph. Edge weights of
+// exactly 1 are omitted to keep bibliographic networks (whose adjacency is
+// 0/1) compact.
+type fileFormat struct {
+	Version   int                   `json:"version"`
+	Types     []fileType            `json:"types"`
+	Relations []fileRelation        `json:"relations"`
+	Nodes     map[string][]string   `json:"nodes"`
+	Edges     map[string][]fileEdge `json:"edges"`
+}
+
+type fileType struct {
+	Name   string `json:"name"`
+	Abbrev string `json:"abbrev,omitempty"`
+}
+
+type fileRelation struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+type fileEdge struct {
+	Src    int     `json:"s"`
+	Dst    int     `json:"t"`
+	Weight float64 `json:"w,omitempty"`
+}
+
+const formatVersion = 1
+
+// Write serializes the graph as JSON to w.
+func Write(w io.Writer, g *Graph) error {
+	ff := fileFormat{
+		Version: formatVersion,
+		Nodes:   make(map[string][]string),
+		Edges:   make(map[string][]fileEdge),
+	}
+	for _, t := range g.schema.Types() {
+		ab := ""
+		if t.Abbrev != 0 {
+			ab = string(t.Abbrev)
+		}
+		ff.Types = append(ff.Types, fileType{Name: t.Name, Abbrev: ab})
+		ff.Nodes[t.Name] = g.nodes[t.Name]
+	}
+	for _, r := range g.schema.Relations() {
+		ff.Relations = append(ff.Relations, fileRelation{Name: r.Name, Source: r.Source, Target: r.Target})
+		m := g.adj[r.Name]
+		es := make([]fileEdge, 0, m.NNZ())
+		for _, tr := range m.Triplets() {
+			e := fileEdge{Src: tr.Row, Dst: tr.Col}
+			if tr.Val != 1 {
+				e.Weight = tr.Val
+			}
+			es = append(es, e)
+		}
+		ff.Edges[r.Name] = es
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// Read deserializes a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("hin: decoding graph: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, fmt.Errorf("hin: unsupported graph format version %d", ff.Version)
+	}
+	s := NewSchema()
+	for _, t := range ff.Types {
+		var ab byte
+		if t.Abbrev != "" {
+			ab = t.Abbrev[0]
+		}
+		if err := s.AddType(t.Name, ab); err != nil {
+			return nil, err
+		}
+	}
+	for _, rel := range ff.Relations {
+		if err := s.AddRelation(rel.Name, rel.Source, rel.Target); err != nil {
+			return nil, err
+		}
+	}
+	b := NewBuilder(s)
+	for _, t := range ff.Types {
+		for _, id := range ff.Nodes[t.Name] {
+			b.AddNode(t.Name, id)
+		}
+	}
+	for _, rel := range ff.Relations {
+		nodesS := ff.Nodes[rel.Source]
+		nodesT := ff.Nodes[rel.Target]
+		for _, e := range ff.Edges[rel.Name] {
+			if e.Src < 0 || e.Src >= len(nodesS) || e.Dst < 0 || e.Dst >= len(nodesT) {
+				return nil, fmt.Errorf("hin: edge (%d,%d) out of range for relation %q", e.Src, e.Dst, rel.Name)
+			}
+			w := e.Weight
+			if w == 0 {
+				w = 1
+			}
+			b.AddWeightedEdge(rel.Name, nodesS[e.Src], nodesT[e.Dst], w)
+		}
+	}
+	return b.Build()
+}

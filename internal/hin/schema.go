@@ -1,0 +1,195 @@
+// Package hin implements the heterogeneous information network data model of
+// Definition 1 in the paper: a directed graph with an object-type mapping and
+// a link-type mapping, described by a network schema S = (A, R) of entity
+// types and relations.
+//
+// The package provides the schema (types and relations, with the inverse
+// relation R^-1 implied for every relation R), a typed graph with string
+// node identifiers and weighted adjacency per relation, and JSON
+// (de)serialization. All relevance measures in this module (HeteSim and the
+// baselines) operate on these graphs.
+package hin
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Common errors returned by schema and graph lookups.
+var (
+	ErrUnknownType     = errors.New("hin: unknown node type")
+	ErrUnknownRelation = errors.New("hin: unknown relation")
+	ErrUnknownNode     = errors.New("hin: unknown node")
+	ErrDuplicate       = errors.New("hin: duplicate definition")
+	ErrAmbiguous       = errors.New("hin: ambiguous relation between types")
+)
+
+// NodeType describes one entity type in the schema. Abbrev is a single
+// uppercase letter used in compact relevance-path notation (e.g. 'A' for
+// author in the path "APVC"); it may be 0 when the type has no abbreviation.
+type NodeType struct {
+	Name   string
+	Abbrev byte
+}
+
+// Relation describes a directed relation R: Source → Target in the schema.
+// The inverse relation R^-1: Target → Source always exists implicitly
+// (Section 3 of the paper); it is addressed by traversing a path step with
+// Inverse set.
+type Relation struct {
+	Name   string
+	Source string // source type name (R.S)
+	Target string // target type name (R.T)
+}
+
+// Schema is the network schema S = (A, R): the set of node types and the set
+// of relations among them. A Schema is immutable once passed to a Graph.
+type Schema struct {
+	types     []NodeType
+	relations []Relation
+
+	typeIdx   map[string]int
+	abbrevIdx map[byte]int
+	relIdx    map[string]int
+	// pairRels[src][dst] lists indices of relations with that direction.
+	pairRels map[string]map[string][]int
+}
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		typeIdx:   make(map[string]int),
+		abbrevIdx: make(map[byte]int),
+		relIdx:    make(map[string]int),
+		pairRels:  make(map[string]map[string][]int),
+	}
+}
+
+// AddType registers a node type. abbrev may be 0 for no compact-notation
+// letter. It returns ErrDuplicate when the name or abbreviation is taken.
+func (s *Schema) AddType(name string, abbrev byte) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty type name", ErrUnknownType)
+	}
+	if _, ok := s.typeIdx[name]; ok {
+		return fmt.Errorf("%w: type %q", ErrDuplicate, name)
+	}
+	if abbrev != 0 {
+		if _, ok := s.abbrevIdx[abbrev]; ok {
+			return fmt.Errorf("%w: abbreviation %q", ErrDuplicate, string(abbrev))
+		}
+		s.abbrevIdx[abbrev] = len(s.types)
+	}
+	s.typeIdx[name] = len(s.types)
+	s.types = append(s.types, NodeType{Name: name, Abbrev: abbrev})
+	return nil
+}
+
+// AddRelation registers a directed relation from source type to target type.
+// Both types must already exist.
+func (s *Schema) AddRelation(name, source, target string) error {
+	if _, ok := s.relIdx[name]; ok {
+		return fmt.Errorf("%w: relation %q", ErrDuplicate, name)
+	}
+	if _, ok := s.typeIdx[source]; !ok {
+		return fmt.Errorf("%w: %q (source of relation %q)", ErrUnknownType, source, name)
+	}
+	if _, ok := s.typeIdx[target]; !ok {
+		return fmt.Errorf("%w: %q (target of relation %q)", ErrUnknownType, target, name)
+	}
+	s.relIdx[name] = len(s.relations)
+	s.relations = append(s.relations, Relation{Name: name, Source: source, Target: target})
+	if s.pairRels[source] == nil {
+		s.pairRels[source] = make(map[string][]int)
+	}
+	s.pairRels[source][target] = append(s.pairRels[source][target], len(s.relations)-1)
+	return nil
+}
+
+// MustAddType is AddType but panics on error; intended for static schema
+// construction in tests and generators.
+func (s *Schema) MustAddType(name string, abbrev byte) {
+	if err := s.AddType(name, abbrev); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddRelation is AddRelation but panics on error.
+func (s *Schema) MustAddRelation(name, source, target string) {
+	if err := s.AddRelation(name, source, target); err != nil {
+		panic(err)
+	}
+}
+
+// Types returns the node types in registration order.
+func (s *Schema) Types() []NodeType { return append([]NodeType(nil), s.types...) }
+
+// Relations returns the relations in registration order.
+func (s *Schema) Relations() []Relation { return append([]Relation(nil), s.relations...) }
+
+// HasType reports whether a type with the given name exists.
+func (s *Schema) HasType(name string) bool {
+	_, ok := s.typeIdx[name]
+	return ok
+}
+
+// TypeByAbbrev resolves a compact-notation letter to a type name.
+func (s *Schema) TypeByAbbrev(abbrev byte) (string, error) {
+	i, ok := s.abbrevIdx[abbrev]
+	if !ok {
+		return "", fmt.Errorf("%w: no type with abbreviation %q", ErrUnknownType, string(abbrev))
+	}
+	return s.types[i].Name, nil
+}
+
+// RelationByName returns the named relation.
+func (s *Schema) RelationByName(name string) (Relation, error) {
+	i, ok := s.relIdx[name]
+	if !ok {
+		return Relation{}, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	return s.relations[i], nil
+}
+
+// RelationBetween resolves the unique relation connecting two types in
+// either direction. The returned inverse flag is true when the relation runs
+// target→source, i.e. the path step traverses R^-1. It fails with
+// ErrAmbiguous when several relations connect the pair (use explicit
+// relation names in the path instead) and ErrUnknownRelation when none does.
+func (s *Schema) RelationBetween(from, to string) (rel Relation, inverse bool, err error) {
+	fwd := s.pairRels[from][to]
+	var bwd []int
+	if from != to {
+		bwd = s.pairRels[to][from]
+	}
+	switch {
+	case len(fwd)+len(bwd) == 0:
+		return Relation{}, false, fmt.Errorf("%w between %q and %q", ErrUnknownRelation, from, to)
+	case len(fwd)+len(bwd) > 1:
+		return Relation{}, false, fmt.Errorf("%w: %q and %q (name the relation explicitly)",
+			ErrAmbiguous, from, to)
+	case len(fwd) == 1:
+		return s.relations[fwd[0]], false, nil
+	default:
+		return s.relations[bwd[0]], true, nil
+	}
+}
+
+// String renders the schema compactly, e.g. for diagnostics.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("types:")
+	for _, t := range s.types {
+		b.WriteByte(' ')
+		b.WriteString(t.Name)
+		if t.Abbrev != 0 {
+			fmt.Fprintf(&b, "(%c)", t.Abbrev)
+		}
+	}
+	b.WriteString("; relations:")
+	for _, r := range s.relations {
+		fmt.Fprintf(&b, " %s:%s->%s", r.Name, r.Source, r.Target)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package hin
+
+import (
+	"fmt"
+)
+
+// Subgraph returns the induced subgraph on the given node subsets: for
+// every type listed in keep, only the identified nodes survive (types not
+// listed keep all their nodes), and every relation instance whose endpoints
+// both survive is retained with its weight. Useful for carving a labeled
+// or per-community slice out of a large network before running expensive
+// all-pairs analyses.
+func Subgraph(g *Graph, keep map[string][]string) (*Graph, error) {
+	for typeName, ids := range keep {
+		if !g.schema.HasType(typeName) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+		}
+		for _, id := range ids {
+			if !g.HasNode(typeName, id) {
+				return nil, fmt.Errorf("%w: %s %q", ErrUnknownNode, typeName, id)
+			}
+		}
+	}
+	keepSet := make(map[string]map[string]bool, len(keep))
+	for typeName, ids := range keep {
+		set := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		keepSet[typeName] = set
+	}
+	survives := func(typeName, id string) bool {
+		set, ok := keepSet[typeName]
+		return !ok || set[id]
+	}
+	b := NewBuilder(g.schema)
+	// Preserve surviving nodes (and their relative order) even when they
+	// end up isolated.
+	for _, t := range g.schema.Types() {
+		for _, id := range g.nodes[t.Name] {
+			if survives(t.Name, id) {
+				b.AddNode(t.Name, id)
+			}
+		}
+	}
+	for _, rel := range g.schema.Relations() {
+		adj := g.adj[rel.Name]
+		for _, tr := range adj.Triplets() {
+			src := g.nodes[rel.Source][tr.Row]
+			dst := g.nodes[rel.Target][tr.Col]
+			if survives(rel.Source, src) && survives(rel.Target, dst) {
+				b.AddWeightedEdge(rel.Name, src, dst, tr.Val)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,93 @@
+package hin
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSubgraphInduced(t *testing.T) {
+	g := toyGraph(t)
+	sub, err := Subgraph(g, map[string][]string{
+		"author": {"Tom", "Mary"},
+		"paper":  {"p1", "p2", "p3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NodeCount("author"); got != 2 {
+		t.Errorf("authors = %d, want 2", got)
+	}
+	if got := sub.NodeCount("paper"); got != 3 {
+		t.Errorf("papers = %d, want 3", got)
+	}
+	// Unlisted types keep every node.
+	if got := sub.NodeCount("conference"); got != g.NodeCount("conference") {
+		t.Errorf("conferences = %d, want %d", got, g.NodeCount("conference"))
+	}
+	// Bob's edge to p4 is gone; Tom's edges survive.
+	w, _ := sub.Adjacency("writes")
+	if w.NNZ() != 4 {
+		t.Errorf("writes edges = %d, want 4", w.NNZ())
+	}
+	if sub.HasNode("author", "Bob") || sub.HasNode("paper", "p4") {
+		t.Error("dropped nodes survived")
+	}
+	// Published_in keeps only edges with surviving papers.
+	pub, _ := sub.Adjacency("published_in")
+	if pub.NNZ() != 3 {
+		t.Errorf("published_in edges = %d, want 3", pub.NNZ())
+	}
+}
+
+func TestSubgraphPreservesIsolatedSurvivors(t *testing.T) {
+	g := toyGraph(t)
+	// Keep Mary only: Tom's papers p1 keeps no surviving author, but p1
+	// itself survives (papers not restricted) as does every conference.
+	sub, err := Subgraph(g, map[string][]string{"author": {"Mary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NodeCount("author") != 1 {
+		t.Errorf("authors = %d", sub.NodeCount("author"))
+	}
+	if sub.NodeCount("paper") != g.NodeCount("paper") {
+		t.Errorf("papers = %d, want all %d", sub.NodeCount("paper"), g.NodeCount("paper"))
+	}
+	w, _ := sub.Adjacency("writes")
+	if w.NNZ() != 2 {
+		t.Errorf("writes = %d, want Mary's 2", w.NNZ())
+	}
+}
+
+func TestSubgraphValidation(t *testing.T) {
+	g := toyGraph(t)
+	if _, err := Subgraph(g, map[string][]string{"movie": {"x"}}); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	if _, err := Subgraph(g, map[string][]string{"author": {"Zed"}}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node err = %v", err)
+	}
+	// Empty keep map = identity copy.
+	sub, err := Subgraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.TotalNodes() != g.TotalNodes() || sub.TotalEdges() != g.TotalEdges() {
+		t.Error("identity subgraph changed the graph")
+	}
+}
+
+func TestSubgraphPreservesWeights(t *testing.T) {
+	b := NewBuilder(bibSchema(t))
+	b.AddWeightedEdge("writes", "Tom", "p1", 2.5)
+	b.AddEdge("writes", "Bob", "p1")
+	g := b.MustBuild()
+	sub, err := Subgraph(g, map[string][]string{"author": {"Tom"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := sub.Adjacency("writes")
+	if got := w.At(0, 0); got != 2.5 {
+		t.Errorf("weight = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package learn implements supervised relevance-path selection, the third
+// path-selection strategy discussed in Section 5.1 of the paper: "label a
+// small portion of similar objects, and then train the relevance paths and
+// their weights by some learning algorithms." Given candidate paths with
+// common endpoint types and labeled object pairs, PathWeights fits
+// non-negative per-path weights by projected gradient descent on squared
+// loss, and Combined scores queries with the learned mixture.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hetesim/internal/core"
+	"hetesim/internal/metapath"
+)
+
+// ErrBadInput marks invalid training inputs.
+var ErrBadInput = errors.New("learn: bad input")
+
+// Example is one labeled training pair: the relevance label (typically 1
+// for related, 0 for unrelated, or any graded target) of a source/target
+// node-index pair.
+type Example struct {
+	Src, Dst int
+	Label    float64
+}
+
+// Config tunes the projected gradient fit.
+type Config struct {
+	LearnRate float64 // step size; default 0.5
+	Iters     int     // gradient steps; default 2000
+	L2        float64 // ridge penalty; default 1e-4
+}
+
+func (c *Config) defaults() {
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.5
+	}
+	if c.Iters <= 0 {
+		c.Iters = 2000
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	}
+}
+
+// PathWeights learns non-negative weights over candidate paths from labeled
+// pairs, minimizing mean squared error with an L2 penalty under a w ≥ 0
+// constraint. All paths must share the same source and target types. The
+// returned weights align with the paths slice.
+func PathWeights(e *core.Engine, paths []*metapath.Path, examples []Example, cfg Config) ([]float64, error) {
+	features, labels, err := featurize(e, paths, examples)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	k := len(paths)
+	n := len(examples)
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1 / float64(k)
+	}
+	grad := make([]float64, k)
+	for it := 0; it < cfg.Iters; it++ {
+		for i := range grad {
+			grad[i] = cfg.L2 * w[i]
+		}
+		for ex := 0; ex < n; ex++ {
+			var pred float64
+			row := features[ex]
+			for i := range w {
+				pred += w[i] * row[i]
+			}
+			resid := (pred - labels[ex]) / float64(n)
+			for i := range w {
+				grad[i] += resid * row[i]
+			}
+		}
+		for i := range w {
+			w[i] -= cfg.LearnRate * grad[i]
+			if w[i] < 0 {
+				w[i] = 0
+			}
+		}
+	}
+	return w, nil
+}
+
+// featurize computes the per-example HeteSim scores along every candidate
+// path, validating inputs.
+func featurize(e *core.Engine, paths []*metapath.Path, examples []Example) ([][]float64, []float64, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("%w: no candidate paths", ErrBadInput)
+	}
+	if len(examples) == 0 {
+		return nil, nil, fmt.Errorf("%w: no training examples", ErrBadInput)
+	}
+	src, dst := paths[0].Source(), paths[0].Target()
+	for _, p := range paths[1:] {
+		if p.Source() != src || p.Target() != dst {
+			return nil, nil, fmt.Errorf("%w: path %s endpoints (%s,%s) differ from (%s,%s)",
+				ErrBadInput, p, p.Source(), p.Target(), src, dst)
+		}
+	}
+	for _, p := range paths {
+		if err := e.Precompute(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	features := make([][]float64, len(examples))
+	labels := make([]float64, len(examples))
+	for i, ex := range examples {
+		if math.IsNaN(ex.Label) || math.IsInf(ex.Label, 0) {
+			return nil, nil, fmt.Errorf("%w: example %d has non-finite label", ErrBadInput, i)
+		}
+		row := make([]float64, len(paths))
+		for k, p := range paths {
+			v, err := e.PairByIndex(p, ex.Src, ex.Dst)
+			if err != nil {
+				return nil, nil, fmt.Errorf("learn: example %d on %s: %w", i, p, err)
+			}
+			row[k] = v
+		}
+		features[i] = row
+		labels[i] = ex.Label
+	}
+	return features, labels, nil
+}
+
+// Combined scores object pairs with a learned weighted mixture of HeteSim
+// over several relevance paths.
+type Combined struct {
+	engine  *core.Engine
+	paths   []*metapath.Path
+	weights []float64
+}
+
+// NewCombined builds a combined measure; weights must align with paths and
+// be non-negative.
+func NewCombined(e *core.Engine, paths []*metapath.Path, weights []float64) (*Combined, error) {
+	if len(paths) == 0 || len(paths) != len(weights) {
+		return nil, fmt.Errorf("%w: %d paths vs %d weights", ErrBadInput, len(paths), len(weights))
+	}
+	src, dst := paths[0].Source(), paths[0].Target()
+	for _, p := range paths[1:] {
+		if p.Source() != src || p.Target() != dst {
+			return nil, fmt.Errorf("%w: mixed endpoint types", ErrBadInput)
+		}
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight %d = %v", ErrBadInput, i, w)
+		}
+	}
+	return &Combined{
+		engine:  e,
+		paths:   append([]*metapath.Path(nil), paths...),
+		weights: append([]float64(nil), weights...),
+	}, nil
+}
+
+// Weights returns a copy of the mixture weights.
+func (c *Combined) Weights() []float64 { return append([]float64(nil), c.weights...) }
+
+// PairByIndex returns the weighted relevance of one pair.
+func (c *Combined) PairByIndex(src, dst int) (float64, error) {
+	var s float64
+	for k, p := range c.paths {
+		if c.weights[k] == 0 {
+			continue
+		}
+		v, err := c.engine.PairByIndex(p, src, dst)
+		if err != nil {
+			return 0, err
+		}
+		s += c.weights[k] * v
+	}
+	return s, nil
+}
+
+// SingleSourceByIndex returns the weighted relevance of one source against
+// every target.
+func (c *Combined) SingleSourceByIndex(src int) ([]float64, error) {
+	var out []float64
+	for k, p := range c.paths {
+		if c.weights[k] == 0 {
+			continue
+		}
+		v, err := c.engine.SingleSourceByIndex(p, src)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = make([]float64, len(v))
+		}
+		for j := range v {
+			out[j] += c.weights[k] * v[j]
+		}
+	}
+	if out == nil {
+		out = make([]float64, c.engine.Graph().NodeCount(c.paths[0].Target()))
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+// Package linalg provides the dense linear algebra needed by the clustering
+// substrate: a small dense matrix type, Gram-Schmidt orthonormalization,
+// a cyclic Jacobi eigensolver for full symmetric spectra, and orthogonal
+// (subspace) iteration for the top-k eigenvectors of large symmetric
+// matrices. The Normalized Cut spectral clustering used in the paper's
+// Table 6 experiment builds on these.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense creates a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dims %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// DenseFromSlices builds a dense matrix from row slices (copied).
+func DenseFromSlices(rows [][]float64) *Dense {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	d := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged input")
+		}
+		copy(d.data[i*c:(i+1)*c], row)
+	}
+	return d
+}
+
+// Dims returns (rows, cols).
+func (d *Dense) Dims() (int, int) { return d.rows, d.cols }
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.data[i*d.cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.data[i*d.cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (d *Dense) Row(i int) []float64 { return d.data[i*d.cols : (i+1)*d.cols] }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	out := NewDense(d.rows, d.cols)
+	copy(out.data, d.data)
+	return out
+}
+
+// Mul returns d * b.
+func (d *Dense) Mul(b *Dense) *Dense {
+	if d.cols != b.rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", d.rows, d.cols, b.rows, b.cols))
+	}
+	out := NewDense(d.rows, b.cols)
+	for i := 0; i < d.rows; i++ {
+		for k := 0; k < d.cols; k++ {
+			a := d.At(i, k)
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			orow := out.Row(i)
+			for j := range brow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func (d *Dense) Transpose() *Dense {
+	out := NewDense(d.cols, d.rows)
+	for i := 0; i < d.rows; i++ {
+		for j := 0; j < d.cols; j++ {
+			out.Set(j, i, d.At(i, j))
+		}
+	}
+	return out
+}
+
+// Orthonormalize performs modified Gram-Schmidt on the columns of d in
+// place, returning the number of numerically independent columns kept;
+// dependent columns are replaced with zeros.
+func (d *Dense) Orthonormalize() int {
+	kept := 0
+	for j := 0; j < d.cols; j++ {
+		// Subtract projections on previous columns.
+		for p := 0; p < j; p++ {
+			var dot float64
+			for i := 0; i < d.rows; i++ {
+				dot += d.At(i, j) * d.At(i, p)
+			}
+			for i := 0; i < d.rows; i++ {
+				d.Set(i, j, d.At(i, j)-dot*d.At(i, p))
+			}
+		}
+		var norm float64
+		for i := 0; i < d.rows; i++ {
+			norm += d.At(i, j) * d.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			for i := 0; i < d.rows; i++ {
+				d.Set(i, j, 0)
+			}
+			continue
+		}
+		inv := 1 / norm
+		for i := 0; i < d.rows; i++ {
+			d.Set(i, j, d.At(i, j)*inv)
+		}
+		kept++
+	}
+	return kept
+}
+
+// IsSymmetric reports whether d is symmetric within tolerance tol.
+func (d *Dense) IsSymmetric(tol float64) bool {
+	if d.rows != d.cols {
+		return false
+	}
+	for i := 0; i < d.rows; i++ {
+		for j := i + 1; j < d.cols; j++ {
+			if math.Abs(d.At(i, j)-d.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds an eigendecomposition: Values[i] is the i-th eigenvalue and
+// the i-th column of Vectors the corresponding unit eigenvector. Values are
+// sorted in descending order.
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense // rows×k, column i ↔ Values[i]
+}
+
+// JacobiEigen computes the full spectrum of a symmetric matrix with the
+// cyclic Jacobi method. It is exact (to rounding) and robust, with O(n³)
+// per sweep cost — suitable for the dense similarity matrices of the
+// clustering experiments (hundreds to a few thousand rows).
+func JacobiEigen(a *Dense, maxSweeps int) (Eigen, error) {
+	n, m := a.Dims()
+	if n != m {
+		return Eigen{}, fmt.Errorf("linalg: JacobiEigen needs square matrix, got %dx%d", n, m)
+	}
+	if !a.IsSymmetric(1e-9) {
+		return Eigen{}, fmt.Errorf("linalg: JacobiEigen needs symmetric matrix")
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	w := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of w.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns accordingly.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+	sortedVals := make([]float64, n)
+	vecs := NewDense(n, n)
+	for c, o := range order {
+		sortedVals[c] = vals[o]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, c, v.At(r, o))
+		}
+	}
+	return Eigen{Values: sortedVals, Vectors: vecs}, nil
+}
+
+// MulVecFunc abstracts the matrix in iterative eigensolvers: it writes A·x
+// into dst. This lets orthogonal iteration run on sparse operators without
+// densifying them.
+type MulVecFunc func(dst, x []float64)
+
+// TopKEigen computes the k algebraically largest eigenpairs of a symmetric
+// operator of dimension n using shifted orthogonal (subspace) iteration.
+// The operator's eigenvalues must lie in [lo, hi]; the shift A - lo·I makes
+// the target eigenvalues the largest in magnitude so that subspace
+// iteration converges to them. Normalized-cut affinity matrices have
+// spectra in [-1, 1], so callers pass lo = -1, hi = 1.
+//
+// seedVecs supplies the deterministic starting block (n×k, column-major
+// as a Dense); callers seed it from their own RNG for reproducibility.
+func TopKEigen(n, k int, mulVec MulVecFunc, lo float64, seedVecs *Dense, iters int) (Eigen, error) {
+	if k <= 0 || k > n {
+		return Eigen{}, fmt.Errorf("linalg: TopKEigen k=%d outside [1,%d]", k, n)
+	}
+	sr, sc := seedVecs.Dims()
+	if sr != n || sc != k {
+		return Eigen{}, fmt.Errorf("linalg: seed block is %dx%d, want %dx%d", sr, sc, n, k)
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	q := seedVecs.Clone()
+	q.Orthonormalize()
+	tmp := make([]float64, n)
+	x := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		next := NewDense(n, k)
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				x[i] = q.At(i, j)
+			}
+			mulVec(tmp, x)
+			for i := 0; i < n; i++ {
+				// Shift by -lo so the top of the spectrum dominates.
+				next.Set(i, j, tmp[i]-lo*x[i])
+			}
+		}
+		next.Orthonormalize()
+		q = next
+	}
+	// Rayleigh quotients give the eigenvalue estimates (unshifted).
+	vals := make([]float64, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			x[i] = q.At(i, j)
+		}
+		mulVec(tmp, x)
+		var num float64
+		for i := 0; i < n; i++ {
+			num += x[i] * tmp[i]
+		}
+		vals[j] = num
+	}
+	// Order by descending eigenvalue (orthonormalization can permute).
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	outVals := make([]float64, k)
+	outVecs := NewDense(n, k)
+	for c, o := range order {
+		outVals[c] = vals[o]
+		for r := 0; r < n; r++ {
+			outVecs.Set(r, c, q.At(r, o))
+		}
+	}
+	return Eigen{Values: outVals, Vectors: outVecs}, nil
+}

@@ -1,0 +1,245 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(0, 1, 5)
+	d.Set(1, 2, -2)
+	if d.At(0, 1) != 5 || d.At(1, 2) != -2 || d.At(0, 0) != 0 {
+		t.Error("At/Set wrong")
+	}
+	r, c := d.Dims()
+	if r != 2 || c != 3 {
+		t.Errorf("Dims = %d,%d", r, c)
+	}
+	row := d.Row(0)
+	row[0] = 9 // views alias storage
+	if d.At(0, 0) != 9 {
+		t.Error("Row must be a view")
+	}
+	cl := d.Clone()
+	cl.Set(0, 0, 0)
+	if d.At(0, 0) != 9 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestDenseFromSlicesAndMul(t *testing.T) {
+	a := DenseFromSlices([][]float64{{1, 2}, {3, 4}})
+	b := DenseFromSlices([][]float64{{0, 1}, {1, 0}})
+	got := a.Mul(b)
+	want := [][]float64{{2, 1}, {4, 3}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+	tr := a.Transpose()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Error("Transpose wrong")
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(10, 4)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 4; j++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	kept := d.Orthonormalize()
+	if kept != 4 {
+		t.Fatalf("kept %d of 4 random columns", kept)
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			var dot float64
+			for i := 0; i < 10; i++ {
+				dot += d.At(i, a) * d.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Errorf("col %d · col %d = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+	// A dependent column is zeroed.
+	dep := NewDense(3, 2)
+	for i := 0; i < 3; i++ {
+		dep.Set(i, 0, float64(i+1))
+		dep.Set(i, 1, 2*float64(i+1))
+	}
+	if kept := dep.Orthonormalize(); kept != 1 {
+		t.Errorf("kept = %d, want 1", kept)
+	}
+	for i := 0; i < 3; i++ {
+		if dep.At(i, 1) != 0 {
+			t.Error("dependent column not zeroed")
+		}
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Dense {
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return d
+}
+
+func TestJacobiEigenReconstructs(t *testing.T) {
+	// A = V diag(λ) V' must reconstruct the input.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSymmetric(rng, n)
+		eig, err := JacobiEigen(a, 0)
+		if err != nil {
+			return false
+		}
+		// Check descending order.
+		for i := 1; i < n; i++ {
+			if eig.Values[i] > eig.Values[i-1]+1e-10 {
+				return false
+			}
+		}
+		// Reconstruct.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += eig.Vectors.At(i, k) * eig.Values[k] * eig.Vectors.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJacobiEigenKnownSpectrum(t *testing.T) {
+	a := DenseFromSlices([][]float64{{2, 1}, {1, 2}})
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig.Values[0]-3) > 1e-10 || math.Abs(eig.Values[1]-1) > 1e-10 {
+		t.Errorf("eigenvalues = %v, want [3 1]", eig.Values)
+	}
+}
+
+func TestJacobiEigenRejectsBadInput(t *testing.T) {
+	if _, err := JacobiEigen(NewDense(2, 3), 0); err == nil {
+		t.Error("non-square accepted")
+	}
+	ns := DenseFromSlices([][]float64{{0, 1}, {2, 0}})
+	if _, err := JacobiEigen(ns, 0); err == nil {
+		t.Error("asymmetric accepted")
+	}
+}
+
+func TestTopKEigenMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	// Build a symmetric matrix with spectrum in [-1, 1] (like a
+	// normalized affinity matrix).
+	a := randomSymmetric(rng, n)
+	full, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := math.Max(math.Abs(full.Values[0]), math.Abs(full.Values[n-1]))
+	scaled := a.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scaled.Set(i, j, a.At(i, j)/maxAbs)
+		}
+	}
+	fullScaled, _ := JacobiEigen(scaled, 0)
+
+	k := 3
+	seed := NewDense(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			seed.Set(i, j, rng.NormFloat64())
+		}
+	}
+	mul := func(dst, x []float64) {
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += scaled.At(i, j) * x[j]
+			}
+			dst[i] = s
+		}
+	}
+	eig, err := TopKEigen(n, k, mul, -1, seed, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if math.Abs(eig.Values[i]-fullScaled.Values[i]) > 1e-6 {
+			t.Errorf("top-%d eigenvalue = %v, want %v", i, eig.Values[i], fullScaled.Values[i])
+		}
+	}
+	// Eigenvector check up to sign: |<v_est, v_true>| ≈ 1. Only valid
+	// when the eigenvalue is simple; random spectra are simple a.s.
+	for i := 0; i < k; i++ {
+		var dot float64
+		for r := 0; r < n; r++ {
+			dot += eig.Vectors.At(r, i) * fullScaled.Vectors.At(r, i)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-5 {
+			t.Errorf("eigenvector %d misaligned: |dot| = %v", i, math.Abs(dot))
+		}
+	}
+}
+
+func TestTopKEigenValidation(t *testing.T) {
+	seed := NewDense(4, 2)
+	mul := func(dst, x []float64) { copy(dst, x) }
+	if _, err := TopKEigen(4, 0, mul, -1, seed, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopKEigen(4, 5, mul, -1, seed, 10); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := TopKEigen(5, 2, mul, -1, seed, 10); err == nil {
+		t.Error("seed shape mismatch accepted")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := DenseFromSlices([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric not detected")
+	}
+	a := DenseFromSlices([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Error("asymmetric accepted")
+	}
+	if NewDense(2, 3).IsSymmetric(1) {
+		t.Error("non-square accepted")
+	}
+}

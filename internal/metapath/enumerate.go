@@ -1,0 +1,66 @@
+package metapath
+
+import (
+	"fmt"
+
+	"hetesim/internal/hin"
+)
+
+// Enumerate returns every relevance path from type `from` to type `to` of
+// length at most maxLen, in breadth-first (shortest-first) order. Each
+// schema relation can be traversed in both directions; paths may revisit
+// types (e.g. APA, APVCVPA), so maxLen bounds the search. This implements
+// the candidate-generation side of the paper's Section 5.1 path-selection
+// discussion: enumerate plausible paths, then pick by domain knowledge or
+// learn weights over them (package learn).
+//
+// The number of paths grows exponentially with maxLen; maxPaths caps the
+// result (0 means no cap).
+func Enumerate(schema *hin.Schema, from, to string, maxLen, maxPaths int) ([]*Path, error) {
+	if !schema.HasType(from) {
+		return nil, fmt.Errorf("metapath: %w: %q", hin.ErrUnknownType, from)
+	}
+	if !schema.HasType(to) {
+		return nil, fmt.Errorf("metapath: %w: %q", hin.ErrUnknownType, to)
+	}
+	if maxLen < 1 {
+		return nil, fmt.Errorf("%w: maxLen %d", ErrBadSyntax, maxLen)
+	}
+	// All traversable steps per departure type.
+	stepsFrom := make(map[string][]Step)
+	for _, rel := range schema.Relations() {
+		stepsFrom[rel.Source] = append(stepsFrom[rel.Source], Step{Relation: rel})
+		stepsFrom[rel.Target] = append(stepsFrom[rel.Target], Step{Relation: rel, Inverse: true})
+	}
+	var out []*Path
+	type state struct {
+		at    string
+		steps []Step
+	}
+	frontier := []state{{at: from}}
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		var next []state
+		for _, st := range frontier {
+			for _, s := range stepsFrom[st.at] {
+				chain := make([]Step, len(st.steps)+1)
+				copy(chain, st.steps)
+				chain[len(st.steps)] = s
+				if s.To() == to {
+					p, err := New(schema, chain)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, p)
+					if maxPaths > 0 && len(out) >= maxPaths {
+						return out, nil
+					}
+				}
+				if depth < maxLen {
+					next = append(next, state{at: s.To(), steps: chain})
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package metapath
+
+import (
+	"errors"
+	"testing"
+
+	"hetesim/internal/hin"
+)
+
+func TestEnumerateShortPaths(t *testing.T) {
+	s := acmSchema(t)
+	paths, err := Enumerate(s, "author", "conference", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only length-3 author→conference path in the ACM schema is APVC
+	// (author→paper→venue→conference); nothing shorter exists.
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v, want exactly [APVC]", paths)
+	}
+	if paths[0].String() != "APVC" {
+		t.Errorf("path = %s, want APVC", paths[0])
+	}
+}
+
+func TestEnumerateFindsKnownFamilies(t *testing.T) {
+	s := acmSchema(t)
+	paths, err := Enumerate(s, "author", "author", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"APA": false, "APTPA": false, "APSPA": false, "AFA": false}
+	for _, p := range paths {
+		if _, ok := want[p.String()]; ok {
+			want[p.String()] = true
+		}
+		if p.Source() != "author" || p.Target() != "author" {
+			t.Errorf("path %s has wrong endpoints", p)
+		}
+		if p.Len() > 4 {
+			t.Errorf("path %s exceeds maxLen", p)
+		}
+	}
+	for spec, found := range want {
+		if !found {
+			t.Errorf("missing expected path %s", spec)
+		}
+	}
+	// Shortest-first ordering: the first hit is length 2.
+	if paths[0].Len() != 2 {
+		t.Errorf("first path %s has length %d, want 2", paths[0], paths[0].Len())
+	}
+}
+
+func TestEnumerateMaxPathsCap(t *testing.T) {
+	s := acmSchema(t)
+	paths, err := Enumerate(s, "author", "author", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Errorf("capped paths = %d, want 5", len(paths))
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	s := acmSchema(t)
+	if _, err := Enumerate(s, "movie", "author", 3, 0); !errors.Is(err, hin.ErrUnknownType) {
+		t.Errorf("unknown from err = %v", err)
+	}
+	if _, err := Enumerate(s, "author", "movie", 3, 0); !errors.Is(err, hin.ErrUnknownType) {
+		t.Errorf("unknown to err = %v", err)
+	}
+	if _, err := Enumerate(s, "author", "paper", 0, 0); !errors.Is(err, ErrBadSyntax) {
+		t.Errorf("bad maxLen err = %v", err)
+	}
+}
+
+func TestEnumerateUnreachable(t *testing.T) {
+	s := hin.NewSchema()
+	s.MustAddType("a", 'A')
+	s.MustAddType("b", 'B')
+	s.MustAddType("c", 'C')
+	s.MustAddRelation("r", "a", "b") // c is isolated
+	paths, err := Enumerate(s, "a", "c", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Errorf("paths to isolated type = %v", paths)
+	}
+}

@@ -1,0 +1,69 @@
+package metapath_test
+
+import (
+	"fmt"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+)
+
+func exampleSchema() *hin.Schema {
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("venue", 'V')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "venue")
+	s.MustAddRelation("part_of", "venue", "conference")
+	return s
+}
+
+func ExampleParse() {
+	s := exampleSchema()
+	p, err := metapath.Parse(s, "APVC")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Source(), "->", p.Target(), "in", p.Len(), "steps")
+	// Output: author -> conference in 3 steps
+}
+
+func ExampleParse_verbose() {
+	s := exampleSchema()
+	p, _ := metapath.Parse(s, "author>paper>venue")
+	fmt.Println(p)
+	// Output: APV
+}
+
+func ExamplePath_Reverse() {
+	s := exampleSchema()
+	p, _ := metapath.Parse(s, "APVC")
+	fmt.Println(p.Reverse())
+	// Output: CVPA
+}
+
+func ExamplePath_IsSymmetric() {
+	s := exampleSchema()
+	apa, _ := metapath.Parse(s, "APA")
+	apvc, _ := metapath.Parse(s, "APVC")
+	fmt.Println(apa.IsSymmetric(), apvc.IsSymmetric())
+	// Output: true false
+}
+
+func ExamplePath_Decompose() {
+	s := exampleSchema()
+	p, _ := metapath.Parse(s, "APVC") // odd length: middle atomic relation
+	d := p.Decompose()
+	fmt.Println(len(d.Left), d.Middle.Relation.Name, len(d.Right))
+	// Output: 1 published_in 1
+}
+
+func ExampleEnumerate() {
+	s := exampleSchema()
+	paths, _ := metapath.Enumerate(s, "author", "author", 2, 0)
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	// Output: APA
+}

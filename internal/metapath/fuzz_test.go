@@ -1,0 +1,73 @@
+package metapath
+
+import (
+	"testing"
+
+	"hetesim/internal/hin"
+)
+
+// fuzzSchema is the ACM-style schema used by the parser fuzzer.
+func fuzzSchema() *hin.Schema {
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("venue", 'V')
+	s.MustAddType("conference", 'C')
+	s.MustAddType("term", 'T')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "venue")
+	s.MustAddRelation("part_of", "venue", "conference")
+	s.MustAddRelation("mentions", "paper", "term")
+	return s
+}
+
+// FuzzParse checks the parser never panics and that every accepted path
+// satisfies its structural invariants and round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"APVC", "CVPA", "APA", "A", "", "AXP",
+		"author>paper>venue", "author[writes]>paper",
+		"author[>paper", "author>>paper", "a>b>c", "APVCVPA",
+		"author[mentions]>paper", ">>>", "[x]>y",
+	} {
+		f.Add(seed)
+	}
+	schema := fuzzSchema()
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(schema, spec)
+		if err != nil {
+			return
+		}
+		if p.Len() < 1 {
+			t.Fatalf("accepted path %q has length %d", spec, p.Len())
+		}
+		if got := len(p.Types()); got != p.Len()+1 {
+			t.Fatalf("path %q: %d types for %d steps", spec, got, p.Len())
+		}
+		for i := 1; i < p.Len(); i++ {
+			if p.Step(i-1).To() != p.Step(i).From() {
+				t.Fatalf("path %q: broken chain at %d", spec, i)
+			}
+		}
+		// String must re-parse to an equal path.
+		q, err := Parse(schema, p.String())
+		if err != nil {
+			t.Fatalf("String %q of accepted path %q does not re-parse: %v", p, spec, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip changed path: %q -> %q", spec, p)
+		}
+		// Reverse twice is identity; decomposition covers all steps.
+		if !p.Reverse().Reverse().Equal(p) {
+			t.Fatalf("double reverse changed %q", spec)
+		}
+		d := p.Decompose()
+		n := len(d.Left) + len(d.Right)
+		if d.Middle != nil {
+			n++
+		}
+		if n != p.Len() {
+			t.Fatalf("decomposition of %q covers %d of %d steps", spec, n, p.Len())
+		}
+	})
+}

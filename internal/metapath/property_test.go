@@ -1,0 +1,173 @@
+package metapath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPath builds a random valid path over the ACM test schema by walking
+// the relation graph.
+func randomPath(t *testing.T, rng *rand.Rand, maxLen int) *Path {
+	t.Helper()
+	s := acmSchema(t)
+	// All steps available from each type.
+	stepsFrom := make(map[string][]Step)
+	for _, rel := range s.Relations() {
+		stepsFrom[rel.Source] = append(stepsFrom[rel.Source], Step{Relation: rel})
+		stepsFrom[rel.Target] = append(stepsFrom[rel.Target], Step{Relation: rel, Inverse: true})
+	}
+	types := s.Types()
+	at := types[rng.Intn(len(types))].Name
+	for len(stepsFrom[at]) == 0 {
+		at = types[rng.Intn(len(types))].Name
+	}
+	n := 1 + rng.Intn(maxLen)
+	var steps []Step
+	for i := 0; i < n; i++ {
+		opts := stepsFrom[at]
+		if len(opts) == 0 {
+			break
+		}
+		st := opts[rng.Intn(len(opts))]
+		steps = append(steps, st)
+		at = st.To()
+	}
+	p, err := New(acmSchema(t), steps)
+	if err != nil {
+		t.Fatalf("random path invalid: %v", err)
+	}
+	return p
+}
+
+func TestDecomposeReassemblesProperty(t *testing.T) {
+	// Left + Middle + Right always re-chain into the original path.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := &testing.T{}
+		p := randomPath(tt, rng, 8)
+		d := p.Decompose()
+		steps := append([]Step(nil), d.Left...)
+		if d.Middle != nil {
+			steps = append(steps, *d.Middle)
+		}
+		steps = append(steps, d.Right...)
+		q, err := New(p.Schema(), steps)
+		if err != nil {
+			return false
+		}
+		if !q.Equal(p) {
+			return false
+		}
+		// Halves are equal-length: |Left| == |Right|.
+		return len(d.Left) == len(d.Right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseDistributesOverConcatProperty(t *testing.T) {
+	// (P Q)^-1 == Q^-1 P^-1 whenever P and Q chain.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := &testing.T{}
+		p := randomPath(tt, rng, 5)
+		// Build q starting where p ends by extending p and cutting.
+		full := randomPathFrom(tt, rng, p.Target(), 4)
+		if full == nil {
+			return true // no outgoing steps; vacuously fine
+		}
+		pq, err := p.Concat(full)
+		if err != nil {
+			return false
+		}
+		lhs := pq.Reverse()
+		rhs, err := full.Reverse().Concat(p.Reverse())
+		if err != nil {
+			return false
+		}
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomPathFrom builds a random path starting at a given type.
+func randomPathFrom(t *testing.T, rng *rand.Rand, from string, maxLen int) *Path {
+	t.Helper()
+	s := acmSchema(t)
+	stepsFrom := make(map[string][]Step)
+	for _, rel := range s.Relations() {
+		stepsFrom[rel.Source] = append(stepsFrom[rel.Source], Step{Relation: rel})
+		stepsFrom[rel.Target] = append(stepsFrom[rel.Target], Step{Relation: rel, Inverse: true})
+	}
+	if len(stepsFrom[from]) == 0 {
+		return nil
+	}
+	at := from
+	n := 1 + rng.Intn(maxLen)
+	var steps []Step
+	for i := 0; i < n; i++ {
+		opts := stepsFrom[at]
+		if len(opts) == 0 {
+			break
+		}
+		st := opts[rng.Intn(len(opts))]
+		steps = append(steps, st)
+		at = st.To()
+	}
+	p, err := New(s, steps)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+func TestSymmetricPathsSelfReverseProperty(t *testing.T) {
+	// P concatenated with its own reverse is always symmetric.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := &testing.T{}
+		p := randomPath(tt, rng, 5)
+		sym, err := p.Concat(p.Reverse())
+		if err != nil {
+			return false
+		}
+		return sym.IsSymmetric()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerateProducesOnlyValidPaths(t *testing.T) {
+	s := acmSchema(t)
+	paths, err := Enumerate(s, "author", "term", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no author→term paths found")
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if p.Source() != "author" || p.Target() != "term" {
+			t.Errorf("path %s endpoints wrong", p)
+		}
+		// Parsing the rendered path must succeed and round-trip.
+		q, err := Parse(s, p.String())
+		if err != nil {
+			t.Errorf("enumerated path %s does not parse: %v", p, err)
+			continue
+		}
+		if !q.Equal(p) {
+			t.Errorf("enumerated path %s round trip changed", p)
+		}
+		if seen[p.String()] {
+			t.Errorf("duplicate enumerated path %s", p)
+		}
+		seen[p.String()] = true
+	}
+}

@@ -1,0 +1,120 @@
+// Package rank provides top-k selection and ranked-list utilities used by
+// the query experiments (object profiling, expert finding, relevance
+// search): heap-based top-k over dense score vectors and labeled ranked
+// lists for display.
+package rank
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is one scored object in a ranked list.
+type Item struct {
+	Index int
+	ID    string
+	Score float64
+}
+
+// TopK returns the indices of the k largest scores in descending score
+// order, ties broken by ascending index. k larger than len(scores) returns
+// all indices ranked. Zero scores are kept — callers who want only
+// positively related objects should filter.
+func TopK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	h := &minHeap{}
+	heap.Init(h)
+	for i, s := range scores {
+		if h.Len() < k {
+			heap.Push(h, entry{i, s})
+			continue
+		}
+		if top := (*h)[0]; s > top.score || (s == top.score && i < top.idx) {
+			(*h)[0] = entry{i, s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(entry).idx
+	}
+	return out
+}
+
+type entry struct {
+	idx   int
+	score float64
+}
+
+// minHeap keeps the current k best with the worst on top; the tie order
+// (higher index = worse) matches TopK's ascending-index tie-break.
+type minHeap []entry
+
+func (h minHeap) Len() int { return len(h) }
+func (h minHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].idx > h[j].idx
+}
+func (h minHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)   { *h = append(*h, x.(entry)) }
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// List builds a ranked Item list from scores and parallel IDs, keeping the
+// top k.
+func List(scores []float64, ids []string, k int) ([]Item, error) {
+	if len(scores) != len(ids) {
+		return nil, fmt.Errorf("rank: %d scores vs %d ids", len(scores), len(ids))
+	}
+	idx := TopK(scores, k)
+	items := make([]Item, len(idx))
+	for p, i := range idx {
+		items[p] = Item{Index: i, ID: ids[i], Score: scores[i]}
+	}
+	return items, nil
+}
+
+// Positions returns a map from index to 1-based rank over all scores
+// (descending, ties by ascending index).
+func Positions(scores []float64) map[int]int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	pos := make(map[int]int, len(idx))
+	for p, i := range idx {
+		pos[i] = p + 1
+	}
+	return pos
+}
+
+// Format renders a ranked list as the aligned two-column tables the
+// paper's case studies print (rank, id, score).
+func Format(items []Item) string {
+	var b strings.Builder
+	width := 0
+	for _, it := range items {
+		if len(it.ID) > width {
+			width = len(it.ID)
+		}
+	}
+	for p, it := range items {
+		fmt.Fprintf(&b, "%2d  %-*s  %.4f\n", p+1, width, it.ID, it.Score)
+	}
+	return b.String()
+}

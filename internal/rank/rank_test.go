@@ -1,0 +1,85 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasics(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	got := TopK(scores, 3)
+	// Ties broken by ascending index: 1 before 3.
+	want := []int{1, 3, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopK = %v, want %v", got, want)
+	}
+	if got := TopK(scores, 0); got != nil {
+		t.Errorf("TopK(0) = %v, want nil", got)
+	}
+	if got := TopK(scores, 100); len(got) != 5 {
+		t.Errorf("TopK over-len = %v", got)
+	}
+	if got := TopK(nil, 3); got != nil {
+		t.Errorf("TopK(nil) = %v", got)
+	}
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8)) // frequent ties
+		}
+		k := 1 + rng.Intn(n)
+		got := TopK(scores, k)
+
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return scores[ref[a]] > scores[ref[b]] })
+		return reflect.DeepEqual(got, ref[:k])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestList(t *testing.T) {
+	scores := []float64{0.3, 0.7}
+	ids := []string{"x", "y"}
+	items, err := List(scores, ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].ID != "y" || items[1].ID != "x" || items[0].Score != 0.7 {
+		t.Errorf("List = %v", items)
+	}
+	if _, err := List(scores, ids[:1], 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	pos := Positions([]float64{0.5, 0.9, 0.1})
+	if pos[1] != 1 || pos[0] != 2 || pos[2] != 3 {
+		t.Errorf("Positions = %v", pos)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := Format([]Item{{0, "alice", 0.92}, {3, "bob", 0.4}})
+	if !strings.Contains(s, "alice") || !strings.Contains(s, "0.9200") {
+		t.Errorf("Format = %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], " 2") {
+		t.Errorf("Format layout = %q", s)
+	}
+}

@@ -1,0 +1,412 @@
+// Package server exposes relevance search over a heterogeneous network as
+// an HTTP JSON API: pair queries, top-k queries, and schema/stats
+// introspection, under any of the implemented measures (HeteSim, PCRW,
+// PathSim). It is the online-query deployment surface for the offline
+// materialization story of Section 4.6 — engines keep their per-path
+// caches across requests, so repeated queries on a path are served from
+// materialized reaching distributions.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"hetesim/internal/baseline"
+	"hetesim/internal/core"
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/rank"
+)
+
+// Server answers relevance queries over one graph. It is safe for
+// concurrent use: all underlying engines are.
+type Server struct {
+	g       *hin.Graph
+	engine  *core.Engine
+	raw     *core.Engine
+	pcrw    *baseline.PCRW
+	pathsim *baseline.PathSim
+	mux     *http.ServeMux
+}
+
+// New creates a Server over g.
+func New(g *hin.Graph) *Server {
+	e := core.NewEngine(g)
+	s := &Server{
+		g:       g,
+		engine:  e,
+		raw:     core.NewEngine(g, core.WithNormalization(false)),
+		pcrw:    baseline.NewPCRWFromEngine(e),
+		pathsim: baseline.NewPathSim(g),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Precompute materializes the given relevance path in the HeteSim engine,
+// so subsequent queries on it are served from cached reaching
+// distributions.
+func (s *Server) Precompute(spec string) error {
+	p, err := metapath.Parse(s.g.Schema(), spec)
+	if err != nil {
+		return err
+	}
+	return s.engine.Precompute(p)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing left to do but note it server-side.
+		fmt.Println("server: encoding response:", err)
+	}
+}
+
+// writeError maps domain errors to HTTP statuses: unknown objects are 404,
+// malformed queries 400, everything else 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, hin.ErrUnknownNode):
+		status = http.StatusNotFound
+	case errors.Is(err, hin.ErrUnknownType),
+		errors.Is(err, hin.ErrUnknownRelation),
+		errors.Is(err, hin.ErrAmbiguous),
+		errors.Is(err, metapath.ErrBadSyntax),
+		errors.Is(err, metapath.ErrEmptyPath),
+		errors.Is(err, metapath.ErrNotChained),
+		errors.Is(err, baseline.ErrAsymmetricPath),
+		errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+var errBadRequest = errors.New("bad request")
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type schemaBody struct {
+	Types     []typeBody     `json:"types"`
+	Relations []relationBody `json:"relations"`
+}
+
+type typeBody struct {
+	Name   string `json:"name"`
+	Abbrev string `json:"abbrev,omitempty"`
+	Count  int    `json:"count"`
+}
+
+type relationBody struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+	Edges  int    `json:"edges"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	var body schemaBody
+	for _, t := range s.g.Schema().Types() {
+		ab := ""
+		if t.Abbrev != 0 {
+			ab = string(t.Abbrev)
+		}
+		body.Types = append(body.Types, typeBody{Name: t.Name, Abbrev: ab, Count: s.g.NodeCount(t.Name)})
+	}
+	for _, r := range s.g.Schema().Relations() {
+		adj, err := s.g.Adjacency(r.Name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		body.Relations = append(body.Relations, relationBody{
+			Name: r.Name, Source: r.Source, Target: r.Target, Edges: adj.NNZ(),
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": s.g.TotalNodes(),
+		"edges": s.g.TotalEdges(),
+	})
+}
+
+// query holds the decoded common parameters of pair/topk requests.
+type query struct {
+	path    *metapath.Path
+	source  string
+	measure string
+	raw     bool
+}
+
+func (s *Server) decodeQuery(r *http.Request) (query, error) {
+	q := r.URL.Query()
+	spec := q.Get("path")
+	if spec == "" {
+		return query{}, fmt.Errorf("%w: missing path parameter", errBadRequest)
+	}
+	p, err := metapath.Parse(s.g.Schema(), spec)
+	if err != nil {
+		return query{}, err
+	}
+	source := q.Get("source")
+	if source == "" {
+		return query{}, fmt.Errorf("%w: missing source parameter", errBadRequest)
+	}
+	measure := q.Get("measure")
+	if measure == "" {
+		measure = "hetesim"
+	}
+	switch measure {
+	case "hetesim", "pcrw", "pathsim":
+	default:
+		return query{}, fmt.Errorf("%w: unknown measure %q", errBadRequest, measure)
+	}
+	raw := false
+	if v := q.Get("raw"); v != "" {
+		raw, err = strconv.ParseBool(v)
+		if err != nil {
+			return query{}, fmt.Errorf("%w: raw=%q", errBadRequest, v)
+		}
+		if measure != "hetesim" {
+			return query{}, fmt.Errorf("%w: raw applies only to hetesim", errBadRequest)
+		}
+	}
+	return query{path: p, source: source, measure: measure, raw: raw}, nil
+}
+
+type pairBody struct {
+	Path    string  `json:"path"`
+	Source  string  `json:"source"`
+	Target  string  `json:"target"`
+	Measure string  `json:"measure"`
+	Score   float64 `json:"score"`
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	q, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeError(w, fmt.Errorf("%w: missing target parameter", errBadRequest))
+		return
+	}
+	var score float64
+	switch q.measure {
+	case "hetesim":
+		e := s.engine
+		if q.raw {
+			e = s.raw
+		}
+		score, err = e.Pair(q.path, q.source, target)
+	case "pcrw":
+		score, err = s.pcrw.Pair(q.path, q.source, target)
+	case "pathsim":
+		score, err = s.pathsim.Pair(q.path, q.source, target)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pairBody{
+		Path: q.path.String(), Source: q.source, Target: target,
+		Measure: q.measure, Score: score,
+	})
+}
+
+type topKBody struct {
+	Path    string    `json:"path"`
+	Source  string    `json:"source"`
+	Measure string    `json:"measure"`
+	Results []hitBody `json:"results"`
+}
+
+type hitBody struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+type explainBody struct {
+	Path    string     `json:"path"`
+	Queries int        `json:"queries"`
+	Report  string     `json:"report"`
+	Plans   []planBody `json:"plans"`
+}
+
+type planBody struct {
+	Kind        string  `json:"kind"`
+	Flops       float64 `json:"flops"`
+	Materialize float64 `json:"materialize"`
+	Description string  `json:"description"`
+}
+
+type whyBody struct {
+	Path          string             `json:"path"`
+	Source        string             `json:"source"`
+	Target        string             `json:"target"`
+	Score         float64            `json:"score"`
+	Contributions []contributionBody `json:"contributions"`
+}
+
+type contributionBody struct {
+	Label    string  `json:"label"`
+	Value    float64 `json:"value"`
+	Fraction float64 `json:"fraction"`
+}
+
+// handleWhy explains a pair's HeteSim score by its top meeting-object
+// contributions.
+func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
+	q, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if q.measure != "hetesim" {
+		writeError(w, fmt.Errorf("%w: why applies only to hetesim", errBadRequest))
+		return
+	}
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeError(w, fmt.Errorf("%w: missing target parameter", errBadRequest))
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			writeError(w, fmt.Errorf("%w: k=%q", errBadRequest, v))
+			return
+		}
+	}
+	e := s.engine
+	if q.raw {
+		e = s.raw
+	}
+	src, err := s.g.NodeIndex(q.path.Source(), q.source)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	dst, err := s.g.NodeIndex(q.path.Target(), target)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	score, contribs, err := e.PairContributions(q.path, src, dst, k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := whyBody{Path: q.path.String(), Source: q.source, Target: target, Score: score}
+	for _, c := range contribs {
+		body.Contributions = append(body.Contributions, contributionBody{
+			Label: c.Label, Value: c.Value, Fraction: c.Fraction,
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleExplain exposes the HeteSim query planner: the estimated cost of
+// every physical plan for a path, amortized over an expected query count.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	spec := r.URL.Query().Get("path")
+	if spec == "" {
+		writeError(w, fmt.Errorf("%w: missing path parameter", errBadRequest))
+		return
+	}
+	p, err := metapath.Parse(s.g.Schema(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	queries := 1
+	if v := r.URL.Query().Get("queries"); v != "" {
+		queries, err = strconv.Atoi(v)
+		if err != nil || queries < 1 {
+			writeError(w, fmt.Errorf("%w: queries=%q", errBadRequest, v))
+			return
+		}
+	}
+	report, plans, err := s.engine.Explain(p, queries)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := explainBody{Path: p.String(), Queries: queries, Report: report}
+	for _, pl := range plans {
+		body.Plans = append(body.Plans, planBody{
+			Kind: string(pl.Kind), Flops: pl.Flops,
+			Materialize: pl.Materialize, Description: pl.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q, err := s.decodeQuery(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			writeError(w, fmt.Errorf("%w: k=%q", errBadRequest, v))
+			return
+		}
+	}
+	var scores []float64
+	switch q.measure {
+	case "hetesim":
+		e := s.engine
+		if q.raw {
+			e = s.raw
+		}
+		scores, err = e.SingleSource(q.path, q.source)
+	case "pcrw":
+		scores, err = s.pcrw.SingleSource(q.path, q.source)
+	case "pathsim":
+		scores, err = s.pathsim.SingleSource(q.path, q.source)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	items, err := rank.List(scores, s.g.NodeIDs(q.path.Target()), k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure}
+	for _, it := range items {
+		body.Results = append(body.Results, hitBody{ID: it.ID, Score: it.Score})
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMatrix checks the binary matrix reader never panics and never
+// accepts a structurally inconsistent matrix.
+func FuzzReadMatrix(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, FromDense([][]float64{{1, 0, 2}, {0, 3, 0}})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := WriteMatrix(&buf, Zeros(0, 0)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CSRM"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMatrix(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must behave like a well-formed matrix.
+		rows, cols := m.Dims()
+		if rows < 0 || cols < 0 {
+			t.Fatal("negative dims accepted")
+		}
+		// Every access within bounds must be safe, and a round trip must
+		// reproduce the matrix.
+		for r := 0; r < rows; r++ {
+			_ = m.Row(r)
+		}
+		var out bytes.Buffer
+		if err := WriteMatrix(&out, m); err != nil {
+			t.Fatalf("accepted matrix does not serialize: %v", err)
+		}
+		m2, err := ReadMatrix(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !m2.Equal(m) {
+			t.Fatal("round trip changed matrix")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of CSR matrices, used to persist materialized
+// reachable probability matrices (the offline materialization speedup of
+// Section 4.6 of the paper). The format is a fixed little-endian layout:
+//
+//	magic "CSRM" | version u32 | rows u64 | cols u64 | nnz u64
+//	rowPtr (rows+1 × u64) | colIdx (nnz × u64) | val (nnz × f64)
+
+var (
+	// ErrBadFormat marks a malformed or corrupted serialized matrix.
+	ErrBadFormat = errors.New("sparse: bad matrix format")
+
+	matrixMagic   = [4]byte{'C', 'S', 'R', 'M'}
+	matrixVersion = uint32(1)
+)
+
+// WriteMatrix serializes m to w in the binary CSR format.
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(matrixMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(matrixVersion), uint64(m.rows), uint64(m.cols), uint64(len(m.val))}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(hdr[0])); err != nil {
+		return err
+	}
+	for _, v := range hdr[1:] {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.rowPtr {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(p)); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.colIdx {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(c)); err != nil {
+			return err
+		}
+	}
+	for _, v := range m.val {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix deserializes a matrix written by WriteMatrix, validating the
+// structural invariants (monotone row pointers, in-range sorted columns) so
+// a corrupted file cannot produce an inconsistent matrix.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if magic != matrixMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrBadFormat, err)
+	}
+	if version != matrixVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	var rows, cols, nnz uint64
+	for _, dst := range []*uint64{&rows, &cols, &nnz} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+		}
+	}
+	const maxDim = 1 << 40 // sanity cap against absurd headers
+	if rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d nnz=%d", ErrBadFormat, rows, cols, nnz)
+	}
+	m := &Matrix{
+		rows:   int(rows),
+		cols:   int(cols),
+		rowPtr: make([]int, rows+1),
+		colIdx: make([]int, nnz),
+		val:    make([]float64, nnz),
+	}
+	for i := range m.rowPtr {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: reading row pointers: %v", ErrBadFormat, err)
+		}
+		m.rowPtr[i] = int(v)
+	}
+	for i := range m.colIdx {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: reading columns: %v", ErrBadFormat, err)
+		}
+		m.colIdx[i] = int(v)
+	}
+	for i := range m.val {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: reading values: %v", ErrBadFormat, err)
+		}
+		m.val[i] = math.Float64frombits(v)
+	}
+	// Structural validation.
+	if m.rowPtr[0] != 0 || m.rowPtr[len(m.rowPtr)-1] != int(nnz) {
+		return nil, fmt.Errorf("%w: row pointer endpoints", ErrBadFormat)
+	}
+	for i := 1; i < len(m.rowPtr); i++ {
+		if m.rowPtr[i] < m.rowPtr[i-1] {
+			return nil, fmt.Errorf("%w: non-monotone row pointers", ErrBadFormat)
+		}
+	}
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			if m.colIdx[k] < 0 || m.colIdx[k] >= m.cols {
+				return nil, fmt.Errorf("%w: column %d out of range", ErrBadFormat, m.colIdx[k])
+			}
+			if k > m.rowPtr[r] && m.colIdx[k] <= m.colIdx[k-1] {
+				return nil, fmt.Errorf("%w: unsorted columns in row %d", ErrBadFormat, r)
+			}
+		}
+	}
+	return m, nil
+}

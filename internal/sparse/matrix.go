@@ -1,0 +1,634 @@
+// Package sparse implements the sparse linear algebra substrate used by the
+// HeteSim engine: immutable CSR (compressed sparse row) matrices, sparse
+// vectors, sparse-sparse products (SpGEMM), matrix-vector products, and the
+// row/column stochastic normalizations that turn adjacency matrices into the
+// transition probability matrices of Definition 8 in the paper.
+//
+// All matrices are immutable after construction; every operation returns a
+// new matrix. This keeps concurrent readers safe without locks, which the
+// HeteSim engine relies on when evaluating independent queries in parallel.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Matrix is an immutable sparse matrix in CSR form. The zero value is an
+// empty 0x0 matrix. Entries within a row are stored in strictly increasing
+// column order with no explicit zeros and no duplicate coordinates.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int // len rows+1
+	colIdx     []int // len nnz
+	val        []float64
+}
+
+// Triplet is a single (row, col, value) coordinate entry used when building
+// matrices. Duplicate coordinates are summed during construction.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// New builds a CSR matrix of the given shape from coordinate triplets.
+// Duplicate coordinates are summed; resulting exact zeros are dropped.
+// It panics if the shape is negative or any coordinate is out of range,
+// since those are programming errors rather than data errors.
+func New(rows, cols int, entries []Triplet) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for %dx%d matrix",
+				t.Row, t.Col, rows, cols))
+		}
+	}
+	// Sort by (row, col) and merge duplicates.
+	ts := make([]Triplet, len(entries))
+	copy(ts, entries)
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Row != ts[j].Row {
+			return ts[i].Row < ts[j].Row
+		}
+		return ts[i].Col < ts[j].Col
+	})
+	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	var lastRow, lastCol = -1, -1
+	for _, t := range ts {
+		if t.Row == lastRow && t.Col == lastCol {
+			m.val[len(m.val)-1] += t.Val
+			continue
+		}
+		m.colIdx = append(m.colIdx, t.Col)
+		m.val = append(m.val, t.Val)
+		for r := lastRow + 1; r <= t.Row; r++ {
+			m.rowPtr[r] = len(m.val) - 1
+		}
+		lastRow, lastCol = t.Row, t.Col
+	}
+	for r := lastRow + 1; r <= rows; r++ {
+		m.rowPtr[r] = len(m.val)
+	}
+	return m.dropZeros()
+}
+
+// dropZeros removes explicit zeros left behind by cancellation in duplicate
+// merging or arithmetic. It rebuilds in place and returns the receiver.
+func (m *Matrix) dropZeros() *Matrix {
+	hasZero := false
+	for _, v := range m.val {
+		if v == 0 {
+			hasZero = true
+			break
+		}
+	}
+	if !hasZero {
+		return m
+	}
+	newPtr := make([]int, m.rows+1)
+	var nc []int
+	var nv []float64
+	for r := 0; r < m.rows; r++ {
+		newPtr[r] = len(nv)
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			if m.val[k] != 0 {
+				nc = append(nc, m.colIdx[k])
+				nv = append(nv, m.val[k])
+			}
+		}
+	}
+	newPtr[m.rows] = len(nv)
+	m.rowPtr, m.colIdx, m.val = newPtr, nc, nv
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := &Matrix{rows: n, cols: n, rowPtr: make([]int, n+1),
+		colIdx: make([]int, n), val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.rowPtr[i] = i
+		m.colIdx[i] = i
+		m.val[i] = 1
+	}
+	m.rowPtr[n] = n
+	return m
+}
+
+// Zeros returns an all-zero matrix of the given shape.
+func Zeros(rows, cols int) *Matrix {
+	return &Matrix{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+}
+
+// FromDense builds a sparse matrix from a dense row-major [][]float64,
+// dropping exact zeros. All rows must have equal length.
+func FromDense(d [][]float64) *Matrix {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	var ts []Triplet
+	for i, row := range d {
+		if len(row) != cols {
+			panic("sparse: ragged dense input")
+		}
+		for j, v := range row {
+			if v != 0 {
+				ts = append(ts, Triplet{i, j, v})
+			}
+		}
+	}
+	return New(rows, cols, ts)
+}
+
+// Dims returns the (rows, cols) shape.
+func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored (non-zero) entries.
+func (m *Matrix) NNZ() int { return len(m.val) }
+
+// At returns the entry at (i, j), using binary search within row i.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k]
+	}
+	return 0
+}
+
+// Row returns row i as a sparse Vector sharing no storage with m.
+func (m *Matrix) Row(i int) *Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("sparse: Row(%d) out of range for %d rows", i, m.rows))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	v := &Vector{n: m.cols,
+		idx: make([]int, hi-lo),
+		val: make([]float64, hi-lo)}
+	copy(v.idx, m.colIdx[lo:hi])
+	copy(v.val, m.val[lo:hi])
+	return v
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *Matrix) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// RowDense writes row i into dst (which must have length Cols) and returns
+// it; if dst is nil a new slice is allocated.
+func (m *Matrix) RowDense(i int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.cols)
+	} else {
+		if len(dst) != m.cols {
+			panic("sparse: RowDense dst length mismatch")
+		}
+		for k := range dst {
+			dst[k] = 0
+		}
+	}
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		dst[m.colIdx[k]] = m.val[k]
+	}
+	return dst
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := &Matrix{rows: m.cols, cols: m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, len(m.colIdx)),
+		val:    make([]float64, len(m.val))}
+	// Count entries per column of m (= per row of t).
+	for _, c := range m.colIdx {
+		t.rowPtr[c+1]++
+	}
+	for i := 0; i < m.cols; i++ {
+		t.rowPtr[i+1] += t.rowPtr[i]
+	}
+	next := make([]int, m.cols)
+	copy(next, t.rowPtr[:m.cols])
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			c := m.colIdx[k]
+			p := next[c]
+			t.colIdx[p] = r
+			t.val[p] = m.val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// Mul returns the product m * b using row-wise SpGEMM with a dense
+// accumulator (Gustavson's algorithm). Panics on shape mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("sparse: Mul shape mismatch %dx%d * %dx%d",
+			m.rows, m.cols, b.rows, b.cols))
+	}
+	out := &Matrix{rows: m.rows, cols: b.cols, rowPtr: make([]int, m.rows+1)}
+	acc := make([]float64, b.cols)
+	mark := make([]int, b.cols) // mark[c] == r+1 when acc[c] is live for row r
+	cols := make([]int, 0, b.cols)
+	for r := 0; r < m.rows; r++ {
+		cols = cols[:0]
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			j, av := m.colIdx[k], m.val[k]
+			for kb := b.rowPtr[j]; kb < b.rowPtr[j+1]; kb++ {
+				c := b.colIdx[kb]
+				if mark[c] != r+1 {
+					mark[c] = r + 1
+					acc[c] = 0
+					cols = append(cols, c)
+				}
+				acc[c] += av * b.val[kb]
+			}
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			if acc[c] != 0 {
+				out.colIdx = append(out.colIdx, c)
+				out.val = append(out.val, acc[c])
+			}
+		}
+		out.rowPtr[r+1] = len(out.val)
+	}
+	return out
+}
+
+// MulVec returns m * x as a dense vector (length Rows). x must have length
+// Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("sparse: MulVec length mismatch")
+	}
+	y := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		var s float64
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// VecMul returns x' * m as a dense vector (length Cols). x must have length
+// Rows. This is the workhorse of single-source reachable probability
+// propagation: a distribution over the current type times the transition
+// matrix of the next relation.
+func (m *Matrix) VecMul(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic("sparse: VecMul length mismatch")
+	}
+	y := make([]float64, m.cols)
+	for r := 0; r < m.rows; r++ {
+		xv := x[r]
+		if xv == 0 {
+			continue
+		}
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			y[m.colIdx[k]] += xv * m.val[k]
+		}
+	}
+	return y
+}
+
+// Scale returns m with every entry multiplied by a. Scaling by zero returns
+// an empty matrix of the same shape.
+func (m *Matrix) Scale(a float64) *Matrix {
+	if a == 0 {
+		return Zeros(m.rows, m.cols)
+	}
+	out := m.clone()
+	for i := range out.val {
+		out.val[i] *= a
+	}
+	return out
+}
+
+// Add returns m + b. Panics on shape mismatch.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("sparse: Add shape mismatch %dx%d + %dx%d",
+			m.rows, m.cols, b.rows, b.cols))
+	}
+	out := &Matrix{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	for r := 0; r < m.rows; r++ {
+		ka, ea := m.rowPtr[r], m.rowPtr[r+1]
+		kb, eb := b.rowPtr[r], b.rowPtr[r+1]
+		for ka < ea || kb < eb {
+			switch {
+			case kb >= eb || (ka < ea && m.colIdx[ka] < b.colIdx[kb]):
+				out.colIdx = append(out.colIdx, m.colIdx[ka])
+				out.val = append(out.val, m.val[ka])
+				ka++
+			case ka >= ea || b.colIdx[kb] < m.colIdx[ka]:
+				out.colIdx = append(out.colIdx, b.colIdx[kb])
+				out.val = append(out.val, b.val[kb])
+				kb++
+			default:
+				s := m.val[ka] + b.val[kb]
+				if s != 0 {
+					out.colIdx = append(out.colIdx, m.colIdx[ka])
+					out.val = append(out.val, s)
+				}
+				ka++
+				kb++
+			}
+		}
+		out.rowPtr[r+1] = len(out.val)
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product of m and b.
+func (m *Matrix) Hadamard(b *Matrix) *Matrix {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("sparse: Hadamard shape mismatch")
+	}
+	out := &Matrix{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	for r := 0; r < m.rows; r++ {
+		ka, ea := m.rowPtr[r], m.rowPtr[r+1]
+		kb, eb := b.rowPtr[r], b.rowPtr[r+1]
+		for ka < ea && kb < eb {
+			switch {
+			case m.colIdx[ka] < b.colIdx[kb]:
+				ka++
+			case b.colIdx[kb] < m.colIdx[ka]:
+				kb++
+			default:
+				p := m.val[ka] * b.val[kb]
+				if p != 0 {
+					out.colIdx = append(out.colIdx, m.colIdx[ka])
+					out.val = append(out.val, p)
+				}
+				ka++
+				kb++
+			}
+		}
+		out.rowPtr[r+1] = len(out.val)
+	}
+	return out
+}
+
+// RowSums returns the vector of per-row sums.
+func (m *Matrix) RowSums() []float64 {
+	s := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			s[r] += m.val[k]
+		}
+	}
+	return s
+}
+
+// ColSums returns the vector of per-column sums.
+func (m *Matrix) ColSums() []float64 {
+	s := make([]float64, m.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			s[m.colIdx[k]] += m.val[k]
+		}
+	}
+	return s
+}
+
+// RowNormalize returns the row-stochastic matrix U obtained by dividing each
+// row by its sum (Definition 8: the transition probability matrix of A→B).
+// Rows that sum to zero are left zero, matching the paper's convention that
+// objects without out-neighbors contribute zero relatedness.
+func (m *Matrix) RowNormalize() *Matrix {
+	out := m.clone()
+	for r := 0; r < out.rows; r++ {
+		var s float64
+		for k := out.rowPtr[r]; k < out.rowPtr[r+1]; k++ {
+			s += out.val[k]
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1 / s
+		for k := out.rowPtr[r]; k < out.rowPtr[r+1]; k++ {
+			out.val[k] *= inv
+		}
+	}
+	return out
+}
+
+// ColNormalize returns the column-stochastic matrix V obtained by dividing
+// each column by its sum (Definition 8: the transition probability matrix of
+// B→A based on the inverse relation). Columns summing to zero are left zero.
+func (m *Matrix) ColNormalize() *Matrix {
+	sums := m.ColSums()
+	out := m.clone()
+	for r := 0; r < out.rows; r++ {
+		for k := out.rowPtr[r]; k < out.rowPtr[r+1]; k++ {
+			if s := sums[out.colIdx[k]]; s != 0 {
+				out.val[k] /= s
+			}
+		}
+	}
+	return out
+}
+
+// RowNorms returns the per-row Euclidean (L2) norms, used to normalize
+// HeteSim into its cosine form (Definition 10).
+func (m *Matrix) RowNorms() []float64 {
+	s := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		var q float64
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			q += m.val[k] * m.val[k]
+		}
+		s[r] = math.Sqrt(q)
+	}
+	return s
+}
+
+// ScaleRows returns a copy of m with row i multiplied by d[i].
+func (m *Matrix) ScaleRows(d []float64) *Matrix {
+	if len(d) != m.rows {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	out := m.clone()
+	for r := 0; r < out.rows; r++ {
+		for k := out.rowPtr[r]; k < out.rowPtr[r+1]; k++ {
+			out.val[k] *= d[r]
+		}
+	}
+	return out.dropZeros()
+}
+
+// ScaleCols returns a copy of m with column j multiplied by d[j].
+func (m *Matrix) ScaleCols(d []float64) *Matrix {
+	if len(d) != m.cols {
+		panic("sparse: ScaleCols length mismatch")
+	}
+	out := m.clone()
+	for r := 0; r < out.rows; r++ {
+		for k := out.rowPtr[r]; k < out.rowPtr[r+1]; k++ {
+			out.val[k] *= d[out.colIdx[k]]
+		}
+	}
+	return out.dropZeros()
+}
+
+// Prune returns a copy of m with all entries of absolute value below eps
+// removed. It implements the truncation speedup discussed in Section 4.6 of
+// the paper: small reachable probabilities are dropped with bounded error.
+func (m *Matrix) Prune(eps float64) *Matrix {
+	out := &Matrix{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			if math.Abs(m.val[k]) >= eps {
+				out.colIdx = append(out.colIdx, m.colIdx[k])
+				out.val = append(out.val, m.val[k])
+			}
+		}
+		out.rowPtr[r+1] = len(out.val)
+	}
+	return out
+}
+
+// SelectRows returns the submatrix formed by the given rows, in the given
+// order (rows may repeat). Column count is unchanged.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	out := &Matrix{rows: len(rows), cols: m.cols, rowPtr: make([]int, len(rows)+1)}
+	for p, r := range rows {
+		if r < 0 || r >= m.rows {
+			panic(fmt.Sprintf("sparse: SelectRows row %d out of range for %d rows", r, m.rows))
+		}
+		out.colIdx = append(out.colIdx, m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]]...)
+		out.val = append(out.val, m.val[m.rowPtr[r]:m.rowPtr[r+1]]...)
+		out.rowPtr[p+1] = len(out.val)
+	}
+	return out
+}
+
+// Dense returns the matrix as a freshly allocated dense [][]float64.
+func (m *Matrix) Dense() [][]float64 {
+	d := make([][]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		d[r] = make([]float64, m.cols)
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			d[r][m.colIdx[k]] = m.val[k]
+		}
+	}
+	return d
+}
+
+// Equal reports whether m and b have identical shape and entries.
+func (m *Matrix) Equal(b *Matrix) bool { return m.ApproxEqual(b, 0) }
+
+// ApproxEqual reports whether m and b have identical shape and entries equal
+// within absolute tolerance tol.
+func (m *Matrix) ApproxEqual(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for r := 0; r < m.rows; r++ {
+		ka, ea := m.rowPtr[r], m.rowPtr[r+1]
+		kb, eb := b.rowPtr[r], b.rowPtr[r+1]
+		for ka < ea || kb < eb {
+			switch {
+			case kb >= eb || (ka < ea && m.colIdx[ka] < b.colIdx[kb]):
+				if math.Abs(m.val[ka]) > tol {
+					return false
+				}
+				ka++
+			case ka >= ea || b.colIdx[kb] < m.colIdx[ka]:
+				if math.Abs(b.val[kb]) > tol {
+					return false
+				}
+				kb++
+			default:
+				if math.Abs(m.val[ka]-b.val[kb]) > tol {
+					return false
+				}
+				ka++
+				kb++
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute entry value, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.val {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.val {
+		s += v
+	}
+	return s
+}
+
+func (m *Matrix) clone() *Matrix {
+	out := &Matrix{rows: m.rows, cols: m.cols,
+		rowPtr: make([]int, len(m.rowPtr)),
+		colIdx: make([]int, len(m.colIdx)),
+		val:    make([]float64, len(m.val))}
+	copy(out.rowPtr, m.rowPtr)
+	copy(out.colIdx, m.colIdx)
+	copy(out.val, m.val)
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix { return m.clone() }
+
+// Triplets returns the stored entries in row-major order.
+func (m *Matrix) Triplets() []Triplet {
+	ts := make([]Triplet, 0, len(m.val))
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			ts = append(ts, Triplet{r, m.colIdx[k], m.val[k]})
+		}
+	}
+	return ts
+}
+
+// String renders small matrices densely and large ones as a summary.
+func (m *Matrix) String() string {
+	if m.rows*m.cols > 400 {
+		return fmt.Sprintf("sparse.Matrix(%dx%d, nnz=%d)", m.rows, m.cols, len(m.val))
+	}
+	var b strings.Builder
+	d := m.Dense()
+	for _, row := range d {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%6.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

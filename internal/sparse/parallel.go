@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// parallelFlopThreshold is the estimated multiply-add count above which Mul
+// fans out across cores. Below it, goroutine overhead dominates.
+const parallelFlopThreshold = 1 << 21
+
+// MulParallel returns m * b like Mul, computing disjoint row blocks on
+// up to workers goroutines (0 means GOMAXPROCS). The result is identical
+// to Mul — row blocks are independent, so parallelism does not perturb
+// the output.
+func (m *Matrix) MulParallel(b *Matrix, workers int) *Matrix {
+	if m.cols != b.rows {
+		panic("sparse: MulParallel shape mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.rows {
+		workers = m.rows
+	}
+	if workers <= 1 {
+		return m.Mul(b)
+	}
+	type block struct {
+		lo, hi int
+		colIdx []int
+		val    []float64
+		rowNNZ []int
+	}
+	blocks := make([]block, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := m.rows * w / workers
+		hi := m.rows * (w + 1) / workers
+		blocks[w] = block{lo: lo, hi: hi, rowNNZ: make([]int, hi-lo)}
+		wg.Add(1)
+		go func(blk *block) {
+			defer wg.Done()
+			acc := make([]float64, b.cols)
+			mark := make([]int, b.cols)
+			cols := make([]int, 0, b.cols)
+			for r := blk.lo; r < blk.hi; r++ {
+				cols = cols[:0]
+				for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+					j, av := m.colIdx[k], m.val[k]
+					for kb := b.rowPtr[j]; kb < b.rowPtr[j+1]; kb++ {
+						c := b.colIdx[kb]
+						if mark[c] != r+1 {
+							mark[c] = r + 1
+							acc[c] = 0
+							cols = append(cols, c)
+						}
+						acc[c] += av * b.val[kb]
+					}
+				}
+				sort.Ints(cols)
+				n := 0
+				for _, c := range cols {
+					if acc[c] != 0 {
+						blk.colIdx = append(blk.colIdx, c)
+						blk.val = append(blk.val, acc[c])
+						n++
+					}
+				}
+				blk.rowNNZ[r-blk.lo] = n
+			}
+		}(&blocks[w])
+	}
+	wg.Wait()
+	out := &Matrix{rows: m.rows, cols: b.cols, rowPtr: make([]int, m.rows+1)}
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk.val)
+	}
+	out.colIdx = make([]int, 0, total)
+	out.val = make([]float64, 0, total)
+	for _, blk := range blocks {
+		for i, n := range blk.rowNNZ {
+			out.rowPtr[blk.lo+i+1] = out.rowPtr[blk.lo+i] + n
+		}
+		out.colIdx = append(out.colIdx, blk.colIdx...)
+		out.val = append(out.val, blk.val...)
+	}
+	return out
+}
+
+// MulAuto multiplies with Mul or MulParallel depending on the estimated
+// work, so callers on large probability-matrix chains get parallel SpGEMM
+// transparently.
+func (m *Matrix) MulAuto(b *Matrix) *Matrix {
+	// Estimate flops as Σ over entries of m of the matching row size in b.
+	var flops int
+	for r := 0; r < m.rows && flops < parallelFlopThreshold; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			j := m.colIdx[k]
+			flops += b.rowPtr[j+1] - b.rowPtr[j]
+		}
+	}
+	if flops >= parallelFlopThreshold {
+		return m.MulParallel(b, 0)
+	}
+	return m.Mul(b)
+}

@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVectorMergesAndDrops(t *testing.T) {
+	v := NewVector(5, []int{3, 1, 3, 2, 2}, []float64{1, 4, 2, 5, -5})
+	if got := v.At(3); got != 3 {
+		t.Errorf("At(3) = %v, want 3", got)
+	}
+	if got := v.At(2); got != 0 {
+		t.Errorf("At(2) = %v, want 0 (cancelled)", got)
+	}
+	if v.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", v.NNZ())
+	}
+}
+
+func TestUnit(t *testing.T) {
+	v := Unit(4, 2)
+	if !reflect.DeepEqual(v.Dense(), []float64{0, 0, 1, 0}) {
+		t.Errorf("Unit = %v", v.Dense())
+	}
+}
+
+func TestVectorDotNormCosine(t *testing.T) {
+	v := FromDenseVector([]float64{3, 0, 4})
+	w := FromDenseVector([]float64{3, 5, 4})
+	if got := v.Dot(w); got != 25 {
+		t.Errorf("Dot = %v, want 25", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Cosine(v); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine(v,v) = %v, want 1", got)
+	}
+	zero := FromDenseVector([]float64{0, 0, 0})
+	if got := v.Cosine(zero); got != 0 {
+		t.Errorf("Cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestVectorAddScaleSum(t *testing.T) {
+	v := FromDenseVector([]float64{1, 0, 2})
+	w := FromDenseVector([]float64{-1, 3, 0})
+	sum := v.Add(w)
+	if !reflect.DeepEqual(sum.Dense(), []float64{0, 3, 2}) {
+		t.Errorf("Add = %v", sum.Dense())
+	}
+	if sum.NNZ() != 2 {
+		t.Errorf("Add kept cancelled zero: NNZ = %d", sum.NNZ())
+	}
+	if got := v.Scale(3).At(2); got != 6 {
+		t.Errorf("Scale = %v, want 6", got)
+	}
+	if got := v.Scale(0).NNZ(); got != 0 {
+		t.Errorf("Scale(0) NNZ = %d, want 0", got)
+	}
+	if got := v.Sum(); got != 3 {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+}
+
+func TestVectorMulMatMatchesDense(t *testing.T) {
+	m := FromDense([][]float64{{1, 2, 0}, {0, 3, 4}})
+	v := FromDenseVector([]float64{10, 1})
+	got := v.MulMat(m)
+	if !reflect.DeepEqual(got.Dense(), []float64{10, 23, 4}) {
+		t.Errorf("MulMat = %v", got.Dense())
+	}
+}
+
+func TestVectorMulMatChainMatchesMatrixRow(t *testing.T) {
+	// e_i' * (A*B) == (e_i' * A) * B: single-source propagation must agree
+	// with a row of the fully materialized product.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 2+r.Intn(8), 2+r.Intn(8), 0.4)
+		ar, ac := a.Dims()
+		b := randomMatrix(r, ac, 2+r.Intn(8), 0.4)
+		i := r.Intn(ar)
+		viaVec := Unit(ar, i).MulMat(a).MulMat(b)
+		viaMat := a.Mul(b).Row(i)
+		return viaVec.ApproxEqual(viaMat, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorEntriesOrder(t *testing.T) {
+	v := NewVector(6, []int{4, 0, 2}, []float64{4, 0.5, 2})
+	var idx []int
+	v.Entries(func(i int, _ float64) { idx = append(idx, i) })
+	if !reflect.DeepEqual(idx, []int{0, 2, 4}) {
+		t.Errorf("Entries order = %v", idx)
+	}
+}
+
+func TestVectorApproxEqual(t *testing.T) {
+	v := FromDenseVector([]float64{1, 0, 2})
+	w := FromDenseVector([]float64{1 + 1e-12, 0, 2})
+	if !v.ApproxEqual(w, 1e-9) {
+		t.Error("ApproxEqual too strict")
+	}
+	if v.ApproxEqual(FromDenseVector([]float64{1, 1, 2}), 1e-9) {
+		t.Error("ApproxEqual missed difference")
+	}
+	if v.ApproxEqual(FromDenseVector([]float64{1, 0}), 1) {
+		t.Error("ApproxEqual ignored length mismatch")
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVector(3, []int{3}, []float64{1})
+}
