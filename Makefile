@@ -1,0 +1,24 @@
+# Tier-1 flow: build + vet + tests, plus a short-mode race pass over the
+# packages with real concurrency (engine cache, HTTP server).
+.PHONY: all build vet test race race-full check
+
+all: check
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Short-mode race run over the concurrent packages; part of `make check`.
+race:
+	go test -race -short ./internal/core ./internal/server
+
+# Full race run over everything; slower, run before cutting a release.
+race-full:
+	go test -race ./...
+
+check: vet build test race

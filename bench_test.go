@@ -9,6 +9,7 @@
 package hetesim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -95,7 +96,7 @@ func BenchmarkComplexityHeteSimVsSimRank(b *testing.B) {
 		b.Run(fmt.Sprintf("HeteSim/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := core.NewEngine(g) // cold engine: full computation
-				if _, err := e.AllPairs(p); err != nil {
+				if _, err := e.AllPairs(context.Background(), p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -117,19 +118,19 @@ func BenchmarkAblationPathCache(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := core.NewEngine(g)
-			if _, err := e.SingleSourceByIndex(p, i%g.NodeCount("author")); err != nil {
+			if _, err := e.SingleSourceByIndex(context.Background(), p, i%g.NodeCount("author")); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
 		e := core.NewEngine(g)
-		if err := e.Precompute(p); err != nil {
+		if err := e.Precompute(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.SingleSourceByIndex(p, i%g.NodeCount("author")); err != nil {
+			if _, err := e.SingleSourceByIndex(context.Background(), p, i%g.NodeCount("author")); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -144,27 +145,27 @@ func BenchmarkAblationQueryPlans(b *testing.B) {
 	g := ds.Graph
 	p := metapath.MustParse(g.Schema(), "APCPA")
 	e := core.NewEngine(g)
-	if err := e.Precompute(p); err != nil {
+	if err := e.Precompute(context.Background(), p); err != nil {
 		b.Fatal(err)
 	}
 	n := g.NodeCount("author")
 	b.Run("pair", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := e.PairByIndex(p, i%n, (i*7)%n); err != nil {
+			if _, err := e.PairByIndex(context.Background(), p, i%n, (i*7)%n); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("single-source", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := e.SingleSourceByIndex(p, i%n); err != nil {
+			if _, err := e.SingleSourceByIndex(context.Background(), p, i%n); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("all-pairs", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := e.AllPairs(p); err != nil {
+			if _, err := e.AllPairs(context.Background(), p); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -181,7 +182,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := core.NewEngine(g, core.WithPruning(eps))
-				if _, err := e.SingleSourceByIndex(p, i%g.NodeCount("author")); err != nil {
+				if _, err := e.SingleSourceByIndex(context.Background(), p, i%g.NodeCount("author")); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -203,7 +204,7 @@ func BenchmarkAblationNormalization(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := core.NewEngine(g, core.WithNormalization(normalized))
-				if _, err := e.AllPairs(p); err != nil {
+				if _, err := e.AllPairs(context.Background(), p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -223,7 +224,7 @@ func BenchmarkAblationOddPathEdgeObjects(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := core.NewEngine(g)
-				if _, err := e.AllPairs(p); err != nil {
+				if _, err := e.AllPairs(context.Background(), p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -240,7 +241,7 @@ func BenchmarkAblationMonteCarlo(b *testing.B) {
 	b.Run("exact-cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := core.NewEngine(g, core.WithCaching(false))
-			if _, err := e.PairByIndex(p, i%g.NodeCount("author"), (i*13)%g.NodeCount("author")); err != nil {
+			if _, err := e.PairByIndex(context.Background(), p, i%g.NodeCount("author"), (i*13)%g.NodeCount("author")); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -249,7 +250,7 @@ func BenchmarkAblationMonteCarlo(b *testing.B) {
 		b.Run(fmt.Sprintf("montecarlo-%d", walks), func(b *testing.B) {
 			e := core.NewEngine(g)
 			for i := 0; i < b.N; i++ {
-				if _, err := e.PairMonteCarlo(p, i%g.NodeCount("author"), (i*13)%g.NodeCount("author"), walks, int64(i)); err != nil {
+				if _, err := e.PairMonteCarlo(context.Background(), p, i%g.NodeCount("author"), (i*13)%g.NodeCount("author"), walks, int64(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -267,23 +268,23 @@ func BenchmarkAblationTopKSearch(b *testing.B) {
 	// pruned search's winning case.
 	p := metapath.MustParse(g.Schema(), "APA")
 	e := core.NewEngine(g)
-	if err := e.Precompute(p); err != nil {
+	if err := e.Precompute(context.Background(), p); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := e.TopKSearch(p, 0, 10, 0); err != nil { // warm transpose cache
+	if _, err := e.TopKSearch(context.Background(), p, 0, 10, 0); err != nil { // warm transpose cache
 		b.Fatal(err)
 	}
 	n := g.NodeCount("author")
 	b.Run("single-source-scan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := e.SingleSourceByIndex(p, i%n); err != nil {
+			if _, err := e.SingleSourceByIndex(context.Background(), p, i%n); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("topk-pruned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := e.TopKSearch(p, i%n, 10, 1e-3); err != nil {
+			if _, err := e.TopKSearch(context.Background(), p, i%n, 10, 1e-3); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -130,7 +131,7 @@ func runWhy(graphPath, pathSpec, source, target string, k int, raw bool) error {
 	if err != nil {
 		return err
 	}
-	score, contribs, err := e.PairContributions(p, src, dst, k)
+	score, contribs, err := e.PairContributions(context.Background(), p, src, dst, k)
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func run(graphPath, pathSpec, source, target, measure string, k int, raw bool, m
 		if err != nil {
 			return err
 		}
-		res, err := e.PairMonteCarlo(p, src, dst, montecarlo, 1)
+		res, err := e.PairMonteCarlo(context.Background(), p, src, dst, montecarlo, 1)
 		if err != nil {
 			return err
 		}
@@ -194,16 +195,16 @@ func run(graphPath, pathSpec, source, target, measure string, k int, raw bool, m
 			opts = append(opts, core.WithNormalization(false))
 		}
 		e := core.NewEngine(g, opts...)
-		single = func(s string) ([]float64, error) { return e.SingleSource(p, s) }
-		pair = func(s, t string) (float64, error) { return e.Pair(p, s, t) }
+		single = func(s string) ([]float64, error) { return e.SingleSource(context.Background(), p, s) }
+		pair = func(s, t string) (float64, error) { return e.Pair(context.Background(), p, s, t) }
 	case "pcrw":
 		m := baseline.NewPCRW(g)
-		single = func(s string) ([]float64, error) { return m.SingleSource(p, s) }
-		pair = func(s, t string) (float64, error) { return m.Pair(p, s, t) }
+		single = func(s string) ([]float64, error) { return m.SingleSource(context.Background(), p, s) }
+		pair = func(s, t string) (float64, error) { return m.Pair(context.Background(), p, s, t) }
 	case "pathsim":
 		m := baseline.NewPathSim(g)
-		single = func(s string) ([]float64, error) { return m.SingleSource(p, s) }
-		pair = func(s, t string) (float64, error) { return m.Pair(p, s, t) }
+		single = func(s string) ([]float64, error) { return m.SingleSource(context.Background(), p, s) }
+		pair = func(s, t string) (float64, error) { return m.Pair(context.Background(), p, s, t) }
 	default:
 		return fmt.Errorf("unknown measure %q", measure)
 	}

@@ -4,29 +4,47 @@
 // Usage:
 //
 //	hetesimd -graph g.json [-addr :8080] [-precompute APVC,CVPA]
+//	         [-query-timeout 10s] [-max-inflight 256] [-shutdown-grace 15s]
+//	         [-max-body-bytes 1048576] [-degrade-walks 20000] [-cache-limit 0]
 //
-// -precompute materializes the listed relevance paths at startup so their
-// queries are served from cached reaching distributions (the offline
-// materialization of Section 4.6 of the paper).
+// -precompute materializes the listed relevance paths in the background at
+// startup (the offline materialization of Section 4.6 of the paper);
+// /readyz answers 503 until materialization finishes, while /healthz is
+// pure liveness. Queries are bounded by -query-timeout, load beyond
+// -max-inflight concurrent queries is shed with 429, and a timed-out
+// exact hetesim query degrades to -degrade-walks Monte Carlo walks
+// (response marked "approximate": true; 0 disables the fallback).
+// SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"hetesim/internal/core"
 	"hetesim/internal/hin"
 	"hetesim/internal/server"
 )
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "graph JSON file (required)")
-		addr       = flag.String("addr", ":8080", "listen address")
-		precompute = flag.String("precompute", "", "comma-separated relevance paths to materialize at startup")
+		graphPath     = flag.String("graph", "", "graph JSON file (required)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		precompute    = flag.String("precompute", "", "comma-separated relevance paths to materialize at startup")
+		queryTimeout  = flag.Duration("query-timeout", 10*time.Second, "per-request deadline for /v1 queries (0 disables)")
+		maxInflight   = flag.Int("max-inflight", 256, "concurrent /v1 queries before shedding with 429 (0 disables)")
+		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+		maxBodyBytes  = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes (0 disables)")
+		degradeWalks  = flag.Int("degrade-walks", 20000, "Monte Carlo walks answering a timed-out exact query (0 disables)")
+		cacheLimit    = flag.Int("cache-limit", 0, "max materialized chain matrices kept per engine (0 = unbounded)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -44,16 +62,54 @@ func main() {
 	}
 	log.Printf("hetesimd: loaded %s", g.Stats())
 
-	srv := server.New(g)
+	srv := server.New(g,
+		server.WithQueryTimeout(*queryTimeout),
+		server.WithMaxInflight(*maxInflight),
+		server.WithMaxBodyBytes(*maxBodyBytes),
+		server.WithDegradedTopK(*degradeWalks),
+		server.WithEngineOptions(core.WithCacheLimit(*cacheLimit)),
+	)
 	if *precompute != "" {
+		var specs []string
 		for _, spec := range strings.Split(*precompute, ",") {
-			spec = strings.TrimSpace(spec)
-			if err := srv.Precompute(spec); err != nil {
-				log.Fatalf("hetesimd: precomputing %s: %v", spec, err)
-			}
-			log.Printf("hetesimd: materialized %s", spec)
+			specs = append(specs, strings.TrimSpace(spec))
+		}
+		// Materialization runs in the background; /readyz flips to 200
+		// once it finishes. A malformed path still fails startup here.
+		if err := srv.PrecomputeBackground(specs, log.Printf); err != nil {
+			log.Fatal("hetesimd: ", err)
 		}
 	}
-	fmt.Printf("hetesimd: listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("hetesimd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal("hetesimd: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("hetesimd: shutting down, draining for up to %s", *shutdownGrace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("hetesimd: drain incomplete: %v", err)
+			httpSrv.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("hetesimd: %v", err)
+		}
+		log.Print("hetesimd: bye")
+	}
 }

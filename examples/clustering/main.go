@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	// Task 1: cluster the 20 conferences by shared authors (CPAPC).
 	confIdx := ds.LabeledIndices("conference")
 	cpapc := metapath.MustParse(g.Schema(), "CPAPC")
-	sim, err := engine.PairsSubset(cpapc, confIdx, confIdx)
+	sim, err := engine.PairsSubset(context.Background(), cpapc, confIdx, confIdx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func main() {
 	// Task 2: cluster labeled authors by publication venues (APCPA).
 	authorIdx := ds.LabeledIndices("author")
 	apcpa := metapath.MustParse(g.Schema(), "APCPA")
-	asim, err := engine.PairsSubset(apcpa, authorIdx, authorIdx)
+	asim, err := engine.PairsSubset(context.Background(), apcpa, authorIdx, authorIdx)
 	if err != nil {
 		log.Fatal(err)
 	}

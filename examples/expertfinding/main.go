@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,15 +51,15 @@ func main() {
 	fmt.Printf("\n  %-24s %-9s %-10s %-10s\n", "pair", "HeteSim", "PCRW A→C", "PCRW C→A")
 	for _, conf := range []string{"KDD", "SIGMOD", "SIGIR", "SODA", "SIGCOMM"} {
 		author := topOf(conf)
-		hs, err := engine.Pair(apvc, author, conf)
+		hs, err := engine.Pair(context.Background(), apvc, author, conf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fw, err := pcrw.Pair(apvc, author, conf)
+		fw, err := pcrw.Pair(context.Background(), apvc, author, conf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bw, err := pcrw.Pair(cvpa, conf, author)
+		bw, err := pcrw.Pair(context.Background(), cvpa, conf, author)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	profile := func(srcID string, specs map[string]string) {
 		for spec, what := range specs {
 			p := metapath.MustParse(g.Schema(), spec)
-			scores, err := engine.SingleSource(p, srcID)
+			scores, err := engine.SingleSource(context.Background(), p, srcID)
 			if err != nil {
 				log.Fatal(err)
 			}

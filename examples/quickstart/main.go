@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,14 +45,14 @@ func main() {
 	apc := metapath.MustParse(schema, "APC")
 	engine := core.NewEngine(g)
 
-	score, err := engine.Pair(apc, "Tom", "KDD")
+	score, err := engine.Pair(context.Background(), apc, "Tom", "KDD")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("HeteSim(Tom, KDD | APC)    = %.4f\n", score)
 
 	// Symmetry (Property 3): the reverse path gives the same score.
-	back, err := engine.Pair(apc.Reverse(), "KDD", "Tom")
+	back, err := engine.Pair(context.Background(), apc.Reverse(), "KDD", "Tom")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,14 +60,14 @@ func main() {
 
 	// The raw meeting probability of Example 2 in the paper is 0.5.
 	rawEngine := core.NewEngine(g, core.WithNormalization(false))
-	raw, err := rawEngine.Pair(apc, "Tom", "KDD")
+	raw, err := rawEngine.Pair(context.Background(), apc, "Tom", "KDD")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("unnormalized meeting prob  = %.4f (Example 2 of the paper)\n", raw)
 
 	// 4. Top-k search: which conferences matter most to Mary?
-	scores, err := engine.SingleSource(apc, "Mary")
+	scores, err := engine.SingleSource(context.Background(), apc, "Mary")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func main() {
 	// 5. Different-typed and same-typed objects are handled uniformly:
 	// APA relates authors through shared papers.
 	apa := metapath.MustParse(schema, "APA")
-	coauth, err := engine.Pair(apa, "Tom", "Mary")
+	coauth, err := engine.Pair(context.Background(), apa, "Tom", "Mary")
 	if err != nil {
 		log.Fatal(err)
 	}

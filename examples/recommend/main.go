@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 		}
 		examples = append(examples, learn.Example{Src: user, Dst: m, Label: label})
 	}
-	weights, err := learn.PathWeights(engine, paths, examples, learn.Config{})
+	weights, err := learn.PathWeights(context.Background(), engine, paths, examples, learn.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scores, err := combined.SingleSourceByIndex(user)
+	scores, err := combined.SingleSourceByIndex(context.Background(), user)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func main() {
 
 	// The same query through the pruned top-k search (Section 4.6): the
 	// genre path alone, candidates restricted to overlapping supports.
-	top, err := engine.TopKSearch(byGenre, user, 5, 1e-3)
+	top, err := engine.TopKSearch(context.Background(), byGenre, user, 5, 1e-3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package hetesim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -44,12 +45,12 @@ func TestEndToEndPipeline(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APVC")
 	e1 := core.NewEngine(g)
 	e2 := core.NewEngine(g2)
-	ref, err := e1.SingleSourceByIndex(p, 0)
+	ref, err := e1.SingleSourceByIndex(context.Background(), p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p2 := metapath.MustParse(g2.Schema(), "APVC")
-	got, err := e2.SingleSourceByIndex(p2, 0)
+	got, err := e2.SingleSourceByIndex(context.Background(), p2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,14 +62,14 @@ func TestEndToEndPipeline(t *testing.T) {
 
 	// Materialized-path snapshot round trip into a third engine.
 	var mbuf bytes.Buffer
-	if err := e1.SaveMaterialized(&mbuf, p); err != nil {
+	if err := e1.SaveMaterialized(context.Background(), &mbuf, p); err != nil {
 		t.Fatal(err)
 	}
 	e3 := core.NewEngine(g2)
 	if err := e3.LoadMaterialized(&mbuf, p2); err != nil {
 		t.Fatal(err)
 	}
-	got3, err := e3.SingleSourceByIndex(p2, 0)
+	got3, err := e3.SingleSourceByIndex(context.Background(), p2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestLearnedMixtureBeatsSinglePath(t *testing.T) {
 			examples = append(examples, learn.Example{Src: ci, Dst: a, Label: label})
 		}
 	}
-	w, err := learn.PathWeights(e, paths, examples, learn.Config{})
+	w, err := learn.PathWeights(context.Background(), e, paths, examples, learn.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestLearnedMixtureBeatsSinglePath(t *testing.T) {
 	var same, diff float64
 	var nSame, nDiff int
 	for ci := 0; ci < g.NodeCount("conference"); ci++ {
-		scores, err := combined.SingleSourceByIndex(ci)
+		scores, err := combined.SingleSourceByIndex(context.Background(), ci)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,13 +188,13 @@ func TestBaselineMeasuresOnGeneratedData(t *testing.T) {
 	cpa := metapath.MustParse(g.Schema(), "CPA")
 	apcpa := metapath.MustParse(g.Schema(), "APCPA")
 
-	if _, err := e.SingleSource(cpa, "KDD"); err != nil {
+	if _, err := e.SingleSource(context.Background(), cpa, "KDD"); err != nil {
 		t.Errorf("HeteSim: %v", err)
 	}
-	if _, err := baseline.NewPCRWFromEngine(e).SingleSource(cpa, "KDD"); err != nil {
+	if _, err := baseline.NewPCRWFromEngine(e).SingleSource(context.Background(), cpa, "KDD"); err != nil {
 		t.Errorf("PCRW: %v", err)
 	}
-	if _, err := baseline.NewPathSim(g).SingleSourceByIndex(apcpa, 0); err != nil {
+	if _, err := baseline.NewPathSim(g).SingleSourceByIndex(context.Background(), apcpa, 0); err != nil {
 		t.Errorf("PathSim: %v", err)
 	}
 	ppr, err := baseline.NewPPR(g, 0.85, 20)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -43,7 +44,7 @@ func TestPCRWValuesAndAsymmetry(t *testing.T) {
 	cpa := apc.Reverse()
 
 	// All of Tom's papers are in KDD: forward PCRW is 1.
-	fwd, err := m.Pair(apc, "Tom", "KDD")
+	fwd, err := m.Pair(context.Background(), apc, "Tom", "KDD")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestPCRWValuesAndAsymmetry(t *testing.T) {
 	}
 	// Backward: KDD reaches p1 (sole author Tom) and p2 (Tom or Mary):
 	// 1/2·1 + 1/2·1/2 = 0.75. The asymmetry Table 3 demonstrates.
-	bwd, err := m.Pair(cpa, "KDD", "Tom")
+	bwd, err := m.Pair(context.Background(), cpa, "KDD", "Tom")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +66,8 @@ func TestPCRWValuesAndAsymmetry(t *testing.T) {
 
 	// HeteSim on the same pair is symmetric by Property 3.
 	e := core.NewEngine(g)
-	h1, _ := e.Pair(apc, "Tom", "KDD")
-	h2, _ := e.Pair(cpa, "KDD", "Tom")
+	h1, _ := e.Pair(context.Background(), apc, "Tom", "KDD")
+	h2, _ := e.Pair(context.Background(), cpa, "KDD", "Tom")
 	if math.Abs(h1-h2) > 1e-12 {
 		t.Errorf("HeteSim asymmetric: %v vs %v", h1, h2)
 	}
@@ -76,17 +77,17 @@ func TestPCRWPlansAgree(t *testing.T) {
 	g := fig4Graph(t)
 	m := NewPCRW(g)
 	p := metapath.MustParse(g.Schema(), "APC")
-	all, err := m.AllPairs(p)
+	all, err := m.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < g.NodeCount("author"); i++ {
-		ss, err := m.SingleSourceByIndex(p, i)
+		ss, err := m.SingleSourceByIndex(context.Background(), p, i)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for j := range ss {
-			pv, err := m.PairByIndex(p, i, j)
+			pv, err := m.PairByIndex(context.Background(), p, i, j)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -95,10 +96,10 @@ func TestPCRWPlansAgree(t *testing.T) {
 			}
 		}
 	}
-	if _, err := m.Pair(p, "Nobody", "KDD"); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := m.Pair(context.Background(), p, "Nobody", "KDD"); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("unknown node err = %v", err)
 	}
-	if _, err := m.PairByIndex(p, 0, 99); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := m.PairByIndex(context.Background(), p, 0, 99); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad index err = %v", err)
 	}
 }
@@ -107,7 +108,7 @@ func TestPCRWRowsAreDistributions(t *testing.T) {
 	g := fig4Graph(t)
 	m := NewPCRW(g)
 	p := metapath.MustParse(g.Schema(), "APC")
-	all, _ := m.AllPairs(p)
+	all, _ := m.AllPairs(context.Background(), p)
 	for i, s := range all.RowSums() {
 		if math.Abs(s-1) > 1e-12 {
 			t.Errorf("PCRW row %d sums to %v, want 1 (no dead ends here)", i, s)
@@ -120,18 +121,18 @@ func TestPathSimKnownValues(t *testing.T) {
 	m := NewPathSim(g)
 	apa := metapath.MustParse(g.Schema(), "APA")
 	// Count matrix: Tom-Tom 2, Tom-Mary 1, Mary-Mary 2, Bob-Bob 1.
-	got, err := m.Pair(apa, "Tom", "Mary")
+	got, err := m.Pair(context.Background(), apa, "Tom", "Mary")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(got-0.5) > 1e-12 {
 		t.Errorf("PathSim(Tom, Mary | APA) = %v, want 0.5", got)
 	}
-	self, _ := m.Pair(apa, "Tom", "Tom")
+	self, _ := m.Pair(context.Background(), apa, "Tom", "Tom")
 	if math.Abs(self-1) > 1e-12 {
 		t.Errorf("PathSim self = %v, want 1", self)
 	}
-	zero, _ := m.Pair(apa, "Tom", "Bob")
+	zero, _ := m.Pair(context.Background(), apa, "Tom", "Bob")
 	if zero != 0 {
 		t.Errorf("PathSim(Tom, Bob) = %v, want 0", zero)
 	}
@@ -141,13 +142,13 @@ func TestPathSimRejectsAsymmetricPaths(t *testing.T) {
 	g := fig4Graph(t)
 	m := NewPathSim(g)
 	apc := metapath.MustParse(g.Schema(), "APC")
-	if _, err := m.AllPairs(apc); !errors.Is(err, ErrAsymmetricPath) {
+	if _, err := m.AllPairs(context.Background(), apc); !errors.Is(err, ErrAsymmetricPath) {
 		t.Errorf("AllPairs on APC err = %v, want ErrAsymmetricPath", err)
 	}
-	if _, err := m.Pair(apc, "Tom", "KDD"); !errors.Is(err, ErrAsymmetricPath) {
+	if _, err := m.Pair(context.Background(), apc, "Tom", "KDD"); !errors.Is(err, ErrAsymmetricPath) {
 		t.Errorf("Pair on APC err = %v", err)
 	}
-	if _, err := m.PairByIndex(apc, 0, 0); !errors.Is(err, ErrAsymmetricPath) {
+	if _, err := m.PairByIndex(context.Background(), apc, 0, 0); !errors.Is(err, ErrAsymmetricPath) {
 		t.Errorf("PairByIndex on APC err = %v", err)
 	}
 }
@@ -156,7 +157,7 @@ func TestPathSimMatrixSymmetricWithUnitDiagonal(t *testing.T) {
 	g := fig4Graph(t)
 	m := NewPathSim(g)
 	apa := metapath.MustParse(g.Schema(), "APA")
-	all, err := m.AllPairs(apa)
+	all, err := m.AllPairs(context.Background(), apa)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestPathSimMatrixSymmetricWithUnitDiagonal(t *testing.T) {
 			t.Errorf("PathSim(%d,%d) = %v, want 1", i, i, all.At(i, i))
 		}
 	}
-	ss, err := m.SingleSource(apa, "Tom")
+	ss, err := m.SingleSource(context.Background(), apa, "Tom")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,12 +185,12 @@ func TestPathSimSubsetMatchesAllPairs(t *testing.T) {
 	g := fig4Graph(t)
 	m := NewPathSim(g)
 	apa := metapath.MustParse(g.Schema(), "APA")
-	all, err := m.AllPairs(apa)
+	all, err := m.AllPairs(context.Background(), apa)
 	if err != nil {
 		t.Fatal(err)
 	}
 	idx := []int{2, 0}
-	sub, err := m.Subset(apa, idx)
+	sub, err := m.Subset(context.Background(), apa, idx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +201,11 @@ func TestPathSimSubsetMatchesAllPairs(t *testing.T) {
 			}
 		}
 	}
-	if _, err := m.Subset(apa, []int{99}); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := m.Subset(context.Background(), apa, []int{99}); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad subset index err = %v", err)
 	}
 	apc := metapath.MustParse(g.Schema(), "APC")
-	if _, err := m.Subset(apc, idx); !errors.Is(err, ErrAsymmetricPath) {
+	if _, err := m.Subset(context.Background(), apc, idx); !errors.Is(err, ErrAsymmetricPath) {
 		t.Errorf("asymmetric subset err = %v", err)
 	}
 }
@@ -253,7 +254,7 @@ func TestProperty5SimRankConnection(t *testing.T) {
 			// Build the path A(BA)^k: "ABA", "ABABA", ...
 			spec := "A" + strings.Repeat("BA", k)
 			p := metapath.MustParse(g.Schema(), spec)
-			hs, err := e.AllPairs(p)
+			hs, err := e.AllPairs(context.Background(), p)
 			if err != nil {
 				return false
 			}
@@ -402,7 +403,7 @@ func TestPCRWSharesEngineCaches(t *testing.T) {
 	e := core.NewEngine(g)
 	m := NewPCRWFromEngine(e)
 	p := metapath.MustParse(g.Schema(), "APC")
-	if _, err := m.AllPairs(p); err != nil {
+	if _, err := m.AllPairs(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	if e.CacheSize() == 0 {

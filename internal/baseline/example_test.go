@@ -1,6 +1,7 @@
 package baseline_test
 
 import (
+	"context"
 	"fmt"
 
 	"hetesim/internal/baseline"
@@ -30,8 +31,8 @@ func ExamplePCRW_Pair() {
 	apc := metapath.MustParse(g.Schema(), "APC")
 	// PCRW is direction-dependent: the same pair scores differently
 	// along the path and against it.
-	fwd, _ := m.Pair(apc, "Tom", "KDD")
-	bwd, _ := m.Pair(apc.Reverse(), "KDD", "Tom")
+	fwd, _ := m.Pair(context.Background(), apc, "Tom", "KDD")
+	bwd, _ := m.Pair(context.Background(), apc.Reverse(), "KDD", "Tom")
 	fmt.Printf("%.2f %.2f\n", fwd, bwd)
 	// Output: 1.00 0.75
 }
@@ -40,7 +41,7 @@ func ExamplePathSim_Pair() {
 	g := fig4()
 	m := baseline.NewPathSim(g)
 	apa := metapath.MustParse(g.Schema(), "APA")
-	v, _ := m.Pair(apa, "Tom", "Mary")
+	v, _ := m.Pair(context.Background(), apa, "Tom", "Mary")
 	fmt.Printf("%.2f\n", v)
 	// Output: 0.67
 }

@@ -1,8 +1,10 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
@@ -22,7 +24,9 @@ var ErrAsymmetricPath = errors.New("baseline: PathSim requires a symmetric relev
 // (Section 2 of the HeteSim paper) that motivates HeteSim's uniform
 // treatment of arbitrary paths.
 type PathSim struct {
-	g     *hin.Graph
+	g *hin.Graph
+
+	mu    sync.Mutex
 	cache map[string]*sparse.Matrix // count matrices per cache key
 	diag  map[string][]float64      // count-matrix diagonals per path
 }
@@ -39,13 +43,19 @@ func NewPathSim(g *hin.Graph) *PathSim {
 // countMatrix returns the path-count matrix M_P: the product of the raw
 // (unnormalized) adjacency matrices along the path, whose (i,j) entry counts
 // path instances between i and j.
-func (m *PathSim) countMatrix(p *metapath.Path) (*sparse.Matrix, error) {
+func (m *PathSim) countMatrix(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
 	key := p.String()
-	if c, ok := m.cache[key]; ok {
+	m.mu.Lock()
+	c, ok := m.cache[key]
+	m.mu.Unlock()
+	if ok {
 		return c, nil
 	}
 	var acc *sparse.Matrix
 	for _, s := range p.Steps() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, err := m.g.Adjacency(s.Relation.Name)
 		if err != nil {
 			return nil, err
@@ -59,16 +69,18 @@ func (m *PathSim) countMatrix(p *metapath.Path) (*sparse.Matrix, error) {
 			acc = acc.Mul(w)
 		}
 	}
+	m.mu.Lock()
 	m.cache[key] = acc
+	m.mu.Unlock()
 	return acc, nil
 }
 
 // AllPairs returns the PathSim similarity matrix for a symmetric path.
-func (m *PathSim) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
+func (m *PathSim) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
 	if !p.IsSymmetric() {
 		return nil, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
 	}
-	cnt, err := m.countMatrix(p)
+	cnt, err := m.countMatrix(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -93,11 +105,11 @@ func (m *PathSim) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
 // the path-count matrix factors as M = C·C' with C the raw path-count
 // matrix of PL, so only the selected rows of C are ever multiplied — the
 // same submatrix plan the HeteSim engine uses for clustering experiments.
-func (m *PathSim) Subset(p *metapath.Path, idx []int) (*sparse.Matrix, error) {
+func (m *PathSim) Subset(ctx context.Context, p *metapath.Path, idx []int) (*sparse.Matrix, error) {
 	if !p.IsSymmetric() {
 		return nil, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
 	}
-	left, err := m.halfCountMatrix(p)
+	left, err := m.halfCountMatrix(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +137,7 @@ func (m *PathSim) Subset(p *metapath.Path, idx []int) (*sparse.Matrix, error) {
 }
 
 // Pair returns PathSim(src, dst | p) for nodes identified by string IDs.
-func (m *PathSim) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
+func (m *PathSim) Pair(ctx context.Context, p *metapath.Path, srcID, dstID string) (float64, error) {
 	if !p.IsSymmetric() {
 		return 0, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
 	}
@@ -137,15 +149,15 @@ func (m *PathSim) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.PairByIndex(p, i, j)
+	return m.PairByIndex(ctx, p, i, j)
 }
 
 // PairByIndex is Pair addressed by node indices.
-func (m *PathSim) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
+func (m *PathSim) PairByIndex(ctx context.Context, p *metapath.Path, src, dst int) (float64, error) {
 	if !p.IsSymmetric() {
 		return 0, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
 	}
-	cnt, err := m.countMatrix(p)
+	cnt, err := m.countMatrix(ctx, p)
 	if err != nil {
 		return 0, err
 	}
@@ -164,20 +176,20 @@ func (m *PathSim) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
 // objects. For a symmetric path the count matrix factors as M = C·C', so
 // one row of M is a single matrix-vector product — the full n×n count
 // matrix is never materialized.
-func (m *PathSim) SingleSource(p *metapath.Path, srcID string) ([]float64, error) {
+func (m *PathSim) SingleSource(ctx context.Context, p *metapath.Path, srcID string) ([]float64, error) {
 	i, err := m.g.NodeIndex(p.Source(), srcID)
 	if err != nil {
 		return nil, err
 	}
-	return m.SingleSourceByIndex(p, i)
+	return m.SingleSourceByIndex(ctx, p, i)
 }
 
 // SingleSourceByIndex is SingleSource addressed by node index.
-func (m *PathSim) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, error) {
+func (m *PathSim) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src int) ([]float64, error) {
 	if !p.IsSymmetric() {
 		return nil, fmt.Errorf("%w: %s", ErrAsymmetricPath, p)
 	}
-	left, err := m.halfCountMatrix(p)
+	left, err := m.halfCountMatrix(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -200,9 +212,12 @@ func (m *PathSim) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, err
 
 // halfCountMatrix returns (and caches) the raw path-count matrix of the
 // left half PL of a symmetric path P = PL·PL^-1.
-func (m *PathSim) halfCountMatrix(p *metapath.Path) (*sparse.Matrix, error) {
+func (m *PathSim) halfCountMatrix(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
 	key := "half:" + p.String()
-	if c, ok := m.cache[key]; ok {
+	m.mu.Lock()
+	c, ok := m.cache[key]
+	m.mu.Unlock()
+	if ok {
 		return c, nil
 	}
 	d := p.Decompose()
@@ -211,6 +226,9 @@ func (m *PathSim) halfCountMatrix(p *metapath.Path) (*sparse.Matrix, error) {
 	}
 	var left *sparse.Matrix
 	for _, s := range d.Left {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, err := m.g.Adjacency(s.Relation.Name)
 		if err != nil {
 			return nil, err
@@ -224,7 +242,9 @@ func (m *PathSim) halfCountMatrix(p *metapath.Path) (*sparse.Matrix, error) {
 			left = left.Mul(w)
 		}
 	}
+	m.mu.Lock()
 	m.cache[key] = left
+	m.mu.Unlock()
 	return left, nil
 }
 
@@ -232,6 +252,8 @@ func (m *PathSim) halfCountMatrix(p *metapath.Path) (*sparse.Matrix, error) {
 // squared Euclidean norms of the half-count matrix.
 func (m *PathSim) countDiagonal(p *metapath.Path, left *sparse.Matrix) []float64 {
 	key := "diag:" + p.String()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if d, ok := m.diag[key]; ok {
 		return d
 	}

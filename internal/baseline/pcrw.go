@@ -6,6 +6,8 @@
 package baseline
 
 import (
+	"context"
+
 	"hetesim/internal/core"
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
@@ -33,7 +35,7 @@ func NewPCRW(g *hin.Graph) *PCRW {
 func NewPCRWFromEngine(e *core.Engine) *PCRW { return &PCRW{engine: e} }
 
 // Pair returns PCRW(src, dst | p) for nodes identified by string IDs.
-func (m *PCRW) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
+func (m *PCRW) Pair(ctx context.Context, p *metapath.Path, srcID, dstID string) (float64, error) {
 	g := m.engine.Graph()
 	i, err := g.NodeIndex(p.Source(), srcID)
 	if err != nil {
@@ -43,12 +45,12 @@ func (m *PCRW) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.PairByIndex(p, i, j)
+	return m.PairByIndex(ctx, p, i, j)
 }
 
 // PairByIndex is Pair addressed by node indices.
-func (m *PCRW) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
-	v, err := m.engine.ReachableFrom(p, src)
+func (m *PCRW) PairByIndex(ctx context.Context, p *metapath.Path, src, dst int) (float64, error) {
+	v, err := m.engine.ReachableFrom(ctx, p, src)
 	if err != nil {
 		return 0, err
 	}
@@ -60,17 +62,17 @@ func (m *PCRW) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
 }
 
 // SingleSource returns the PCRW distribution of one source over all targets.
-func (m *PCRW) SingleSource(p *metapath.Path, srcID string) ([]float64, error) {
+func (m *PCRW) SingleSource(ctx context.Context, p *metapath.Path, srcID string) ([]float64, error) {
 	i, err := m.engine.Graph().NodeIndex(p.Source(), srcID)
 	if err != nil {
 		return nil, err
 	}
-	return m.SingleSourceByIndex(p, i)
+	return m.SingleSourceByIndex(ctx, p, i)
 }
 
 // SingleSourceByIndex is SingleSource addressed by node index.
-func (m *PCRW) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, error) {
-	v, err := m.engine.ReachableFrom(p, src)
+func (m *PCRW) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src int) ([]float64, error) {
+	v, err := m.engine.ReachableFrom(ctx, p, src)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +80,6 @@ func (m *PCRW) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, error)
 }
 
 // AllPairs returns the full reachable probability matrix PM_P.
-func (m *PCRW) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
-	return m.engine.ReachableMatrix(p)
+func (m *PCRW) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
+	return m.engine.ReachableMatrix(ctx, p)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hetesim/internal/metapath"
@@ -14,7 +15,7 @@ func benchGraphAndPath(b *testing.B, spec string) (*Engine, *metapath.Path) {
 	g := randomBibGraph(12345)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), spec)
-	if err := e.Precompute(p); err != nil {
+	if err := e.Precompute(context.Background(), p); err != nil {
 		b.Fatal(err)
 	}
 	return e, p
@@ -25,7 +26,7 @@ func BenchmarkPairByIndex(b *testing.B) {
 	n := e.Graph().NodeCount("author")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.PairByIndex(p, i%n, (i*7)%n); err != nil {
+		if _, err := e.PairByIndex(context.Background(), p, i%n, (i*7)%n); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,7 +37,7 @@ func BenchmarkSingleSourceByIndex(b *testing.B) {
 	n := e.Graph().NodeCount("author")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.SingleSourceByIndex(p, i%n); err != nil {
+		if _, err := e.SingleSourceByIndex(context.Background(), p, i%n); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,7 +47,7 @@ func BenchmarkAllPairsWarm(b *testing.B) {
 	e, p := benchGraphAndPath(b, "APVCVPA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.AllPairs(p); err != nil {
+		if _, err := e.AllPairs(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkPairContributions(b *testing.B) {
 	n := e.Graph().NodeCount("author")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.PairContributions(p, i%n, (i*7)%n, 10); err != nil {
+		if _, _, err := e.PairContributions(context.Background(), p, i%n, (i*7)%n, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +70,7 @@ func BenchmarkOddPathPair(b *testing.B) {
 	nC := e.Graph().NodeCount("conference")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.PairByIndex(p, i%nA, i%nC); err != nil {
+		if _, err := e.PairByIndex(context.Background(), p, i%nA, i%nC); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -33,18 +34,26 @@ import (
 
 // Engine evaluates HeteSim queries over one graph. It is safe for
 // concurrent use; all caches are guarded internally.
+//
+// Every query method takes a context.Context and stops between propagation
+// steps once the context is canceled or past its deadline, returning the
+// context's error. Long chains over large networks therefore release their
+// core promptly when a caller gives up — the request-lifecycle contract the
+// HTTP server builds on.
 type Engine struct {
 	g *hin.Graph
 
 	normalized bool
 	caching    bool
 	pruneEps   float64
+	cacheLimit int
 
-	mu    sync.Mutex
-	trans map[string]*sparse.Matrix // U per step key
-	edgeU map[string]*sparse.Matrix // U_SE / U_TE per middle-step key
-	reach map[string]*sparse.Matrix // PM per chain key (every prefix cached)
-	norms map[string][]float64      // row L2 norms per chain key
+	mu       sync.Mutex
+	trans    map[string]*sparse.Matrix // U per step key
+	edgeU    map[string]*sparse.Matrix // U_SE / U_TE per middle-step key
+	reach    map[string]*sparse.Matrix // PM per chain key (every prefix cached)
+	norms    map[string][]float64      // row L2 norms per chain key
+	reachAge []string                  // insertion order of reach keys, oldest first
 }
 
 // Option configures an Engine.
@@ -65,6 +74,15 @@ func WithCaching(on bool) Option { return func(e *Engine) { e.caching = on } }
 // a small, bounded score error for sparser intermediates. eps = 0 (default)
 // disables pruning.
 func WithPruning(eps float64) Option { return func(e *Engine) { e.pruneEps = eps } }
+
+// WithCacheLimit bounds the number of materialized chain matrices the
+// engine retains. When the limit is exceeded the oldest entries (and their
+// row norms) are evicted, so ad-hoc query traffic over many distinct paths
+// cannot grow the cache without bound. n <= 0 (the default) keeps the cache
+// unbounded — the right behavior for the CLI and the experiments, which
+// query a fixed path set. Transition matrices (one per schema relation and
+// direction) are never evicted; they are small and bounded by the schema.
+func WithCacheLimit(n int) Option { return func(e *Engine) { e.cacheLimit = n } }
 
 // NewEngine creates a HeteSim engine over g.
 func NewEngine(g *hin.Graph, opts ...Option) *Engine {
@@ -208,24 +226,59 @@ func splitPath(p *metapath.Path) halves {
 	return halves{leftSteps: d.Left, rightSteps: right, middle: d.Middle}
 }
 
+// cacheGet returns a cached chain matrix.
+func (e *Engine) cacheGet(key string) (*sparse.Matrix, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.reach[key]
+	return m, ok
+}
+
+// cachePut installs a chain matrix, then evicts the oldest entries (and
+// their row norms) while the cache exceeds the configured limit. The entry
+// just installed is never the eviction victim, so a freshly materialized
+// matrix always survives long enough to serve its own query.
+func (e *Engine) cachePut(key string, m *sparse.Matrix) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.reach[key]; !ok {
+		e.reachAge = append(e.reachAge, key)
+	}
+	e.reach[key] = m
+	if e.cacheLimit <= 0 {
+		return
+	}
+	for len(e.reach) > e.cacheLimit && len(e.reachAge) > 0 {
+		old := e.reachAge[0]
+		e.reachAge = e.reachAge[1:]
+		if old == key {
+			e.reachAge = append(e.reachAge, old)
+			continue
+		}
+		delete(e.reach, old)
+		delete(e.norms, old)
+	}
+}
+
 // chainMatrix materializes the reachable probability matrix of a chain of
 // steps, optionally extended by an edge half-step, caching every prefix so
 // that paths sharing prefixes reuse work (the concatenation speedup of
-// Section 4.6).
-func (e *Engine) chainMatrix(steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
+// Section 4.6). ctx is polled between sparse multiply steps so a canceled
+// query stops within one step's latency.
+func (e *Engine) chainMatrix(ctx context.Context, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
 	fullKey := e.chainFullKey(steps, middle, side)
 	if e.caching {
-		e.mu.Lock()
-		if m, ok := e.reach[fullKey]; ok {
-			e.mu.Unlock()
+		if m, ok := e.cacheGet(fullKey); ok {
 			return m, nil
 		}
-		e.mu.Unlock()
 	}
 	var pm *sparse.Matrix
 	startType := e.chainStartType(steps, middle, side)
 	pm = sparse.Identity(e.g.NodeCount(startType))
 	for i, s := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		u, err := e.transition(s)
 		if err != nil {
 			return nil, err
@@ -235,13 +288,13 @@ func (e *Engine) chainMatrix(steps []metapath.Step, middle *metapath.Step, side 
 			pm = pm.Prune(e.pruneEps)
 		}
 		if e.caching {
-			key := e.chainFullKey(steps[:i+1], nil, side)
-			e.mu.Lock()
-			e.reach[key] = pm
-			e.mu.Unlock()
+			e.cachePut(e.chainFullKey(steps[:i+1], nil, side), pm)
 		}
 	}
 	if middle != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		use, ute, err := e.middleEdgeTransitions(*middle)
 		if err != nil {
 			return nil, err
@@ -256,9 +309,7 @@ func (e *Engine) chainMatrix(steps []metapath.Step, middle *metapath.Step, side 
 		}
 	}
 	if e.caching {
-		e.mu.Lock()
-		e.reach[fullKey] = pm
-		e.mu.Unlock()
+		e.cachePut(fullKey, pm)
 	}
 	return pm, nil
 }
@@ -309,11 +360,15 @@ func (e *Engine) chainRowNorms(key string, pm *sparse.Matrix) []float64 {
 }
 
 // chainVector propagates a single-source distribution along a chain without
-// materializing matrices — the cheap plan for one-off pair queries.
-func (e *Engine) chainVector(start int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Vector, error) {
+// materializing matrices — the cheap plan for one-off pair queries. ctx is
+// polled between propagation steps.
+func (e *Engine) chainVector(ctx context.Context, start int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Vector, error) {
 	startType := e.chainStartType(steps, middle, side)
 	v := sparse.Unit(e.g.NodeCount(startType), start)
 	for _, s := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		u, err := e.transition(s)
 		if err != nil {
 			return nil, err
@@ -336,7 +391,7 @@ func (e *Engine) chainVector(start int, steps []metapath.Step, middle *metapath.
 
 // Pair returns HeteSim(src, dst | p) for nodes identified by string IDs.
 // src must be of type p.Source() and dst of type p.Target().
-func (e *Engine) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
+func (e *Engine) Pair(ctx context.Context, p *metapath.Path, srcID, dstID string) (float64, error) {
 	i, err := e.g.NodeIndex(p.Source(), srcID)
 	if err != nil {
 		return 0, err
@@ -345,13 +400,13 @@ func (e *Engine) Pair(p *metapath.Path, srcID, dstID string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return e.PairByIndex(p, i, j)
+	return e.PairByIndex(ctx, p, i, j)
 }
 
 // PairByIndex is Pair addressed by node indices. It propagates sparse
 // distributions from both endpoints to the meeting type and combines them,
 // without materializing any matrix.
-func (e *Engine) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
+func (e *Engine) PairByIndex(ctx context.Context, p *metapath.Path, src, dst int) (float64, error) {
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return 0, err
 	}
@@ -359,11 +414,11 @@ func (e *Engine) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
 		return 0, err
 	}
 	h := splitPath(p)
-	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return 0, err
 	}
-	right, err := e.chainVector(dst, h.rightSteps, h.middle, 'R')
+	right, err := e.chainVector(ctx, dst, h.rightSteps, h.middle, 'R')
 	if err != nil {
 		return 0, err
 	}
@@ -375,27 +430,27 @@ func (e *Engine) PairByIndex(p *metapath.Path, src, dst int) (float64, error) {
 
 // SingleSource returns the HeteSim scores of one source node against every
 // node of the path's target type, indexed by target node index.
-func (e *Engine) SingleSource(p *metapath.Path, srcID string) ([]float64, error) {
+func (e *Engine) SingleSource(ctx context.Context, p *metapath.Path, srcID string) ([]float64, error) {
 	i, err := e.g.NodeIndex(p.Source(), srcID)
 	if err != nil {
 		return nil, err
 	}
-	return e.SingleSourceByIndex(p, i)
+	return e.SingleSourceByIndex(ctx, p, i)
 }
 
 // SingleSourceByIndex is SingleSource addressed by node index. It propagates
 // the source distribution and combines it with the (cached) right-half
 // reachable probability matrix.
-func (e *Engine) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, error) {
+func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src int) ([]float64, error) {
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, err
 	}
 	h := splitPath(p)
-	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return nil, err
 	}
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err != nil {
 		return nil, err
 	}
@@ -417,14 +472,17 @@ func (e *Engine) SingleSourceByIndex(p *metapath.Path, src int) ([]float64, erro
 // AllPairs returns the full relevance matrix HeteSim(A1, Al+1 | p) with rows
 // indexed by source nodes and columns by target nodes (Equation 6, plus the
 // normalization of Definition 10 when enabled).
-func (e *Engine) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
+func (e *Engine) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
 	h := splitPath(p)
-	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return nil, err
 	}
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rel := pml.MulAuto(pmr.Transpose())
@@ -455,7 +513,7 @@ func (e *Engine) AllPairs(p *metapath.Path) (*sparse.Matrix, error) {
 // the selected rows of the two half-path matrices, so scoring a labeled
 // subset of a large network never materializes the full |A1| x |Al+1|
 // relevance matrix — the plan the clustering experiments rely on.
-func (e *Engine) PairsSubset(p *metapath.Path, srcs, dsts []int) (*sparse.Matrix, error) {
+func (e *Engine) PairsSubset(ctx context.Context, p *metapath.Path, srcs, dsts []int) (*sparse.Matrix, error) {
 	for _, i := range srcs {
 		if err := e.checkIndex(p.Source(), i); err != nil {
 			return nil, err
@@ -467,12 +525,15 @@ func (e *Engine) PairsSubset(p *metapath.Path, srcs, dsts []int) (*sparse.Matrix
 		}
 	}
 	h := splitPath(p)
-	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return nil, err
 	}
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	subL := pml.SelectRows(srcs)
@@ -502,13 +563,13 @@ func (e *Engine) PairsSubset(p *metapath.Path, srcs, dsts []int) (*sparse.Matrix
 // matrices and their row norms, so subsequent SingleSource and Pair queries
 // on the same path are served from the cache — the offline materialization
 // speedup of Section 4.6.
-func (e *Engine) Precompute(p *metapath.Path) error {
+func (e *Engine) Precompute(ctx context.Context, p *metapath.Path) error {
 	h := splitPath(p)
-	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return err
 	}
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err != nil {
 		return err
 	}
@@ -521,16 +582,16 @@ func (e *Engine) Precompute(p *metapath.Path) error {
 // Definition 9: the product of the transition matrices of every step. This
 // is exactly the Path Constrained Random Walk distribution, exposed for the
 // PCRW baseline and Fig. 7-style analyses.
-func (e *Engine) ReachableMatrix(p *metapath.Path) (*sparse.Matrix, error) {
-	return e.chainMatrix(p.Steps(), nil, 'P')
+func (e *Engine) ReachableMatrix(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
+	return e.chainMatrix(ctx, p.Steps(), nil, 'P')
 }
 
 // ReachableFrom returns row src of PM_P without materializing the matrix.
-func (e *Engine) ReachableFrom(p *metapath.Path, src int) (*sparse.Vector, error) {
+func (e *Engine) ReachableFrom(ctx context.Context, p *metapath.Path, src int) (*sparse.Vector, error) {
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, err
 	}
-	return e.chainVector(src, p.Steps(), nil, 'P')
+	return e.chainVector(ctx, src, p.Steps(), nil, 'P')
 }
 
 // CacheSize reports the number of cached matrices (transition plus
@@ -541,6 +602,15 @@ func (e *Engine) CacheSize() int {
 	return len(e.trans) + len(e.edgeU) + len(e.reach)
 }
 
+// CacheStats breaks CacheSize down by kind: transition matrices, middle
+// edge-transition matrices, and materialized chain matrices. Only the last
+// is subject to WithCacheLimit eviction.
+func (e *Engine) CacheStats() (trans, edge, reach int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.trans), len(e.edgeU), len(e.reach)
+}
+
 // ClearCache drops all cached matrices and norms.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()
@@ -549,6 +619,7 @@ func (e *Engine) ClearCache() {
 	e.edgeU = make(map[string]*sparse.Matrix)
 	e.reach = make(map[string]*sparse.Matrix)
 	e.norms = make(map[string][]float64)
+	e.reachAge = nil
 }
 
 func (e *Engine) checkIndex(typeName string, i int) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -46,7 +47,7 @@ func TestExample2TomKDD(t *testing.T) {
 	g := fig4Graph(t)
 	e := NewEngine(g, WithNormalization(false))
 	p := metapath.MustParse(g.Schema(), "APC")
-	got, err := e.Pair(p, "Tom", "KDD")
+	got, err := e.Pair(context.Background(), p, "Tom", "KDD")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestExample2TomKDD(t *testing.T) {
 	}
 	// Normalized, Tom's and KDD's paper distributions coincide: cosine 1.
 	en := NewEngine(g)
-	got, err = en.Pair(p, "Tom", "KDD")
+	got, err = en.Pair(context.Background(), p, "Tom", "KDD")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestExample2TomKDD(t *testing.T) {
 		t.Errorf("normalized HeteSim(Tom, KDD | APC) = %v, want 1", got)
 	}
 	// Tom is not related to SIGMOD via APC (Section 4.2).
-	got, err = en.Pair(p, "Tom", "SIGMOD")
+	got, err = en.Pair(context.Background(), p, "Tom", "SIGMOD")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFig5Decomposition(t *testing.T) {
 
 	// Fig. 5(c): unnormalized HeteSim of a2 is (0, 0.17, 0.33, 0.17).
 	e := NewEngine(g, WithNormalization(false))
-	rel, err := e.AllPairs(p)
+	rel, err := e.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFig5Decomposition(t *testing.T) {
 
 	// Fig. 5(d): normalized values.
 	en := NewEngine(g)
-	reln, err := en.AllPairs(p)
+	reln, err := en.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +162,11 @@ func TestEdgeObjectLiteralEquivalence(t *testing.T) {
 	p2 := metapath.MustParse(g2.Schema(), "AEB")
 	for i := 0; i < g.NodeCount("A"); i++ {
 		for j := 0; j < g.NodeCount("B"); j++ {
-			v1, err := e1.PairByIndex(p1, i, j)
+			v1, err := e1.PairByIndex(context.Background(), p1, i, j)
 			if err != nil {
 				t.Fatal(err)
 			}
-			v2, err := e2.PairByIndex(p2, i, j)
+			v2, err := e2.PairByIndex(context.Background(), p2, i, j)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -226,11 +227,11 @@ func TestEdgeObjectLiteralEquivalenceLongPath(t *testing.T) {
 	p2 := metapath.MustParse(g2.Schema(), "APEVC")
 	e1 := NewEngine(g)
 	e2 := NewEngine(g2)
-	all1, err := e1.AllPairs(p1)
+	all1, err := e1.AllPairs(context.Background(), p1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	all2, err := e2.AllPairs(p2)
+	all2, err := e2.AllPairs(context.Background(), p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,11 +280,11 @@ func TestEdgeObjectWeightedEquivalence(t *testing.T) {
 		e2 := NewEngine(g2, WithNormalization(normalized))
 		for i := 0; i < g.NodeCount("A"); i++ {
 			for j := 0; j < g.NodeCount("B"); j++ {
-				v1, err := e1.PairByIndex(p1, i, j)
+				v1, err := e1.PairByIndex(context.Background(), p1, i, j)
 				if err != nil {
 					t.Fatal(err)
 				}
-				v2, err := e2.PairByIndex(p2, i, j)
+				v2, err := e2.PairByIndex(context.Background(), p2, i, j)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -353,11 +354,11 @@ func TestProperty3Symmetry(t *testing.T) {
 		e := NewEngine(g)
 		spec := testPaths[rng.Intn(len(testPaths))]
 		p := metapath.MustParse(g.Schema(), spec)
-		fwd, err := e.AllPairs(p)
+		fwd, err := e.AllPairs(context.Background(), p)
 		if err != nil {
 			return false
 		}
-		bwd, err := e.AllPairs(p.Reverse())
+		bwd, err := e.AllPairs(context.Background(), p.Reverse())
 		if err != nil {
 			return false
 		}
@@ -377,7 +378,7 @@ func TestProperty4SelfMaximum(t *testing.T) {
 		e := NewEngine(g)
 		symPaths := []string{"APA", "APVCVPA", "APTPA"}
 		p := metapath.MustParse(g.Schema(), symPaths[rng.Intn(len(symPaths))])
-		rel, err := e.AllPairs(p)
+		rel, err := e.AllPairs(context.Background(), p)
 		if err != nil {
 			return false
 		}
@@ -413,7 +414,7 @@ func TestQueryPlansAgree(t *testing.T) {
 		e := NewEngine(g)
 		spec := testPaths[rng.Intn(len(testPaths))]
 		p := metapath.MustParse(g.Schema(), spec)
-		all, err := e.AllPairs(p)
+		all, err := e.AllPairs(context.Background(), p)
 		if err != nil {
 			return false
 		}
@@ -421,12 +422,12 @@ func TestQueryPlansAgree(t *testing.T) {
 		nT := g.NodeCount(p.Target())
 		for trial := 0; trial < 5; trial++ {
 			i := rng.Intn(nS)
-			ss, err := e.SingleSourceByIndex(p, i)
+			ss, err := e.SingleSourceByIndex(context.Background(), p, i)
 			if err != nil {
 				return false
 			}
 			j := rng.Intn(nT)
-			pv, err := e.PairByIndex(p, i, j)
+			pv, err := e.PairByIndex(context.Background(), p, i, j)
 			if err != nil {
 				return false
 			}
@@ -445,12 +446,12 @@ func TestUnnormalizedPlansAgreeToo(t *testing.T) {
 	g := randomBibGraph(99)
 	e := NewEngine(g, WithNormalization(false))
 	p := metapath.MustParse(g.Schema(), "APVC")
-	all, err := e.AllPairs(p)
+	all, err := e.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < g.NodeCount("author"); i++ {
-		ss, err := e.SingleSourceByIndex(p, i)
+		ss, err := e.SingleSourceByIndex(context.Background(), p, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -470,7 +471,7 @@ func TestReachableMatrixIsSubStochastic(t *testing.T) {
 		g := randomBibGraph(seed)
 		e := NewEngine(g)
 		p := metapath.MustParse(g.Schema(), testPaths[rng.Intn(len(testPaths))])
-		pm, err := e.ReachableMatrix(p)
+		pm, err := e.ReachableMatrix(context.Background(), p)
 		if err != nil {
 			return false
 		}
@@ -490,12 +491,12 @@ func TestReachableFromMatchesMatrix(t *testing.T) {
 	g := randomBibGraph(7)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVC")
-	pm, err := e.ReachableMatrix(p)
+	pm, err := e.ReachableMatrix(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < g.NodeCount("author"); i++ {
-		v, err := e.ReachableFrom(p, i)
+		v, err := e.ReachableFrom(context.Background(), p, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -511,17 +512,17 @@ func TestCachingSemantics(t *testing.T) {
 
 	cold := NewEngine(g, WithCaching(false))
 	warm := NewEngine(g)
-	if err := warm.Precompute(p); err != nil {
+	if err := warm.Precompute(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	if warm.CacheSize() == 0 {
 		t.Error("Precompute cached nothing")
 	}
-	a, err := cold.AllPairs(p)
+	a, err := cold.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := warm.AllPairs(p)
+	b, err := warm.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,12 +541,12 @@ func TestPrefixCacheSharedAcrossPaths(t *testing.T) {
 	// APVCVPA's left half is APVC's reachable prefix; computing the long
 	// path first must let the short path reuse cached prefixes.
 	long := metapath.MustParse(g.Schema(), "APVCVPA")
-	if err := e.Precompute(long); err != nil {
+	if err := e.Precompute(context.Background(), long); err != nil {
 		t.Fatal(err)
 	}
 	before := e.CacheSize()
 	short := metapath.MustParse(g.Schema(), "APV")
-	if _, err := e.ReachableMatrix(short); err != nil {
+	if _, err := e.ReachableMatrix(context.Background(), short); err != nil {
 		t.Fatal(err)
 	}
 	if e.CacheSize() != before {
@@ -559,11 +560,11 @@ func TestPruningApproximation(t *testing.T) {
 	exact := NewEngine(g)
 	approx := NewEngine(g, WithPruning(1e-4))
 	p := metapath.MustParse(g.Schema(), "APVCVPA")
-	a, err := exact.AllPairs(p)
+	a, err := exact.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := approx.AllPairs(p)
+	b, err := approx.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -577,14 +578,14 @@ func TestPairsSubsetMatchesAllPairs(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APVCVPA")
 	for _, normalized := range []bool{true, false} {
 		e := NewEngine(g, WithNormalization(normalized))
-		all, err := e.AllPairs(p)
+		all, err := e.AllPairs(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
 		n := g.NodeCount("author")
 		srcs := []int{0, n - 1, 1}
 		dsts := []int{n - 1, 0}
-		sub, err := e.PairsSubset(p, srcs, dsts)
+		sub, err := e.PairsSubset(context.Background(), p, srcs, dsts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -598,10 +599,10 @@ func TestPairsSubsetMatchesAllPairs(t *testing.T) {
 		}
 	}
 	e := NewEngine(g)
-	if _, err := e.PairsSubset(p, []int{-1}, []int{0}); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.PairsSubset(context.Background(), p, []int{-1}, []int{0}); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad src subset err = %v", err)
 	}
-	if _, err := e.PairsSubset(p, []int{0}, []int{999}); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.PairsSubset(context.Background(), p, []int{0}, []int{999}); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad dst subset err = %v", err)
 	}
 }
@@ -610,22 +611,22 @@ func TestErrorPaths(t *testing.T) {
 	g := fig4Graph(t)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APC")
-	if _, err := e.Pair(p, "Nobody", "KDD"); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.Pair(context.Background(), p, "Nobody", "KDD"); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("unknown src err = %v", err)
 	}
-	if _, err := e.Pair(p, "Tom", "ICML"); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.Pair(context.Background(), p, "Tom", "ICML"); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("unknown dst err = %v", err)
 	}
-	if _, err := e.PairByIndex(p, -1, 0); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.PairByIndex(context.Background(), p, -1, 0); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad index err = %v", err)
 	}
-	if _, err := e.SingleSourceByIndex(p, 100); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.SingleSourceByIndex(context.Background(), p, 100); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad single-source index err = %v", err)
 	}
-	if _, err := e.SingleSource(p, "Nobody"); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.SingleSource(context.Background(), p, "Nobody"); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad single-source id err = %v", err)
 	}
-	if _, err := e.ReachableFrom(p, 100); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.ReachableFrom(context.Background(), p, 100); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad reachable index err = %v", err)
 	}
 }
@@ -640,7 +641,7 @@ func TestDanglingNodesScoreZero(t *testing.T) {
 	g := b.MustBuild()
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APC")
-	got, err := e.Pair(p, "Idle", "KDD")
+	got, err := e.Pair(context.Background(), p, "Idle", "KDD")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -653,7 +654,7 @@ func TestConcurrentQueries(t *testing.T) {
 	g := randomBibGraph(21)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVCVPA")
-	want, err := e.AllPairs(p)
+	want, err := e.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -662,7 +663,7 @@ func TestConcurrentQueries(t *testing.T) {
 	for w := 0; w < 8; w++ {
 		go func(w int) {
 			for i := 0; i < g.NodeCount("author"); i++ {
-				ss, err := e.SingleSourceByIndex(p, i)
+				ss, err := e.SingleSourceByIndex(context.Background(), p, i)
 				if err != nil {
 					done <- err
 					return
@@ -694,11 +695,11 @@ func TestOddPathLeftRightDimensionsAgree(t *testing.T) {
 	if h.middle == nil {
 		t.Fatal("APVC must decompose with a middle step")
 	}
-	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	pml, err := e.chainMatrix(context.Background(), h.leftSteps, h.middle, 'L')
 	if err != nil {
 		t.Fatal(err)
 	}
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(context.Background(), h.rightSteps, h.middle, 'R')
 	if err != nil {
 		t.Fatal(err)
 	}

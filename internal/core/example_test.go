@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"hetesim/internal/core"
@@ -31,7 +32,7 @@ func ExampleEngine_Pair() {
 	g := buildExampleGraph()
 	engine := core.NewEngine(g)
 	apc := metapath.MustParse(g.Schema(), "APC")
-	score, err := engine.Pair(apc, "Tom", "KDD")
+	score, err := engine.Pair(context.Background(), apc, "Tom", "KDD")
 	if err != nil {
 		panic(err)
 	}
@@ -44,8 +45,8 @@ func ExampleEngine_Pair_symmetry() {
 	g := buildExampleGraph()
 	engine := core.NewEngine(g)
 	apc := metapath.MustParse(g.Schema(), "APC")
-	fwd, _ := engine.Pair(apc, "Mary", "KDD")
-	bwd, _ := engine.Pair(apc.Reverse(), "KDD", "Mary")
+	fwd, _ := engine.Pair(context.Background(), apc, "Mary", "KDD")
+	bwd, _ := engine.Pair(context.Background(), apc.Reverse(), "KDD", "Mary")
 	fmt.Printf("%.4f %.4f\n", fwd, bwd)
 	// Output: 0.5000 0.5000
 }
@@ -55,7 +56,7 @@ func ExampleWithNormalization() {
 	g := buildExampleGraph()
 	engine := core.NewEngine(g, core.WithNormalization(false))
 	apc := metapath.MustParse(g.Schema(), "APC")
-	score, _ := engine.Pair(apc, "Tom", "KDD")
+	score, _ := engine.Pair(context.Background(), apc, "Tom", "KDD")
 	fmt.Printf("%.2f\n", score)
 	// Output: 0.50
 }
@@ -64,7 +65,7 @@ func ExampleEngine_SingleSource() {
 	g := buildExampleGraph()
 	engine := core.NewEngine(g)
 	apc := metapath.MustParse(g.Schema(), "APC")
-	scores, _ := engine.SingleSource(apc, "Tom")
+	scores, _ := engine.SingleSource(context.Background(), apc, "Tom")
 	for i, s := range scores {
 		id, _ := g.NodeID("conference", i)
 		fmt.Printf("%s %.2f\n", id, s)
@@ -79,7 +80,7 @@ func ExampleEngine_TopKSearch() {
 	engine := core.NewEngine(g)
 	apa := metapath.MustParse(g.Schema(), "APA")
 	tom, _ := g.NodeIndex("author", "Tom")
-	top, _ := engine.TopKSearch(apa, tom, 2, 0)
+	top, _ := engine.TopKSearch(context.Background(), apa, tom, 2, 0)
 	for _, s := range top {
 		id, _ := g.NodeID("author", s.Index)
 		fmt.Printf("%s %.2f\n", id, s.Score)

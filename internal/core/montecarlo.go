@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,7 +34,7 @@ type MonteCarloResult struct {
 // PairMonteCarlo estimates HeteSim(src, dst | p) from `walks` sampled
 // walks per endpoint, using the engine's normalization setting. The
 // estimate is deterministic for a fixed seed.
-func (e *Engine) PairMonteCarlo(p *metapath.Path, src, dst, walks int, seed int64) (MonteCarloResult, error) {
+func (e *Engine) PairMonteCarlo(ctx context.Context, p *metapath.Path, src, dst, walks int, seed int64) (MonteCarloResult, error) {
 	if walks < 2 {
 		return MonteCarloResult{}, fmt.Errorf("core: PairMonteCarlo needs at least 2 walks, got %d", walks)
 	}
@@ -45,11 +46,11 @@ func (e *Engine) PairMonteCarlo(p *metapath.Path, src, dst, walks int, seed int6
 	}
 	h := splitPath(p)
 	rng := rand.New(rand.NewSource(seed))
-	srcCounts, err := e.sampleWalks(src, h.leftSteps, h.middle, 'L', walks, rng)
+	srcCounts, err := e.sampleWalks(ctx, src, h.leftSteps, h.middle, 'L', walks, rng)
 	if err != nil {
 		return MonteCarloResult{}, err
 	}
-	dstCounts, err := e.sampleWalks(dst, h.rightSteps, h.middle, 'R', walks, rng)
+	dstCounts, err := e.sampleWalks(ctx, dst, h.rightSteps, h.middle, 'R', walks, rng)
 	if err != nil {
 		return MonteCarloResult{}, err
 	}
@@ -92,7 +93,7 @@ func (e *Engine) PairMonteCarlo(p *metapath.Path, src, dst, walks int, seed int6
 // instance) and returns meeting-object visit counts. Walks that dead-end
 // are dropped, matching the measure's convention that missing neighbors
 // contribute zero relatedness.
-func (e *Engine) sampleWalks(start int, steps []metapath.Step, middle *metapath.Step, side byte, walks int, rng *rand.Rand) (map[int]int, error) {
+func (e *Engine) sampleWalks(ctx context.Context, start int, steps []metapath.Step, middle *metapath.Step, side byte, walks int, rng *rand.Rand) (map[int]int, error) {
 	// Pre-resolve the transition matrices once.
 	us := make([]*sparse.Matrix, len(steps))
 	for i, s := range steps {
@@ -116,6 +117,11 @@ func (e *Engine) sampleWalks(start int, steps []metapath.Step, middle *metapath.
 	}
 	counts := make(map[int]int)
 	for w := 0; w < walks; w++ {
+		if w&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		at := start
 		ok := true
 		for _, u := range us {
@@ -158,4 +164,32 @@ func stepSample(u *sparse.Matrix, at int, rng *rand.Rand) (int, bool) {
 		found = next >= 0
 	}
 	return next, found
+}
+
+// SingleSourceMonteCarlo estimates the reaching distribution of one source
+// over the target type by sampling `walks` full-path random walks, returning
+// dense per-target visit frequencies. This is the graceful-degradation plan:
+// when an exact single-source query blows its deadline, the server falls
+// back to this estimator, whose cost is walks x path-length row samples
+// regardless of how dense the half-path matrices are. The ranking it
+// induces approximates the reachable-probability (PCRW) ordering — the raw
+// HeteSim numerator taken in the source direction — so results must be
+// marked approximate.
+func (e *Engine) SingleSourceMonteCarlo(ctx context.Context, p *metapath.Path, src, walks int, seed int64) ([]float64, error) {
+	if walks < 1 {
+		return nil, fmt.Errorf("core: SingleSourceMonteCarlo needs at least 1 walk, got %d", walks)
+	}
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts, err := e.sampleWalks(ctx, src, p.Steps(), nil, 'P', walks, rng)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, e.g.NodeCount(p.Target()))
+	for t, c := range counts {
+		scores[t] = float64(c) / float64(walks)
+	}
+	return scores, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -14,7 +15,7 @@ func TestPairMonteCarloConvergesRaw(t *testing.T) {
 	g := fig4Graph(t)
 	e := NewEngine(g, WithNormalization(false))
 	p := metapath.MustParse(g.Schema(), "APC")
-	res, err := e.PairMonteCarlo(p, 0, 0, 200000, 1)
+	res, err := e.PairMonteCarlo(context.Background(), p, 0, 0, 200000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,14 +36,14 @@ func TestPairMonteCarloConvergesNormalized(t *testing.T) {
 	checked := 0
 	for src := 0; src < g.NodeCount("author") && checked < 3; src++ {
 		for dst := 0; dst < g.NodeCount("conference") && checked < 3; dst++ {
-			exact, err := e.PairByIndex(p, src, dst)
+			exact, err := e.PairByIndex(context.Background(), p, src, dst)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if exact < 0.05 {
 				continue
 			}
-			mc, err := e.PairMonteCarlo(p, src, dst, 150000, 7)
+			mc, err := e.PairMonteCarlo(context.Background(), p, src, dst, 150000, 7)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -64,7 +65,7 @@ func TestPairMonteCarloOddPath(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "AB")
 	a2, _ := g.NodeIndex("A", "a2")
 	b3, _ := g.NodeIndex("B", "b3")
-	mc, err := e.PairMonteCarlo(p, a2, b3, 200000, 3)
+	mc, err := e.PairMonteCarlo(context.Background(), p, a2, b3, 200000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,12 +79,12 @@ func TestPairMonteCarloDeterministicBySeed(t *testing.T) {
 	g := randomBibGraph(43)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVC")
-	a, _ := e.PairMonteCarlo(p, 0, 0, 1000, 9)
-	b, _ := e.PairMonteCarlo(p, 0, 0, 1000, 9)
+	a, _ := e.PairMonteCarlo(context.Background(), p, 0, 0, 1000, 9)
+	b, _ := e.PairMonteCarlo(context.Background(), p, 0, 0, 1000, 9)
 	if a.Score != b.Score {
 		t.Error("same seed produced different estimates")
 	}
-	c, _ := e.PairMonteCarlo(p, 0, 0, 1000, 10)
+	c, _ := e.PairMonteCarlo(context.Background(), p, 0, 0, 1000, 10)
 	_ = c // different seed may or may not differ; just must not panic
 }
 
@@ -93,7 +94,7 @@ func TestPairMonteCarloZeroRelatedness(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APC")
 	tom, _ := g.NodeIndex("author", "Tom")
 	sigmod, _ := g.NodeIndex("conference", "SIGMOD")
-	mc, err := e.PairMonteCarlo(p, tom, sigmod, 5000, 1)
+	mc, err := e.PairMonteCarlo(context.Background(), p, tom, sigmod, 5000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,13 +107,13 @@ func TestPairMonteCarloValidation(t *testing.T) {
 	g := fig4Graph(t)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APC")
-	if _, err := e.PairMonteCarlo(p, 0, 0, 1, 1); err == nil {
+	if _, err := e.PairMonteCarlo(context.Background(), p, 0, 0, 1, 1); err == nil {
 		t.Error("walks=1 accepted")
 	}
-	if _, err := e.PairMonteCarlo(p, 99, 0, 10, 1); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.PairMonteCarlo(context.Background(), p, 99, 0, 10, 1); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad src err = %v", err)
 	}
-	if _, err := e.PairMonteCarlo(p, 0, 99, 10, 1); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.PairMonteCarlo(context.Background(), p, 0, 99, 10, 1); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad dst err = %v", err)
 	}
 }
@@ -127,7 +128,7 @@ func TestPairMonteCarloDanglingSource(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APC")
 	idle, _ := g.NodeIndex("author", "Idle")
 	kdd, _ := g.NodeIndex("conference", "KDD")
-	mc, err := e.PairMonteCarlo(p, idle, kdd, 1000, 1)
+	mc, err := e.PairMonteCarlo(context.Background(), p, idle, kdd, 1000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -32,13 +33,13 @@ var (
 
 // SaveMaterialized computes (or fetches from cache) the two half-path
 // matrices of p and writes them to w.
-func (e *Engine) SaveMaterialized(w io.Writer, p *metapath.Path) error {
+func (e *Engine) SaveMaterialized(ctx context.Context, w io.Writer, p *metapath.Path) error {
 	h := splitPath(p)
-	pml, err := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return err
 	}
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err != nil {
 		return err
 	}
@@ -120,10 +121,8 @@ func (e *Engine) LoadMaterialized(r io.Reader, p *metapath.Path) error {
 	h := splitPath(p)
 	leftKey := e.chainFullKey(h.leftSteps, h.middle, 'L')
 	rightKey := e.chainFullKey(h.rightSteps, h.middle, 'R')
-	e.mu.Lock()
-	e.reach[leftKey] = pml
-	e.reach[rightKey] = pmr
-	e.mu.Unlock()
+	e.cachePut(leftKey, pml)
+	e.cachePut(rightKey, pmr)
 	e.chainRowNorms(leftKey, pml)
 	e.chainRowNorms(rightKey, pmr)
 	return nil

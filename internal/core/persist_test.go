@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -14,12 +15,12 @@ func TestSaveLoadMaterializedRoundTrip(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APVCVPA")
 
 	src := NewEngine(g)
-	want, err := src.AllPairs(p)
+	want, err := src.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := src.SaveMaterialized(&buf, p); err != nil {
+	if err := src.SaveMaterialized(context.Background(), &buf, p); err != nil {
 		t.Fatal(err)
 	}
 
@@ -27,7 +28,7 @@ func TestSaveLoadMaterializedRoundTrip(t *testing.T) {
 	if err := dst.LoadMaterialized(bytes.NewReader(buf.Bytes()), p); err != nil {
 		t.Fatal(err)
 	}
-	got, err := dst.AllPairs(p)
+	got, err := dst.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestSaveLoadMaterializedRoundTrip(t *testing.T) {
 	}
 	// Single-source must also be served from the snapshot.
 	for i := 0; i < g.NodeCount("author"); i++ {
-		ss, err := dst.SingleSourceByIndex(p, i)
+		ss, err := dst.SingleSourceByIndex(context.Background(), p, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,19 +53,19 @@ func TestSaveLoadMaterializedOddPath(t *testing.T) {
 	g := randomBibGraph(32)
 	p := metapath.MustParse(g.Schema(), "APVC") // odd: edge-object halves
 	src := NewEngine(g)
-	want, err := src.AllPairs(p)
+	want, err := src.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := src.SaveMaterialized(&buf, p); err != nil {
+	if err := src.SaveMaterialized(context.Background(), &buf, p); err != nil {
 		t.Fatal(err)
 	}
 	dst := NewEngine(g)
 	if err := dst.LoadMaterialized(&buf, p); err != nil {
 		t.Fatal(err)
 	}
-	got, err := dst.AllPairs(p)
+	got, err := dst.AllPairs(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestLoadMaterializedRejectsMismatch(t *testing.T) {
 	e := NewEngine(g)
 
 	var buf bytes.Buffer
-	if err := e.SaveMaterialized(&buf, apvc); err != nil {
+	if err := e.SaveMaterialized(context.Background(), &buf, apvc); err != nil {
 		t.Fatal(err)
 	}
 	snapshot := buf.Bytes()

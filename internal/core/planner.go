@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -183,7 +184,7 @@ func maxInt(a, b int) int {
 // ChainStats returns the planner's estimate and, when materialize is true,
 // the actual materialized shape of a path's left and right halves — useful
 // for validating the cost model.
-func (e *Engine) ChainStats(p *metapath.Path, materialize bool) (estL, estR ChainEstimate, actL, actR ChainEstimate, err error) {
+func (e *Engine) ChainStats(ctx context.Context, p *metapath.Path, materialize bool) (estL, estR ChainEstimate, actL, actR ChainEstimate, err error) {
 	h := splitPath(p)
 	estL, err = e.estimateChain(h.leftSteps, h.middle, 'L')
 	if err != nil {
@@ -196,12 +197,12 @@ func (e *Engine) ChainStats(p *metapath.Path, materialize bool) (estL, estR Chai
 	if !materialize {
 		return
 	}
-	pml, err2 := e.chainMatrix(h.leftSteps, h.middle, 'L')
+	pml, err2 := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
 	if err2 != nil {
 		err = err2
 		return
 	}
-	pmr, err2 := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err2 := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err2 != nil {
 		err = err2
 		return

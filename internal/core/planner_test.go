@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func TestChainEstimateTracksActualNNZ(t *testing.T) {
 		e := NewEngine(g)
 		rng := rand.New(rand.NewSource(seed))
 		p := metapath.MustParse(g.Schema(), testPaths[rng.Intn(len(testPaths))])
-		estL, estR, actL, actR, err := e.ChainStats(p, true)
+		estL, estR, actL, actR, err := e.ChainStats(context.Background(), p, true)
 		if err != nil {
 			return false
 		}
@@ -95,7 +96,7 @@ func TestChainStatsWithoutMaterialization(t *testing.T) {
 	g := randomBibGraph(57)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVC")
-	estL, estR, actL, actR, err := e.ChainStats(p, false)
+	estL, estR, actL, actR, err := e.ChainStats(context.Background(), p, false)
 	if err != nil {
 		t.Fatal(err)
 	}

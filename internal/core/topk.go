@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,7 +24,7 @@ type Scored struct {
 // in the target type," so most targets are never touched. eps = 0 gives the
 // exact answer; small eps (e.g. 1e-3) trades a bounded score error for a
 // sparser scan.
-func (e *Engine) TopKSearch(p *metapath.Path, src, k int, eps float64) ([]Scored, error) {
+func (e *Engine) TopKSearch(ctx context.Context, p *metapath.Path, src, k int, eps float64) ([]Scored, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: TopKSearch k=%d must be positive", k)
 	}
@@ -34,7 +35,7 @@ func (e *Engine) TopKSearch(p *metapath.Path, src, k int, eps float64) ([]Scored
 		return nil, err
 	}
 	h := splitPath(p)
-	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +58,7 @@ func (e *Engine) TopKSearch(p *metapath.Path, src, k int, eps float64) ([]Scored
 		})
 		left = sparse.NewVector(left.Len(), idx, val)
 	}
-	pmrT, err := e.rightTranspose(h)
+	pmrT, err := e.rightTranspose(ctx, h)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +83,7 @@ func (e *Engine) TopKSearch(p *metapath.Path, src, k int, eps float64) ([]Scored
 	var ln float64
 	if e.normalized {
 		ln = left.Norm()
-		pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+		pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 		if err != nil {
 			return nil, err
 		}
@@ -115,21 +116,16 @@ func (e *Engine) TopKSearch(p *metapath.Path, src, k int, eps float64) ([]Scored
 
 // rightTranspose caches the transposed right-half matrix, giving
 // middle-object → target access for candidate-restricted scans.
-func (e *Engine) rightTranspose(h halves) (*sparse.Matrix, error) {
+func (e *Engine) rightTranspose(ctx context.Context, h halves) (*sparse.Matrix, error) {
 	key := "T:" + e.chainFullKey(h.rightSteps, h.middle, 'R')
-	e.mu.Lock()
-	if m, ok := e.reach[key]; ok {
-		e.mu.Unlock()
+	if m, ok := e.cacheGet(key); ok {
 		return m, nil
 	}
-	e.mu.Unlock()
-	pmr, err := e.chainMatrix(h.rightSteps, h.middle, 'R')
+	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
 	if err != nil {
 		return nil, err
 	}
 	t := pmr.Transpose()
-	e.mu.Lock()
-	e.reach[key] = t
-	e.mu.Unlock()
+	e.cachePut(key, t)
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -19,11 +20,11 @@ func TestTopKSearchExactMatchesSingleSource(t *testing.T) {
 		p := metapath.MustParse(g.Schema(), testPaths[rng.Intn(len(testPaths))])
 		src := rng.Intn(g.NodeCount(p.Source()))
 		k := 1 + rng.Intn(5)
-		got, err := e.TopKSearch(p, src, k, 0)
+		got, err := e.TopKSearch(context.Background(), p, src, k, 0)
 		if err != nil {
 			return false
 		}
-		ss, err := e.SingleSourceByIndex(p, src)
+		ss, err := e.SingleSourceByIndex(context.Background(), p, src)
 		if err != nil {
 			return false
 		}
@@ -67,11 +68,11 @@ func TestTopKSearchUnnormalized(t *testing.T) {
 	g := randomBibGraph(17)
 	e := NewEngine(g, WithNormalization(false))
 	p := metapath.MustParse(g.Schema(), "APVC")
-	got, err := e.TopKSearch(p, 0, 3, 0)
+	got, err := e.TopKSearch(context.Background(), p, 0, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, _ := e.SingleSourceByIndex(p, 0)
+	ss, _ := e.SingleSourceByIndex(context.Background(), p, 0)
 	for _, s := range got {
 		if math.Abs(ss[s.Index]-s.Score) > 1e-12 {
 			t.Errorf("unnormalized score mismatch at %d", s.Index)
@@ -83,11 +84,11 @@ func TestTopKSearchPrunedStaysClose(t *testing.T) {
 	g := randomBibGraph(19)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVCVPA")
-	exact, err := e.TopKSearch(p, 0, 5, 0)
+	exact, err := e.TopKSearch(context.Background(), p, 0, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := e.TopKSearch(p, 0, 5, 1e-3)
+	pruned, err := e.TopKSearch(context.Background(), p, 0, 5, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,16 +108,16 @@ func TestTopKSearchValidation(t *testing.T) {
 	g := randomBibGraph(23)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVC")
-	if _, err := e.TopKSearch(p, 0, 0, 0); err == nil {
+	if _, err := e.TopKSearch(context.Background(), p, 0, 0, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := e.TopKSearch(p, 0, 3, 1.5); err == nil {
+	if _, err := e.TopKSearch(context.Background(), p, 0, 3, 1.5); err == nil {
 		t.Error("eps>=1 accepted")
 	}
-	if _, err := e.TopKSearch(p, 0, 3, -0.1); err == nil {
+	if _, err := e.TopKSearch(context.Background(), p, 0, 3, -0.1); err == nil {
 		t.Error("negative eps accepted")
 	}
-	if _, err := e.TopKSearch(p, -1, 3, 0); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, err := e.TopKSearch(context.Background(), p, -1, 3, 0); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad src err = %v", err)
 	}
 }
@@ -131,7 +132,7 @@ func TestTopKSearchOnlyReturnsPositiveOverlap(t *testing.T) {
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APC")
 	idle, _ := g.NodeIndex("author", "Idle")
-	got, err := e.TopKSearch(p, idle, 5, 0)
+	got, err := e.TopKSearch(context.Background(), p, idle, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

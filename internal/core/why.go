@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,7 +30,7 @@ type Contribution struct {
 // PairContributions returns the pair's HeteSim score and its top-k meeting
 // object contributions, largest first. The contributions sum (over all
 // meeting objects, not just the returned k) to the score exactly.
-func (e *Engine) PairContributions(p *metapath.Path, src, dst, k int) (float64, []Contribution, error) {
+func (e *Engine) PairContributions(ctx context.Context, p *metapath.Path, src, dst, k int) (float64, []Contribution, error) {
 	if k <= 0 {
 		return 0, nil, fmt.Errorf("core: PairContributions k=%d must be positive", k)
 	}
@@ -40,11 +41,11 @@ func (e *Engine) PairContributions(p *metapath.Path, src, dst, k int) (float64, 
 		return 0, nil, err
 	}
 	h := splitPath(p)
-	left, err := e.chainVector(src, h.leftSteps, h.middle, 'L')
+	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return 0, nil, err
 	}
-	right, err := e.chainVector(dst, h.rightSteps, h.middle, 'R')
+	right, err := e.chainVector(ctx, dst, h.rightSteps, h.middle, 'R')
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -19,11 +20,11 @@ func TestPairContributionsSumToScore(t *testing.T) {
 		p := metapath.MustParse(g.Schema(), testPaths[rng.Intn(len(testPaths))])
 		src := rng.Intn(g.NodeCount(p.Source()))
 		dst := rng.Intn(g.NodeCount(p.Target()))
-		exact, err := e.PairByIndex(p, src, dst)
+		exact, err := e.PairByIndex(context.Background(), p, src, dst)
 		if err != nil {
 			return false
 		}
-		total, contribs, err := e.PairContributions(p, src, dst, 1<<30)
+		total, contribs, err := e.PairContributions(context.Background(), p, src, dst, 1<<30)
 		if err != nil {
 			return false
 		}
@@ -58,7 +59,7 @@ func TestPairContributionsLabels(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APC")
 	tom, _ := g.NodeIndex("author", "Tom")
 	kdd, _ := g.NodeIndex("conference", "KDD")
-	score, contribs, err := e.PairContributions(p, tom, kdd, 5)
+	score, contribs, err := e.PairContributions(context.Background(), p, tom, kdd, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestPairContributionsLabels(t *testing.T) {
 	// Odd path AP: walkers meet inside the writes relation instances.
 	ap := metapath.MustParse(g.Schema(), "AP")
 	p2i, _ := g.NodeIndex("paper", "p2")
-	_, contribs, err = e.PairContributions(ap, tom, p2i, 3)
+	_, contribs, err = e.PairContributions(context.Background(), ap, tom, p2i, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestPairContributionsTopKTruncation(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APC")
 	tom, _ := g.NodeIndex("author", "Tom")
 	kdd, _ := g.NodeIndex("conference", "KDD")
-	score, contribs, err := e.PairContributions(p, tom, kdd, 1)
+	score, contribs, err := e.PairContributions(context.Background(), p, tom, kdd, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPairContributionsTopKTruncation(t *testing.T) {
 		t.Fatalf("contribs = %d, want 1", len(contribs))
 	}
 	// Score is still the full total, not just the returned share.
-	exact, _ := e.PairByIndex(p, tom, kdd)
+	exact, _ := e.PairByIndex(context.Background(), p, tom, kdd)
 	if math.Abs(score-exact) > 1e-12 {
 		t.Errorf("score = %v, want %v", score, exact)
 	}
@@ -108,13 +109,13 @@ func TestPairContributionsValidation(t *testing.T) {
 	g := fig4Graph(t)
 	e := NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APC")
-	if _, _, err := e.PairContributions(p, 0, 0, 0); err == nil {
+	if _, _, err := e.PairContributions(context.Background(), p, 0, 0, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, _, err := e.PairContributions(p, 99, 0, 1); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, _, err := e.PairContributions(context.Background(), p, 99, 0, 1); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad src err = %v", err)
 	}
-	if _, _, err := e.PairContributions(p, 0, 99, 1); !errors.Is(err, hin.ErrUnknownNode) {
+	if _, _, err := e.PairContributions(context.Background(), p, 0, 99, 1); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad dst err = %v", err)
 	}
 }
@@ -125,7 +126,7 @@ func TestPairContributionsDisjointSupports(t *testing.T) {
 	p := metapath.MustParse(g.Schema(), "APC")
 	tom, _ := g.NodeIndex("author", "Tom")
 	sigmod, _ := g.NodeIndex("conference", "SIGMOD")
-	score, contribs, err := e.PairContributions(p, tom, sigmod, 5)
+	score, contribs, err := e.PairContributions(context.Background(), p, tom, sigmod, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -107,7 +108,7 @@ func TestACMPlantedCommunityStructure(t *testing.T) {
 	// than other areas along APVC.
 	e := core.NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "APVC")
-	pm, err := e.ReachableMatrix(p)
+	pm, err := e.ReachableMatrix(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"testing"
 
 	"hetesim/internal/core"
@@ -48,7 +49,7 @@ func TestMoviesPlantedPreferences(t *testing.T) {
 	// along UMG (user → rated movies → genres).
 	e := core.NewEngine(g)
 	p := metapath.MustParse(g.Schema(), "UMG")
-	pm, err := e.ReachableMatrix(p)
+	pm, err := e.ReachableMatrix(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

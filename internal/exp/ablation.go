@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -60,18 +61,18 @@ func (c *Context) AblationPruning() (AblationPruningResult, error) {
 	if err != nil {
 		return AblationPruningResult{}, err
 	}
-	ref, err := exact.SingleSourceByIndex(p, star)
+	ref, err := exact.SingleSourceByIndex(context.Background(), p, star)
 	if err != nil {
 		return AblationPruningResult{}, err
 	}
-	_, _, actL, _, err := exact.ChainStats(p, true)
+	_, _, actL, _, err := exact.ChainStats(context.Background(), p, true)
 	if err != nil {
 		return AblationPruningResult{}, err
 	}
 	res := AblationPruningResult{Path: spec}
 	for _, eps := range []float64{0, 1e-3, 1e-2, 5e-2} {
 		e := core.NewEngine(g, core.WithPruning(eps))
-		got, err := e.SingleSourceByIndex(p, star)
+		got, err := e.SingleSourceByIndex(context.Background(), p, star)
 		if err != nil {
 			return AblationPruningResult{}, err
 		}
@@ -85,7 +86,7 @@ func (c *Context) AblationPruning() (AblationPruningResult, error) {
 		if err != nil {
 			return AblationPruningResult{}, err
 		}
-		_, _, prunedL, _, err := e.ChainStats(p, true)
+		_, _, prunedL, _, err := e.ChainStats(context.Background(), p, true)
 		if err != nil {
 			return AblationPruningResult{}, err
 		}
@@ -157,11 +158,11 @@ func (c *Context) AblationMonteCarlo() (AblationMonteCarloResult, error) {
 	for _, walks := range []int{1000, 10000, 100000} {
 		var sum, maxErr float64
 		for i, pr := range pairs {
-			exact, err := e.PairByIndex(p, pr.a, pr.c)
+			exact, err := e.PairByIndex(context.Background(), p, pr.a, pr.c)
 			if err != nil {
 				return AblationMonteCarloResult{}, err
 			}
-			mc, err := e.PairMonteCarlo(p, pr.a, pr.c, walks, int64(i+1))
+			mc, err := e.PairMonteCarlo(context.Background(), p, pr.a, pr.c, walks, int64(i+1))
 			if err != nil {
 				return AblationMonteCarloResult{}, err
 			}
@@ -223,7 +224,7 @@ func (c *Context) AblationNormalization() (AblationNormalizationResult, error) {
 		return AblationNormalizationResult{}, err
 	}
 	rankAndMax := func(e *core.Engine) (int, float64, error) {
-		scores, err := e.SingleSourceByIndex(p, star)
+		scores, err := e.SingleSourceByIndex(context.Background(), p, star)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -118,7 +119,7 @@ func (c *Context) Table6ClusteringNMI() (Table6Result, error) {
 			truth[i] = ds.AreaOf(t.typ, o)
 		}
 		p := mustPath(g, t.path)
-		hsSim, err := e.PairsSubset(p, t.idx, t.idx)
+		hsSim, err := e.PairsSubset(context.Background(), p, t.idx, t.idx)
 		if err != nil {
 			return Table6Result{}, err
 		}
@@ -126,7 +127,7 @@ func (c *Context) Table6ClusteringNMI() (Table6Result, error) {
 		if err != nil {
 			return Table6Result{}, err
 		}
-		psSim, err := ps.Subset(p, t.idx)
+		psSim, err := ps.Subset(context.Background(), p, t.idx)
 		if err != nil {
 			return Table6Result{}, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -79,23 +80,23 @@ func (c *Context) Table3SymmetryStudy() (Table3Result, error) {
 		if err != nil {
 			return Table3Result{}, err
 		}
-		hs, err := e.Pair(apvc, aid, s.conf)
+		hs, err := e.Pair(context.Background(), apvc, aid, s.conf)
 		if err != nil {
 			return Table3Result{}, err
 		}
 		// Sanity of Property 3: the reverse-path score must agree.
-		hs2, err := e.Pair(cvpa, s.conf, aid)
+		hs2, err := e.Pair(context.Background(), cvpa, s.conf, aid)
 		if err != nil {
 			return Table3Result{}, err
 		}
 		if diff := hs - hs2; diff > 1e-9 || diff < -1e-9 {
 			return Table3Result{}, fmt.Errorf("exp: HeteSim symmetry violated on %s/%s", aid, s.conf)
 		}
-		fw, err := pcrw.Pair(apvc, aid, s.conf)
+		fw, err := pcrw.Pair(context.Background(), apvc, aid, s.conf)
 		if err != nil {
 			return Table3Result{}, err
 		}
-		bw, err := pcrw.Pair(cvpa, s.conf, aid)
+		bw, err := pcrw.Pair(context.Background(), cvpa, s.conf, aid)
 		if err != nil {
 			return Table3Result{}, err
 		}
@@ -156,7 +157,7 @@ func (c *Context) Fig6RankDifference() (Fig6Result, error) {
 	cvpa := mustPath(g, "CVPA")
 	apvc := mustPath(g, "APVC")
 	// PCRW author→conference scores for every author at once.
-	pmAC, err := pcrw.AllPairs(apvc)
+	pmAC, err := pcrw.AllPairs(context.Background(), apvc)
 	if err != nil {
 		return Fig6Result{}, err
 	}
@@ -164,7 +165,7 @@ func (c *Context) Fig6RankDifference() (Fig6Result, error) {
 	res := Fig6Result{TopAuthors: top}
 	for ci, conf := range g.NodeIDs("conference") {
 		truth := columnOf(counts, ci)
-		hs, err := e.SingleSource(cvpa, conf)
+		hs, err := e.SingleSource(context.Background(), cvpa, conf)
 		if err != nil {
 			return Fig6Result{}, err
 		}
@@ -173,7 +174,7 @@ func (c *Context) Fig6RankDifference() (Fig6Result, error) {
 			return Fig6Result{}, err
 		}
 		// PCRW: average the rank differences of its two orderings.
-		fwd, err := pcrw.SingleSource(cvpa, conf)
+		fwd, err := pcrw.SingleSource(context.Background(), cvpa, conf)
 		if err != nil {
 			return Fig6Result{}, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,7 +52,7 @@ func (c *Context) profileLists(key string, srcType, srcID string, specs [][3]str
 		if p.Source() != srcType {
 			return nil, fmt.Errorf("exp: path %s does not start at %s", spec[0], srcType)
 		}
-		scores, err := e.SingleSource(p, srcID)
+		scores, err := e.SingleSource(context.Background(), p, srcID)
 		if err != nil {
 			return nil, err
 		}

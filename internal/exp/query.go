@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,11 +68,11 @@ func (c *Context) Table5QueryAUC() (Table5Result, error) {
 			return Table5Result{}, err
 		}
 		confArea := ds.AreaOf("conference", ci)
-		hs, err := e.SingleSource(cpa, conf)
+		hs, err := e.SingleSource(context.Background(), cpa, conf)
 		if err != nil {
 			return Table5Result{}, err
 		}
-		pc, err := pcrw.SingleSource(cpa, conf)
+		pc, err := pcrw.SingleSource(context.Background(), cpa, conf)
 		if err != nil {
 			return Table5Result{}, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -64,7 +65,7 @@ func (c *Context) Table4RelatedAuthors() (Table4Result, error) {
 	const k = 10
 
 	e := c.Engine("acm", g)
-	hs, err := e.SingleSource(p, starID)
+	hs, err := e.SingleSource(context.Background(), p, starID)
 	if err != nil {
 		return Table4Result{}, err
 	}
@@ -74,7 +75,7 @@ func (c *Context) Table4RelatedAuthors() (Table4Result, error) {
 	}
 
 	ps := baseline.NewPathSim(g)
-	pss, err := ps.SingleSource(p, starID)
+	pss, err := ps.SingleSource(context.Background(), p, starID)
 	if err != nil {
 		return Table4Result{}, err
 	}
@@ -84,7 +85,7 @@ func (c *Context) Table4RelatedAuthors() (Table4Result, error) {
 	}
 
 	pcrw := baseline.NewPCRWFromEngine(e)
-	pcs, err := pcrw.SingleSource(p, starID)
+	pcs, err := pcrw.SingleSource(context.Background(), p, starID)
 	if err != nil {
 		return Table4Result{}, err
 	}
@@ -141,7 +142,7 @@ func (c *Context) Table7PathSemantics() (Table7Result, error) {
 	var out Table7Result
 	out.Conference = "KDD"
 	for _, spec := range []string{"CVPA", "CVPAPA"} {
-		scores, err := e.SingleSource(mustPath(g, spec), "KDD")
+		scores, err := e.SingleSource(context.Background(), mustPath(g, spec), "KDD")
 		if err != nil {
 			return Table7Result{}, err
 		}
@@ -214,7 +215,7 @@ func (c *Context) Fig7ReachableDistribution() (Fig7Result, error) {
 		n = len(t4.HeteSim)
 	}
 	for _, it := range t4.HeteSim[:n] {
-		probs, err := pcrw.SingleSource(p, it.ID)
+		probs, err := pcrw.SingleSource(context.Background(), p, it.ID)
 		if err != nil {
 			return Fig7Result{}, err
 		}

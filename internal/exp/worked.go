@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,11 +67,11 @@ func (c *Context) Fig5WorkedExample() (Fig5Result, error) {
 		return Fig5Result{}, err
 	}
 	p := mustPath(g, "AB")
-	raw, err := core.NewEngine(g, core.WithNormalization(false)).AllPairs(p)
+	raw, err := core.NewEngine(g, core.WithNormalization(false)).AllPairs(context.Background(), p)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	norm, err := core.NewEngine(g).AllPairs(p)
+	norm, err := core.NewEngine(g).AllPairs(context.Background(), p)
 	if err != nil {
 		return Fig5Result{}, err
 	}
@@ -102,7 +103,7 @@ func (c *Context) Fig5WorkedExample() (Fig5Result, error) {
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	ex2, err := core.NewEngine(g2, core.WithNormalization(false)).Pair(mustPath(g2, "APC"), "Tom", "KDD")
+	ex2, err := core.NewEngine(g2, core.WithNormalization(false)).Pair(context.Background(), mustPath(g2, "APC"), "Tom", "KDD")
 	if err != nil {
 		return Fig5Result{}, err
 	}

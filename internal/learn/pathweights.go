@@ -8,6 +8,7 @@
 package learn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,8 +51,8 @@ func (c *Config) defaults() {
 // pairs, minimizing mean squared error with an L2 penalty under a w ≥ 0
 // constraint. All paths must share the same source and target types. The
 // returned weights align with the paths slice.
-func PathWeights(e *core.Engine, paths []*metapath.Path, examples []Example, cfg Config) ([]float64, error) {
-	features, labels, err := featurize(e, paths, examples)
+func PathWeights(ctx context.Context, e *core.Engine, paths []*metapath.Path, examples []Example, cfg Config) ([]float64, error) {
+	features, labels, err := featurize(ctx, e, paths, examples)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +91,7 @@ func PathWeights(e *core.Engine, paths []*metapath.Path, examples []Example, cfg
 
 // featurize computes the per-example HeteSim scores along every candidate
 // path, validating inputs.
-func featurize(e *core.Engine, paths []*metapath.Path, examples []Example) ([][]float64, []float64, error) {
+func featurize(ctx context.Context, e *core.Engine, paths []*metapath.Path, examples []Example) ([][]float64, []float64, error) {
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("%w: no candidate paths", ErrBadInput)
 	}
@@ -105,7 +106,7 @@ func featurize(e *core.Engine, paths []*metapath.Path, examples []Example) ([][]
 		}
 	}
 	for _, p := range paths {
-		if err := e.Precompute(p); err != nil {
+		if err := e.Precompute(ctx, p); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -117,7 +118,7 @@ func featurize(e *core.Engine, paths []*metapath.Path, examples []Example) ([][]
 		}
 		row := make([]float64, len(paths))
 		for k, p := range paths {
-			v, err := e.PairByIndex(p, ex.Src, ex.Dst)
+			v, err := e.PairByIndex(ctx, p, ex.Src, ex.Dst)
 			if err != nil {
 				return nil, nil, fmt.Errorf("learn: example %d on %s: %w", i, p, err)
 			}
@@ -165,13 +166,13 @@ func NewCombined(e *core.Engine, paths []*metapath.Path, weights []float64) (*Co
 func (c *Combined) Weights() []float64 { return append([]float64(nil), c.weights...) }
 
 // PairByIndex returns the weighted relevance of one pair.
-func (c *Combined) PairByIndex(src, dst int) (float64, error) {
+func (c *Combined) PairByIndex(ctx context.Context, src, dst int) (float64, error) {
 	var s float64
 	for k, p := range c.paths {
 		if c.weights[k] == 0 {
 			continue
 		}
-		v, err := c.engine.PairByIndex(p, src, dst)
+		v, err := c.engine.PairByIndex(ctx, p, src, dst)
 		if err != nil {
 			return 0, err
 		}
@@ -182,13 +183,13 @@ func (c *Combined) PairByIndex(src, dst int) (float64, error) {
 
 // SingleSourceByIndex returns the weighted relevance of one source against
 // every target.
-func (c *Combined) SingleSourceByIndex(src int) ([]float64, error) {
+func (c *Combined) SingleSourceByIndex(ctx context.Context, src int) ([]float64, error) {
 	var out []float64
 	for k, p := range c.paths {
 		if c.weights[k] == 0 {
 			continue
 		}
-		v, err := c.engine.SingleSourceByIndex(p, src)
+		v, err := c.engine.SingleSourceByIndex(ctx, p, src)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -57,7 +58,7 @@ func trainingSet(t *testing.T, e *core.Engine, paths []*metapath.Path, mix []flo
 		src, dst := rng.Intn(nS), rng.Intn(nT)
 		var y float64
 		for k, p := range paths {
-			v, err := e.PairByIndex(p, src, dst)
+			v, err := e.PairByIndex(context.Background(), p, src, dst)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,7 +78,7 @@ func TestPathWeightsRecoversMixture(t *testing.T) {
 	}
 	mix := []float64{0.7, 0.3}
 	examples := trainingSet(t, e, paths, mix, 120, 2)
-	w, err := PathWeights(e, paths, examples, Config{})
+	w, err := PathWeights(context.Background(), e, paths, examples, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestPathWeightsSelectsSinglePath(t *testing.T) {
 	// (or nearly zero out) the second — the "automatic path selection"
 	// use case of Section 5.1.
 	examples := trainingSet(t, e, paths, []float64{1, 0}, 150, 4)
-	w, err := PathWeights(e, paths, examples, Config{})
+	w, err := PathWeights(context.Background(), e, paths, examples, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,20 +118,20 @@ func TestPathWeightsValidation(t *testing.T) {
 	apvc := metapath.MustParse(g.Schema(), "APVC")
 	apt := metapath.MustParse(g.Schema(), "APT")
 	exs := []Example{{0, 0, 1}}
-	if _, err := PathWeights(e, nil, exs, Config{}); !errors.Is(err, ErrBadInput) {
+	if _, err := PathWeights(context.Background(), e, nil, exs, Config{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("no paths err = %v", err)
 	}
-	if _, err := PathWeights(e, []*metapath.Path{apvc}, nil, Config{}); !errors.Is(err, ErrBadInput) {
+	if _, err := PathWeights(context.Background(), e, []*metapath.Path{apvc}, nil, Config{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("no examples err = %v", err)
 	}
-	if _, err := PathWeights(e, []*metapath.Path{apvc, apt}, exs, Config{}); !errors.Is(err, ErrBadInput) {
+	if _, err := PathWeights(context.Background(), e, []*metapath.Path{apvc, apt}, exs, Config{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("mixed endpoints err = %v", err)
 	}
-	if _, err := PathWeights(e, []*metapath.Path{apvc},
+	if _, err := PathWeights(context.Background(), e, []*metapath.Path{apvc},
 		[]Example{{0, 0, math.NaN()}}, Config{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("NaN label err = %v", err)
 	}
-	if _, err := PathWeights(e, []*metapath.Path{apvc},
+	if _, err := PathWeights(context.Background(), e, []*metapath.Path{apvc},
 		[]Example{{999, 0, 1}}, Config{}); !errors.Is(err, hin.ErrUnknownNode) {
 		t.Errorf("bad index err = %v", err)
 	}
@@ -147,12 +148,12 @@ func TestCombinedMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := c.SingleSourceByIndex(0)
+	ss, err := c.SingleSourceByIndex(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for j := range ss {
-		pv, err := c.PairByIndex(0, j)
+		pv, err := c.PairByIndex(context.Background(), 0, j)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,8 +161,8 @@ func TestCombinedMeasure(t *testing.T) {
 			t.Fatalf("combined plans disagree at %d", j)
 		}
 		// Mixture equals the manual combination.
-		v1, _ := e.PairByIndex(paths[0], 0, j)
-		v2, _ := e.PairByIndex(paths[1], 0, j)
+		v1, _ := e.PairByIndex(context.Background(), paths[0], 0, j)
+		v2, _ := e.PairByIndex(context.Background(), paths[1], 0, j)
 		if math.Abs(pv-(0.6*v1+0.4*v2)) > 1e-12 {
 			t.Fatalf("combined score wrong at %d", j)
 		}
@@ -179,7 +180,7 @@ func TestCombinedZeroWeightsGiveZeroScores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := c.SingleSourceByIndex(0)
+	ss, err := c.SingleSourceByIndex(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"hetesim/internal/hin"
+)
+
+// FuzzDecodeQuery checks the query decoder never panics on arbitrary
+// request parameters and that anything it accepts is internally
+// consistent: a parsed path within the step cap, a non-empty source, and
+// a known measure.
+func FuzzDecodeQuery(f *testing.F) {
+	s := New(fuzzGraph(f))
+
+	// Seed with a valid query and near-valid variants.
+	f.Add("APC", "Tom", "hetesim", "")
+	f.Add("APCPA", "Mary", "pcrw", "false")
+	f.Add("APA", "Tom", "", "true")
+	f.Add("", "Tom", "hetesim", "")
+	f.Add("APC", "", "hetesim", "")
+	f.Add("ZZZ", "Tom", "hetesim", "")
+	f.Add("APC", "Tom", "bogus", "")
+	f.Add("APC", "Tom", "pathsim", "maybe")
+	f.Add("A-writes>P", "Tom", "hetesim", "")
+	f.Add(strings.Repeat("AP", 300)+"A", "Tom", "hetesim", "")
+	f.Add("APC\x00", "a\nb", "hetesim", "1")
+
+	f.Fuzz(func(t *testing.T, path, source, measure, raw string) {
+		v := url.Values{}
+		if path != "" {
+			v.Set("path", path)
+		}
+		if source != "" {
+			v.Set("source", source)
+		}
+		if measure != "" {
+			v.Set("measure", measure)
+		}
+		if raw != "" {
+			v.Set("raw", raw)
+		}
+		r := httptest.NewRequest("GET", "/v1/topk?"+v.Encode(), nil)
+		q, err := s.decodeQuery(r)
+		if err != nil {
+			return
+		}
+		if q.path == nil {
+			t.Fatal("accepted query has nil path")
+		}
+		if s.maxPathSteps > 0 && q.path.Len() > s.maxPathSteps {
+			t.Fatalf("accepted path of %d steps past the %d cap", q.path.Len(), s.maxPathSteps)
+		}
+		if q.source == "" {
+			t.Fatal("accepted query has empty source")
+		}
+		switch q.measure {
+		case "hetesim", "pcrw", "pathsim":
+		default:
+			t.Fatalf("accepted unknown measure %q", q.measure)
+		}
+		if q.raw && q.measure != "hetesim" {
+			t.Fatalf("accepted raw flag on measure %q", q.measure)
+		}
+	})
+}
+
+func fuzzGraph(f *testing.F) *hin.Graph {
+	f.Helper()
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "conference")
+	b := hin.NewBuilder(s)
+	b.AddEdge("writes", "Tom", "p1")
+	b.AddEdge("writes", "Mary", "p2")
+	b.AddEdge("published_in", "p1", "KDD")
+	b.AddEdge("published_in", "p2", "SIGMOD")
+	return b.MustBuild()
+}

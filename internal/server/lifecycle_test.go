@@ -1,0 +1,357 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hetesim/internal/hin"
+)
+
+// lifecycleGraph is the small Fig. 4 graph used across lifecycle tests.
+func lifecycleGraph(t *testing.T) *hin.Graph {
+	t.Helper()
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "conference")
+	b := hin.NewBuilder(s)
+	b.AddEdge("writes", "Tom", "p1")
+	b.AddEdge("writes", "Tom", "p2")
+	b.AddEdge("writes", "Mary", "p2")
+	b.AddEdge("writes", "Mary", "p3")
+	b.AddEdge("published_in", "p1", "KDD")
+	b.AddEdge("published_in", "p2", "KDD")
+	b.AddEdge("published_in", "p3", "SIGMOD")
+	return b.MustBuild()
+}
+
+func lifecycleServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(lifecycleGraph(t), opts...)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func decodeError(t *testing.T, r io.Reader) errorBody {
+	t.Helper()
+	var e errorBody
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	return e
+}
+
+// TestQueryTimeout504 exercises the per-request deadline: a 1ns budget is
+// spent before the engine's first context poll, so every exact query must
+// come back 504 with the stable deadline_exceeded code.
+func TestQueryTimeout504(t *testing.T) {
+	_, ts := lifecycleServer(t, WithQueryTimeout(time.Nanosecond))
+	resp, err := http.Get(ts.URL + "/v1/topk?path=APC&source=Tom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+	if e := decodeError(t, resp.Body); e.Code != "deadline_exceeded" {
+		t.Errorf("code = %q, want deadline_exceeded", e.Code)
+	}
+	// Health endpoints are exempt from the query deadline.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d under query timeout", resp2.StatusCode)
+	}
+}
+
+// TestClientCancel499 serves a request whose context is already canceled —
+// the handler's engine call fails with context.Canceled, which must map to
+// the 499 client-closed-request status.
+func TestClientCancel499(t *testing.T) {
+	srv := New(lifecycleGraph(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/pair?path=APC&source=Tom&target=KDD", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, StatusClientClosedRequest)
+	}
+	if e := decodeError(t, rec.Body); e.Code != "canceled" {
+		t.Errorf("code = %q, want canceled", e.Code)
+	}
+}
+
+// TestDegradedTopK checks graceful degradation: with the exact plan's
+// deadline already spent, the Monte Carlo fallback answers 200 and the
+// response is marked approximate.
+func TestDegradedTopK(t *testing.T) {
+	_, ts := lifecycleServer(t, WithQueryTimeout(time.Nanosecond), WithDegradedTopK(5000))
+	var body topKBody
+	getJSON(t, ts.URL+"/v1/topk?path=APC&source=Tom", http.StatusOK, &body)
+	if !body.Approximate {
+		t.Error("degraded topk not marked approximate")
+	}
+	if len(body.Results) == 0 || body.Results[0].ID != "KDD" {
+		t.Errorf("degraded topk results = %+v, want KDD first", body.Results)
+	}
+
+	var pair pairBody
+	getJSON(t, ts.URL+"/v1/pair?path=APC&source=Tom&target=KDD", http.StatusOK, &pair)
+	if !pair.Approximate {
+		t.Error("degraded pair not marked approximate")
+	}
+	if pair.Score <= 0 {
+		t.Errorf("degraded pair score = %v, want > 0", pair.Score)
+	}
+
+	// Degradation is exact-hetesim-only: pcrw still times out with 504.
+	resp, err := http.Get(ts.URL + "/v1/topk?path=APC&source=Tom&measure=pcrw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("pcrw under degradation: status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestPanicRecovery registers a panicking route and checks the middleware
+// converts the panic into a 500 JSON response while the server keeps
+// serving subsequent requests.
+func TestPanicRecovery(t *testing.T) {
+	srv, ts := lifecycleServer(t)
+	srv.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	resp, err := http.Get(ts.URL + "/v1/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if e := decodeError(t, resp.Body); e.Code != "internal_panic" {
+		t.Errorf("code = %q, want internal_panic", e.Code)
+	}
+	resp.Body.Close()
+	// The daemon survived: a normal query still works.
+	var pair pairBody
+	getJSON(t, ts.URL+"/v1/pair?path=APC&source=Tom&target=KDD", http.StatusOK, &pair)
+	if pair.Score <= 0 {
+		t.Errorf("post-panic pair score = %v", pair.Score)
+	}
+}
+
+// TestLoadShedding429 fills the single in-flight slot with a blocked
+// query and checks the next query is shed with 429 + Retry-After, while
+// liveness probes bypass the limiter.
+func TestLoadShedding429(t *testing.T) {
+	srv, ts := lifecycleServer(t, WithMaxInflight(1))
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv.mux.HandleFunc("GET /v1/block", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		writeJSON(w, http.StatusOK, map[string]string{"status": "unblocked"})
+	})
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/block")
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-started
+
+	resp, err := http.Get(ts.URL + "/v1/pair?path=APC&source=Tom&target=KDD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if e := decodeError(t, resp.Body); e.Code != "overloaded" {
+		t.Errorf("code = %q, want overloaded", e.Code)
+	}
+	resp.Body.Close()
+
+	// Probes are never shed.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz shed with %d while saturated", resp2.StatusCode)
+	}
+
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Errorf("blocked request finished with %d", code)
+	}
+	// The slot is free again.
+	var pair pairBody
+	getJSON(t, ts.URL+"/v1/pair?path=APC&source=Tom&target=KDD", http.StatusOK, &pair)
+}
+
+// TestGracefulShutdownDrain starts a real http.Server on the robustness
+// handler, blocks a request in-flight, calls Shutdown, and checks the
+// in-flight request completes 200 while the drain finishes cleanly.
+func TestGracefulShutdownDrain(t *testing.T) {
+	srv := New(lifecycleGraph(t))
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv.mux.HandleFunc("GET /v1/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		writeJSON(w, http.StatusOK, map[string]string{"status": "drained"})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+
+	url := "http://" + ln.Addr().String() + "/v1/slow"
+	reqDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			reqDone <- err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		json.NewDecoder(resp.Body).Decode(&body)
+		reqDone <- body["status"]
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- httpSrv.Shutdown(drainCtx) }()
+
+	// Shutdown must wait for the in-flight request, not kill it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if got := <-reqDone; got != "drained" {
+		t.Fatalf("in-flight request got %q, want drained response", got)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestReadiness checks the liveness/readiness split: /readyz answers 503
+// while background materialization runs and 200 once it finishes, while
+// /healthz stays 200 throughout.
+func TestReadiness(t *testing.T) {
+	srv, ts := lifecycleServer(t)
+	if !srv.Ready() {
+		t.Fatal("server not ready with no precompute pending")
+	}
+	var body map[string]string
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &body)
+	if body["status"] != "ready" {
+		t.Errorf("readyz = %v", body)
+	}
+
+	// A malformed spec fails synchronously and does not wedge readiness.
+	if err := srv.PrecomputeBackground([]string{"not a path"}, t.Logf); err == nil {
+		t.Fatal("PrecomputeBackground accepted a malformed path")
+	}
+	if !srv.Ready() {
+		t.Fatal("failed parse left server not ready")
+	}
+
+	if err := srv.PrecomputeBackground([]string{"APC", "APCPA"}, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	// Materialization runs in the background; readiness must flip to true
+	// reasonably quickly on this tiny graph.
+	deadline := time.Now().Add(10 * time.Second)
+	for !srv.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("readyz status = %d mid-materialization", resp.StatusCode)
+		}
+		resp.Body.Close()
+		time.Sleep(time.Millisecond)
+	}
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &body)
+	if body["status"] != "ready" {
+		t.Errorf("readyz after materialization = %v", body)
+	}
+}
+
+// TestPathLengthCap rejects absurdly long relevance paths up front.
+func TestPathLengthCap(t *testing.T) {
+	_, ts := lifecycleServer(t)
+	spec := strings.Repeat("AP", 200) + "A"
+	resp, err := http.Get(ts.URL + "/v1/topk?path=" + spec + "&source=Tom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if e := decodeError(t, resp.Body); e.Code != "bad_request" {
+		t.Errorf("code = %q, want bad_request", e.Code)
+	}
+}
+
+// TestStatsCachedMatrices checks /v1/stats exposes the engine cache gauge.
+func TestStatsCachedMatrices(t *testing.T) {
+	srv, ts := lifecycleServer(t)
+	var stats map[string]int
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if _, ok := stats["cached_matrices"]; !ok {
+		t.Fatalf("stats = %v, want cached_matrices", stats)
+	}
+	if err := srv.Precompute("APC"); err != nil {
+		t.Fatal(err)
+	}
+	var after map[string]int
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &after)
+	if after["cached_matrices"] <= stats["cached_matrices"] {
+		t.Errorf("cached_matrices did not grow after precompute: %d -> %d",
+			stats["cached_matrices"], after["cached_matrices"])
+	}
+}

@@ -5,14 +5,25 @@
 // materialization story of Section 4.6 — engines keep their per-path
 // caches across requests, so repeated queries on a path are served from
 // materialized reaching distributions.
+//
+// The server owns the request lifecycle: every query runs under the
+// request's context (bounded by an optional per-request deadline), panics
+// in handlers are recovered into 500 responses, load beyond a configurable
+// in-flight cap is shed with 429, and a timed-out exact query can degrade
+// to the Monte Carlo estimator instead of failing outright.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"hetesim/internal/baseline"
 	"hetesim/internal/core"
@@ -20,6 +31,10 @@ import (
 	"hetesim/internal/metapath"
 	"hetesim/internal/rank"
 )
+
+// StatusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client went away before the response was ready.
+const StatusClientClosedRequest = 499
 
 // Server answers relevance queries over one graph. It is safe for
 // concurrent use: all underlying engines are.
@@ -30,31 +45,174 @@ type Server struct {
 	pcrw    *baseline.PCRW
 	pathsim *baseline.PathSim
 	mux     *http.ServeMux
+	handler http.Handler
+
+	engineOpts   []core.Option
+	queryTimeout time.Duration // per-request deadline for /v1 queries; 0 = none
+	maxInflight  int           // concurrent /v1 queries before shedding; 0 = unlimited
+	maxBody      int64         // request body cap in bytes
+	maxPathSteps int           // longest accepted relevance path
+	degradeWalks int           // Monte Carlo walks for degraded answers; 0 = disabled
+	degradeGrace time.Duration // extra budget granted to the degraded plan
+
+	inflight chan struct{}
+	ready    atomic.Bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds every /v1 query by d: the request context
+// expires after d and the engine stops at the next propagation step. 0
+// (the default) disables the server-side deadline; client disconnects
+// still cancel the query.
+func WithQueryTimeout(d time.Duration) Option { return func(s *Server) { s.queryTimeout = d } }
+
+// WithMaxInflight sheds /v1 queries beyond n concurrently running ones
+// with 429 and a Retry-After header. 0 (the default) disables shedding.
+func WithMaxInflight(n int) Option { return func(s *Server) { s.maxInflight = n } }
+
+// WithMaxBodyBytes caps request body reads at n bytes (default 1 MiB).
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// WithMaxPathSteps caps the length of relevance paths accepted by the
+// query endpoints (default 128 steps), so a single adversarial request
+// cannot queue an arbitrarily long matrix chain.
+func WithMaxPathSteps(n int) Option { return func(s *Server) { s.maxPathSteps = n } }
+
+// WithDegradedTopK enables graceful degradation: when an exact hetesim
+// /v1/topk or /v1/pair query exceeds its deadline, the server answers
+// from `walks` Monte Carlo walks instead, marking the response
+// "approximate": true. 0 (the default) disables the fallback.
+func WithDegradedTopK(walks int) Option { return func(s *Server) { s.degradeWalks = walks } }
+
+// WithEngineOptions forwards options (e.g. core.WithCacheLimit) to the
+// server's HeteSim engines.
+func WithEngineOptions(opts ...core.Option) Option {
+	return func(s *Server) { s.engineOpts = append(s.engineOpts, opts...) }
 }
 
 // New creates a Server over g.
-func New(g *hin.Graph) *Server {
-	e := core.NewEngine(g)
+func New(g *hin.Graph, opts ...Option) *Server {
 	s := &Server{
-		g:       g,
-		engine:  e,
-		raw:     core.NewEngine(g, core.WithNormalization(false)),
-		pcrw:    baseline.NewPCRWFromEngine(e),
-		pathsim: baseline.NewPathSim(g),
-		mux:     http.NewServeMux(),
+		g:            g,
+		mux:          http.NewServeMux(),
+		maxBody:      1 << 20,
+		maxPathSteps: 128,
+		degradeGrace: 2 * time.Second,
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	e := core.NewEngine(g, s.engineOpts...)
+	s.engine = e
+	s.raw = core.NewEngine(g, append(append([]core.Option(nil), s.engineOpts...), core.WithNormalization(false))...)
+	s.pcrw = baseline.NewPCRWFromEngine(e)
+	s.pathsim = baseline.NewPathSim(g)
+	if s.maxInflight > 0 {
+		s.inflight = make(chan struct{}, s.maxInflight)
+	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
+	s.handler = s.buildHandler()
 	return s
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree, wrapped in the robustness
+// middleware (panic recovery, body limits, load shedding, deadlines).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// buildHandler assembles the middleware chain, outermost first: recover
+// from panics, cap body reads, shed load, then apply the query deadline.
+func (s *Server) buildHandler() http.Handler {
+	var h http.Handler = s.mux
+	h = s.applyTimeout(h)
+	h = s.limitInflight(h)
+	h = s.limitBody(h)
+	h = s.recoverPanics(h)
+	return h
+}
+
+func isQueryPath(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
+
+// recoverPanics converts a handler panic into a 500 JSON response instead
+// of killing the daemon. http.ErrAbortHandler is re-panicked so aborted
+// connections keep their net/http semantics.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: "internal server error", Code: "internal_panic"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitBody caps how much of a request body any handler can read.
+func (s *Server) limitBody(next http.Handler) http.Handler {
+	if s.maxBody <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitInflight sheds /v1 queries beyond the in-flight cap with 429 +
+// Retry-After, without queueing: a saturated server answers cheaply and
+// immediately rather than stacking goroutines. Health endpoints bypass
+// the limiter so orchestrators can always probe a busy server.
+func (s *Server) limitInflight(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !isQueryPath(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests,
+				errorBody{Error: "server is at its in-flight query limit", Code: "overloaded"})
+		}
+	})
+}
+
+// applyTimeout bounds /v1 queries by the configured per-request deadline.
+func (s *Server) applyTimeout(next http.Handler) http.Handler {
+	if s.queryTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isQueryPath(r) {
+			ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Precompute materializes the given relevance path in the HeteSim engine,
 // so subsequent queries on it are served from cached reaching
@@ -64,11 +222,50 @@ func (s *Server) Precompute(spec string) error {
 	if err != nil {
 		return err
 	}
-	return s.engine.Precompute(p)
+	return s.engine.Precompute(context.Background(), p)
 }
+
+// PrecomputeBackground parses specs immediately — so a bad flag still
+// fails fast at startup — then materializes the paths in a background
+// goroutine, keeping startup off the critical path. The server reports
+// not ready (/readyz answers 503) until materialization finishes; a path
+// that fails to materialize is logged and skipped rather than blocking
+// readiness, since its queries can still be answered from cold caches.
+func (s *Server) PrecomputeBackground(specs []string, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	paths := make([]*metapath.Path, 0, len(specs))
+	for _, spec := range specs {
+		p, err := metapath.Parse(s.g.Schema(), spec)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, p)
+	}
+	if len(paths) == 0 {
+		return nil
+	}
+	s.ready.Store(false)
+	go func() {
+		for _, p := range paths {
+			if err := s.engine.Precompute(context.Background(), p); err != nil {
+				logf("server: precomputing %s: %v", p, err)
+				continue
+			}
+			logf("server: materialized %s", p)
+		}
+		s.ready.Store(true)
+	}()
+	return nil
+}
+
+// Ready reports whether startup materialization has finished.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -76,17 +273,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are gone; nothing left to do but note it server-side.
-		fmt.Println("server: encoding response:", err)
+		log.Println("server: encoding response:", err)
 	}
 }
 
-// writeError maps domain errors to HTTP statuses: unknown objects are 404,
-// malformed queries 400, everything else 500.
+// writeError maps domain errors to HTTP statuses and stable machine-
+// readable codes: unknown objects are 404/not_found, malformed queries
+// 400/bad_request, an expired per-request deadline 504/deadline_exceeded,
+// a client that went away 499/canceled, everything else 500/internal.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, "internal"
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		status, code = StatusClientClosedRequest, "canceled"
 	case errors.Is(err, hin.ErrUnknownNode):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, hin.ErrUnknownType),
 		errors.Is(err, hin.ErrUnknownRelation),
 		errors.Is(err, hin.ErrAmbiguous),
@@ -95,15 +298,25 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, metapath.ErrNotChained),
 		errors.Is(err, baseline.ErrAsymmetricPath),
 		errors.Is(err, errBadRequest):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_request"
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
 var errBadRequest = errors.New("bad request")
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 503 while startup materialization
+// is still running, 200 once the server should receive traffic.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 type schemaBody struct {
@@ -148,8 +361,9 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes": s.g.TotalNodes(),
-		"edges": s.g.TotalEdges(),
+		"nodes":           s.g.TotalNodes(),
+		"edges":           s.g.TotalEdges(),
+		"cached_matrices": s.engine.CacheSize() + s.raw.CacheSize(),
 	})
 }
 
@@ -170,6 +384,9 @@ func (s *Server) decodeQuery(r *http.Request) (query, error) {
 	p, err := metapath.Parse(s.g.Schema(), spec)
 	if err != nil {
 		return query{}, err
+	}
+	if s.maxPathSteps > 0 && p.Len() > s.maxPathSteps {
+		return query{}, fmt.Errorf("%w: path has %d steps, limit is %d", errBadRequest, p.Len(), s.maxPathSteps)
 	}
 	source := q.Get("source")
 	if source == "" {
@@ -197,15 +414,40 @@ func (s *Server) decodeQuery(r *http.Request) (query, error) {
 	return query{path: p, source: source, measure: measure, raw: raw}, nil
 }
 
+// hetesimEngine picks the engine matching the query's normalization.
+func (s *Server) hetesimEngine(q query) *core.Engine {
+	if q.raw {
+		return s.raw
+	}
+	return s.engine
+}
+
+// degradeCtx returns a fresh context for the degraded plan of a request
+// whose deadline already expired: it inherits the request's values but
+// not its (spent) deadline, bounded by the degradation grace budget.
+func (s *Server) degradeCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithoutCancel(r.Context()), s.degradeGrace)
+}
+
+// shouldDegrade reports whether a failed exact query is eligible for the
+// Monte Carlo fallback: degradation is enabled, the measure is hetesim,
+// and the failure was the deadline — not a client disconnect, where there
+// is no one left to answer.
+func (s *Server) shouldDegrade(q query, err error) bool {
+	return s.degradeWalks > 0 && q.measure == "hetesim" && errors.Is(err, context.DeadlineExceeded)
+}
+
 type pairBody struct {
-	Path    string  `json:"path"`
-	Source  string  `json:"source"`
-	Target  string  `json:"target"`
-	Measure string  `json:"measure"`
-	Score   float64 `json:"score"`
+	Path        string  `json:"path"`
+	Source      string  `json:"source"`
+	Target      string  `json:"target"`
+	Measure     string  `json:"measure"`
+	Score       float64 `json:"score"`
+	Approximate bool    `json:"approximate,omitempty"`
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	q, err := s.decodeQuery(r)
 	if err != nil {
 		writeError(w, err)
@@ -219,15 +461,16 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	var score float64
 	switch q.measure {
 	case "hetesim":
-		e := s.engine
-		if q.raw {
-			e = s.raw
-		}
-		score, err = e.Pair(q.path, q.source, target)
+		score, err = s.hetesimEngine(q).Pair(ctx, q.path, q.source, target)
 	case "pcrw":
-		score, err = s.pcrw.Pair(q.path, q.source, target)
+		score, err = s.pcrw.Pair(ctx, q.path, q.source, target)
 	case "pathsim":
-		score, err = s.pathsim.Pair(q.path, q.source, target)
+		score, err = s.pathsim.Pair(ctx, q.path, q.source, target)
+	}
+	approximate := false
+	if err != nil && s.shouldDegrade(q, err) {
+		score, err = s.degradedPair(r, q, target)
+		approximate = err == nil
 	}
 	if err != nil {
 		writeError(w, err)
@@ -235,15 +478,36 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, pairBody{
 		Path: q.path.String(), Source: q.source, Target: target,
-		Measure: q.measure, Score: score,
+		Measure: q.measure, Score: score, Approximate: approximate,
 	})
 }
 
+// degradedPair estimates a pair score from Monte Carlo walks after the
+// exact plan blew its deadline.
+func (s *Server) degradedPair(r *http.Request, q query, target string) (float64, error) {
+	src, err := s.g.NodeIndex(q.path.Source(), q.source)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := s.g.NodeIndex(q.path.Target(), target)
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := s.degradeCtx(r)
+	defer cancel()
+	res, err := s.hetesimEngine(q).PairMonteCarlo(ctx, q.path, src, dst, s.degradeWalks, 1)
+	if err != nil {
+		return 0, err
+	}
+	return res.Score, nil
+}
+
 type topKBody struct {
-	Path    string    `json:"path"`
-	Source  string    `json:"source"`
-	Measure string    `json:"measure"`
-	Results []hitBody `json:"results"`
+	Path        string    `json:"path"`
+	Source      string    `json:"source"`
+	Measure     string    `json:"measure"`
+	Approximate bool      `json:"approximate,omitempty"`
+	Results     []hitBody `json:"results"`
 }
 
 type hitBody struct {
@@ -282,6 +546,7 @@ type contributionBody struct {
 // handleWhy explains a pair's HeteSim score by its top meeting-object
 // contributions.
 func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	q, err := s.decodeQuery(r)
 	if err != nil {
 		writeError(w, err)
@@ -304,10 +569,6 @@ func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	e := s.engine
-	if q.raw {
-		e = s.raw
-	}
 	src, err := s.g.NodeIndex(q.path.Source(), q.source)
 	if err != nil {
 		writeError(w, err)
@@ -318,7 +579,7 @@ func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	score, contribs, err := e.PairContributions(q.path, src, dst, k)
+	score, contribs, err := s.hetesimEngine(q).PairContributions(ctx, q.path, src, dst, k)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -369,6 +630,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	q, err := s.decodeQuery(r)
 	if err != nil {
 		writeError(w, err)
@@ -385,15 +647,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var scores []float64
 	switch q.measure {
 	case "hetesim":
-		e := s.engine
-		if q.raw {
-			e = s.raw
-		}
-		scores, err = e.SingleSource(q.path, q.source)
+		scores, err = s.hetesimEngine(q).SingleSource(ctx, q.path, q.source)
 	case "pcrw":
-		scores, err = s.pcrw.SingleSource(q.path, q.source)
+		scores, err = s.pcrw.SingleSource(ctx, q.path, q.source)
 	case "pathsim":
-		scores, err = s.pathsim.SingleSource(q.path, q.source)
+		scores, err = s.pathsim.SingleSource(ctx, q.path, q.source)
+	}
+	approximate := false
+	if err != nil && s.shouldDegrade(q, err) {
+		scores, err = s.degradedTopK(r, q)
+		approximate = err == nil
 	}
 	if err != nil {
 		writeError(w, err)
@@ -404,9 +667,23 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure}
+	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure, Approximate: approximate}
 	for _, it := range items {
 		body.Results = append(body.Results, hitBody{ID: it.ID, Score: it.Score})
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// degradedTopK estimates single-source scores from Monte Carlo walks
+// after the exact plan blew its deadline. The walk-frequency ranking
+// approximates the reaching-distribution ordering, so the response is
+// marked approximate.
+func (s *Server) degradedTopK(r *http.Request, q query) ([]float64, error) {
+	src, err := s.g.NodeIndex(q.path.Source(), q.source)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.degradeCtx(r)
+	defer cancel()
+	return s.hetesimEngine(q).SingleSourceMonteCarlo(ctx, q.path, src, s.degradeWalks, 1)
 }
