@@ -1,6 +1,7 @@
 # Tier-1 flow: build + vet + tests, plus a short-mode race pass over the
-# packages with real concurrency (engine cache, HTTP server).
-.PHONY: all build vet test race race-full check
+# packages with real concurrency (engine cache, HTTP server, parallel
+# SpGEMM, metrics registry).
+.PHONY: all build vet test race race-full check obs-selftest bench-json
 
 all: check
 
@@ -15,10 +16,21 @@ test:
 
 # Short-mode race run over the concurrent packages; part of `make check`.
 race:
-	go test -race -short ./internal/core ./internal/server
+	go test -race -short ./internal/core ./internal/server ./internal/sparse ./internal/obs
 
 # Full race run over everything; slower, run before cutting a release.
 race-full:
 	go test -race ./...
 
-check: vet build test race
+# Sanity-check the default metric histogram buckets (finite, strictly
+# increasing, non-empty) and the exposition format; part of `make check`.
+obs-selftest:
+	go test -run 'TestSelfTest|TestValidateBuckets|TestHandlerServesValidExposition' ./internal/obs
+
+check: vet build test race obs-selftest
+
+# Regenerate the committed benchmark baseline: every paper-table and
+# figure benchmark, with allocation stats, as JSON.
+bench-json:
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json

@@ -11,7 +11,9 @@
 // related objects of the path's target type. -montecarlo estimates a pair
 // by sampled walks instead of exact propagation (Section 4.6 of the
 // paper). -enumerate lists the candidate relevance paths between two
-// types, the input to path selection.
+// types, the input to path selection. -v dumps the process metrics
+// (Prometheus text format) to stderr after the query, showing what the
+// kernels and caches did for it.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"hetesim/internal/core"
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
 	"hetesim/internal/rank"
 )
 
@@ -42,6 +45,7 @@ func main() {
 		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate")
 		explain    = flag.Int("explain", 0, "print the query plans for -path amortized over this many queries")
 		why        = flag.Int("why", 0, "with -target: show this many top meeting-object contributions")
+		verbose    = flag.Bool("v", false, "dump process metrics to stderr after the query")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -65,6 +69,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetesim:", err)
 		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		obs.Default().WritePrometheus(os.Stderr)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	hetesimd -graph g.json [-addr :8080] [-precompute APVC,CVPA]
 //	         [-query-timeout 10s] [-max-inflight 256] [-shutdown-grace 15s]
 //	         [-max-body-bytes 1048576] [-degrade-walks 20000] [-cache-limit 0]
+//	         [-slowlog-threshold 1s] [-slowlog-size 128] [-debug-addr ""]
 //
 // -precompute materializes the listed relevance paths in the background at
 // startup (the offline materialization of Section 4.6 of the paper);
@@ -15,6 +16,12 @@
 // exact hetesim query degrades to -degrade-walks Monte Carlo walks
 // (response marked "approximate": true; 0 disables the fallback).
 // SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace.
+//
+// Observability: Prometheus metrics are served at GET /metrics on the
+// main listener, queries slower than -slowlog-threshold are retained
+// (newest -slowlog-size) with per-stage traces at GET /v1/slowlog, and
+// -debug-addr (opt-in, keep it private) serves net/http/pprof profiles
+// on a separate listener.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +53,9 @@ func main() {
 		maxBodyBytes  = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes (0 disables)")
 		degradeWalks  = flag.Int("degrade-walks", 20000, "Monte Carlo walks answering a timed-out exact query (0 disables)")
 		cacheLimit    = flag.Int("cache-limit", 0, "max materialized chain matrices kept per engine (0 = unbounded)")
+		slowThreshold = flag.Duration("slowlog-threshold", time.Second, "retain /v1 queries slower than this in the slow-query log (0 disables)")
+		slowSize      = flag.Int("slowlog-size", 128, "slow-query log ring capacity")
+		debugAddr     = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; do not expose publicly)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -68,6 +79,7 @@ func main() {
 		server.WithMaxBodyBytes(*maxBodyBytes),
 		server.WithDegradedTopK(*degradeWalks),
 		server.WithEngineOptions(core.WithCacheLimit(*cacheLimit)),
+		server.WithSlowLog(*slowThreshold, *slowSize),
 	)
 	if *precompute != "" {
 		var specs []string
@@ -85,6 +97,26 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// pprof lives on its own opt-in listener, never the public mux: the
+	// profiles expose internals (and profiling CPU costs) no query client
+	// should reach.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: debugMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("hetesimd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("hetesimd: debug listener: %v", err)
+			}
+		}()
+		defer debugSrv.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -24,11 +24,15 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
 	"hetesim/internal/sparse"
 )
 
@@ -48,12 +52,16 @@ type Engine struct {
 	pruneEps   float64
 	cacheLimit int
 
-	mu       sync.Mutex
-	trans    map[string]*sparse.Matrix // U per step key
-	edgeU    map[string]*sparse.Matrix // U_SE / U_TE per middle-step key
-	reach    map[string]*sparse.Matrix // PM per chain key (every prefix cached)
-	norms    map[string][]float64      // row L2 norms per chain key
-	reachAge []string                  // insertion order of reach keys, oldest first
+	mu        sync.Mutex
+	trans     map[string]*sparse.Matrix // U per step key
+	edgeU     map[string]*sparse.Matrix // U_SE / U_TE per middle-step key
+	reach     map[string]*sparse.Matrix // PM per chain key (every prefix cached)
+	norms     map[string][]float64      // row L2 norms per chain key
+	reachAge  []string                  // insertion order of reach keys, oldest first
+	evictions int                       // chain matrices dropped by the cache limit
+
+	seedMu  sync.Mutex
+	seedRng *rand.Rand // engine-level source deriving per-query MC seeds
 }
 
 // Option configures an Engine.
@@ -257,6 +265,8 @@ func (e *Engine) cachePut(key string, m *sparse.Matrix) {
 		}
 		delete(e.reach, old)
 		delete(e.norms, old)
+		e.evictions++
+		metCacheEvictions.Inc()
 	}
 }
 
@@ -266,10 +276,19 @@ func (e *Engine) cachePut(key string, m *sparse.Matrix) {
 // Section 4.6). ctx is polled between sparse multiply steps so a canceled
 // query stops within one step's latency.
 func (e *Engine) chainMatrix(ctx context.Context, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
+	tr := obs.FromContext(ctx)
 	fullKey := e.chainFullKey(steps, middle, side)
 	if e.caching {
 		if m, ok := e.cacheGet(fullKey); ok {
+			metCacheHits.Inc()
+			if tr != nil {
+				tr.Event("cache_hit", map[string]string{"key": fullKey, "side": string(side)})
+			}
 			return m, nil
+		}
+		metCacheMisses.Inc()
+		if tr != nil {
+			tr.Event("cache_miss", map[string]string{"key": fullKey, "side": string(side)})
 		}
 	}
 	var pm *sparse.Matrix
@@ -283,9 +302,13 @@ func (e *Engine) chainMatrix(ctx context.Context, steps []metapath.Step, middle 
 		if err != nil {
 			return nil, err
 		}
+		sp := tr.Start("chain_multiply")
 		pm = pm.MulAuto(u)
 		if e.pruneEps > 0 {
 			pm = pm.Prune(e.pruneEps)
+		}
+		if sp != nil {
+			spanMatrixAttrs(sp, side, stepKey(s), pm).End()
 		}
 		if e.caching {
 			e.cachePut(e.chainFullKey(steps[:i+1], nil, side), pm)
@@ -299,6 +322,7 @@ func (e *Engine) chainMatrix(ctx context.Context, steps []metapath.Step, middle 
 		if err != nil {
 			return nil, err
 		}
+		sp := tr.Start("chain_multiply")
 		if side == 'L' {
 			pm = pm.MulAuto(use)
 		} else {
@@ -307,11 +331,30 @@ func (e *Engine) chainMatrix(ctx context.Context, steps []metapath.Step, middle 
 		if e.pruneEps > 0 {
 			pm = pm.Prune(e.pruneEps)
 		}
+		if sp != nil {
+			spanMatrixAttrs(sp, side, "edge("+stepKey(*middle)+")", pm).End()
+		}
 	}
 	if e.caching {
 		e.cachePut(fullKey, pm)
 	}
 	return pm, nil
+}
+
+// spanMatrixAttrs annotates a chain-multiply span with the result's
+// shape and sparsity — the per-step cost accounting that makes a trace
+// explain where a `PM_PL · PM'_{PR⁻¹}` query spent its time.
+func spanMatrixAttrs(sp *obs.SpanHandle, side byte, step string, pm *sparse.Matrix) *obs.SpanHandle {
+	if sp == nil {
+		return nil
+	}
+	rows, cols := pm.Dims()
+	return sp.SetAttr("side", string(side)).
+		SetAttr("step", step).
+		SetAttr("kind", "matrix").
+		SetAttr("rows", strconv.Itoa(rows)).
+		SetAttr("cols", strconv.Itoa(cols)).
+		SetAttr("nnz", strconv.Itoa(pm.NNZ()))
 }
 
 // chainFullKey identifies a chain's materialized matrix. Pure step chains
@@ -363,6 +406,7 @@ func (e *Engine) chainRowNorms(key string, pm *sparse.Matrix) []float64 {
 // materializing matrices — the cheap plan for one-off pair queries. ctx is
 // polled between propagation steps.
 func (e *Engine) chainVector(ctx context.Context, start int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Vector, error) {
+	tr := obs.FromContext(ctx)
 	startType := e.chainStartType(steps, middle, side)
 	v := sparse.Unit(e.g.NodeCount(startType), start)
 	for _, s := range steps {
@@ -373,20 +417,45 @@ func (e *Engine) chainVector(ctx context.Context, start int, steps []metapath.St
 		if err != nil {
 			return nil, err
 		}
+		sp := tr.Start("chain_multiply")
 		v = v.MulMat(u)
+		if sp != nil {
+			spanVectorAttrs(sp, side, stepKey(s), u, v).End()
+		}
 	}
 	if middle != nil {
 		use, ute, err := e.middleEdgeTransitions(*middle)
 		if err != nil {
 			return nil, err
 		}
+		sp := tr.Start("chain_multiply")
 		if side == 'L' {
 			v = v.MulMat(use)
 		} else {
 			v = v.MulMat(ute)
 		}
+		if sp != nil {
+			spanVectorAttrs(sp, side, "edge("+stepKey(*middle)+")", nil, v).End()
+		}
 	}
 	return v, nil
+}
+
+// spanVectorAttrs annotates a vector propagation step with the transition
+// matrix shape and the propagated distribution's support size.
+func spanVectorAttrs(sp *obs.SpanHandle, side byte, step string, u *sparse.Matrix, v *sparse.Vector) *obs.SpanHandle {
+	if sp == nil {
+		return nil
+	}
+	sp.SetAttr("side", string(side)).
+		SetAttr("step", step).
+		SetAttr("kind", "vector").
+		SetAttr("nnz", strconv.Itoa(v.NNZ()))
+	if u != nil {
+		rows, cols := u.Dims()
+		sp.SetAttr("rows", strconv.Itoa(rows)).SetAttr("cols", strconv.Itoa(cols))
+	}
+	return sp
 }
 
 // Pair returns HeteSim(src, dst | p) for nodes identified by string IDs.
@@ -407,13 +476,20 @@ func (e *Engine) Pair(ctx context.Context, p *metapath.Path, srcID, dstID string
 // distributions from both endpoints to the meeting type and combines them,
 // without materializing any matrix.
 func (e *Engine) PairByIndex(ctx context.Context, p *metapath.Path, src, dst int) (float64, error) {
+	start := time.Now()
+	defer func() { observeQuery("pair", time.Since(start).Seconds()) }()
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return 0, err
 	}
 	if err := e.checkIndex(p.Target(), dst); err != nil {
 		return 0, err
 	}
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("plan")
 	h := splitPath(p)
+	if sp != nil {
+		sp.SetAttr("path", p.String()).End()
+	}
 	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return 0, err
@@ -422,10 +498,15 @@ func (e *Engine) PairByIndex(ctx context.Context, p *metapath.Path, src, dst int
 	if err != nil {
 		return 0, err
 	}
+	sp = tr.Start("normalize")
+	var score float64
 	if e.normalized {
-		return left.Cosine(right), nil
+		score = left.Cosine(right)
+	} else {
+		score = left.Dot(right)
 	}
-	return left.Dot(right), nil
+	sp.End()
+	return score, nil
 }
 
 // SingleSource returns the HeteSim scores of one source node against every
@@ -442,10 +523,17 @@ func (e *Engine) SingleSource(ctx context.Context, p *metapath.Path, srcID strin
 // the source distribution and combines it with the (cached) right-half
 // reachable probability matrix.
 func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src int) ([]float64, error) {
+	start := time.Now()
+	defer func() { observeQuery("single_source", time.Since(start).Seconds()) }()
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("plan")
 	h := splitPath(p)
+	if sp != nil {
+		sp.SetAttr("path", p.String()).End()
+	}
 	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return nil, err
@@ -454,7 +542,12 @@ func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src 
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("combine")
 	scores := pmr.MulVec(left.Dense())
+	if sp != nil {
+		sp.SetAttr("targets", strconv.Itoa(len(scores))).End()
+	}
+	sp = tr.Start("normalize")
 	if e.normalized {
 		ln := left.Norm()
 		rns := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
@@ -466,6 +559,7 @@ func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src 
 			}
 		}
 	}
+	sp.End()
 	return scores, nil
 }
 
@@ -473,7 +567,14 @@ func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src 
 // indexed by source nodes and columns by target nodes (Equation 6, plus the
 // normalization of Definition 10 when enabled).
 func (e *Engine) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
+	start := time.Now()
+	defer func() { observeQuery("all_pairs", time.Since(start).Seconds()) }()
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("plan")
 	h := splitPath(p)
+	if sp != nil {
+		sp.SetAttr("path", p.String()).End()
+	}
 	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
 	if err != nil {
 		return nil, err
@@ -485,10 +586,16 @@ func (e *Engine) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp = tr.Start("combine")
 	rel := pml.MulAuto(pmr.Transpose())
+	if sp != nil {
+		spanMatrixAttrs(sp, 'B', "combine", rel).End()
+	}
 	if !e.normalized {
 		return rel, nil
 	}
+	sp = tr.Start("normalize")
+	defer sp.End()
 	ln := e.chainRowNorms(e.chainFullKey(h.leftSteps, h.middle, 'L'), pml)
 	rn := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
 	inv := func(x float64) float64 {
@@ -602,14 +709,33 @@ func (e *Engine) CacheSize() int {
 	return len(e.trans) + len(e.edgeU) + len(e.reach)
 }
 
+// CacheInfo is a point-in-time snapshot of the engine's matrix caches.
+type CacheInfo struct {
+	Transition int `json:"transition"` // per-relation transition matrices
+	Edge       int `json:"edge"`       // middle edge-transition matrices
+	Chain      int `json:"chain"`      // materialized chain (reachable) matrices
+	Evictions  int `json:"evictions"`  // chain matrices dropped by WithCacheLimit
+}
+
 // CacheStats breaks CacheSize down by kind: transition matrices, middle
-// edge-transition matrices, and materialized chain matrices. Only the last
-// is subject to WithCacheLimit eviction.
-func (e *Engine) CacheStats() (trans, edge, reach int) {
+// edge-transition matrices, and materialized chain matrices, plus the
+// count of chain matrices the cache limit has evicted so far. Only chain
+// matrices are subject to WithCacheLimit eviction.
+func (e *Engine) CacheStats() CacheInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.trans), len(e.edgeU), len(e.reach)
+	return CacheInfo{
+		Transition: len(e.trans),
+		Edge:       len(e.edgeU),
+		Chain:      len(e.reach),
+		Evictions:  e.evictions,
+	}
 }
+
+// CacheLimit returns the configured chain-matrix cache bound (0 when
+// unbounded), so operators can correlate eviction counts with the limit
+// that produced them.
+func (e *Engine) CacheLimit() int { return e.cacheLimit }
 
 // ClearCache drops all cached matrices and norms.
 func (e *Engine) ClearCache() {

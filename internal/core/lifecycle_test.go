@@ -175,12 +175,18 @@ func TestWithCacheLimit(t *testing.T) {
 				t.Fatalf("%s: limited engine diverges at %d: %v vs %v", spec, i, got[i], want[i])
 			}
 		}
-		if _, _, reach := limited.CacheStats(); reach > 2 {
+		if reach := limited.CacheStats().Chain; reach > 2 {
 			t.Fatalf("%s: reach cache holds %d entries, limit is 2", spec, reach)
 		}
 	}
-	if _, _, reach := unlimited.CacheStats(); reach <= 2 {
+	if reach := unlimited.CacheStats().Chain; reach <= 2 {
 		t.Fatalf("unlimited engine cached only %d chain matrices; workload too small to test eviction", reach)
+	}
+	if ev := limited.CacheStats().Evictions; ev == 0 {
+		t.Error("limited engine reports zero evictions after exceeding the cache limit")
+	}
+	if ev := unlimited.CacheStats().Evictions; ev != 0 {
+		t.Errorf("unlimited engine reports %d evictions", ev)
 	}
 }
 
@@ -227,7 +233,7 @@ func TestConcurrentQueriesWithEviction(t *testing.T) {
 		t.Fatal(err)
 	default:
 	}
-	if _, _, reach := e.CacheStats(); reach > 2 {
+	if reach := e.CacheStats().Chain; reach > 2 {
 		t.Errorf("reach cache holds %d entries after stress, limit is 2", reach)
 	}
 }

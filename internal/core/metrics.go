@@ -1,0 +1,53 @@
+package core
+
+import "hetesim/internal/obs"
+
+// Engine-level observability: query counts and latencies per query kind,
+// materialized-path cache traffic, and Monte Carlo walk volume, all in
+// the process-wide registry. Per-stage structure (which multiply, which
+// dims, cache hit or miss) goes to the per-query tracer instead — the
+// registry answers "how much", the trace answers "where did this one
+// query go".
+var (
+	metQueries = obs.Default().CounterVec("hetesim_engine_queries_total",
+		"HeteSim engine queries by kind.", "kind")
+	metQueryDur = obs.Default().HistogramVec("hetesim_engine_query_duration_seconds",
+		"HeteSim engine query latency by kind.", obs.DefSecondsBuckets(), "kind")
+	metCacheHits = obs.Default().Counter("hetesim_engine_cache_hits_total",
+		"Chain-matrix cache hits (a materialized reachable-probability matrix was reused).")
+	metCacheMisses = obs.Default().Counter("hetesim_engine_cache_misses_total",
+		"Chain-matrix cache misses (a chain had to be materialized).")
+	metCacheEvictions = obs.Default().Counter("hetesim_engine_cache_evictions_total",
+		"Chain matrices evicted by WithCacheLimit.")
+	metWalks = obs.Default().Counter("hetesim_engine_mc_walks_total",
+		"Monte Carlo walks sampled across all degraded and explicit MC queries.")
+)
+
+// queryInstr pairs the pre-resolved per-kind counter and histogram, so
+// the per-query fast path is two atomic bumps with no label lookup.
+type queryInstr struct {
+	count *obs.Counter
+	dur   *obs.Histogram
+}
+
+func newQueryInstr(kind string) queryInstr {
+	return queryInstr{count: metQueries.With(kind), dur: metQueryDur.With(kind)}
+}
+
+var queryInstrs = map[string]queryInstr{
+	"pair":             newQueryInstr("pair"),
+	"single_source":    newQueryInstr("single_source"),
+	"all_pairs":        newQueryInstr("all_pairs"),
+	"mc_pair":          newQueryInstr("mc_pair"),
+	"mc_single_source": newQueryInstr("mc_single_source"),
+}
+
+// observeQuery records one finished engine query of the given kind.
+func observeQuery(kind string, seconds float64) {
+	qi, ok := queryInstrs[kind]
+	if !ok {
+		qi = newQueryInstr(kind)
+	}
+	qi.count.Inc()
+	qi.dur.Observe(seconds)
+}

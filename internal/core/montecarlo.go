@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"time"
 
 	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
 	"hetesim/internal/sparse"
 )
 
@@ -31,10 +34,31 @@ type MonteCarloResult struct {
 	Walks int
 }
 
+// querySeed resolves the seed parameter of a Monte Carlo query. A
+// non-zero seed is used as-is — the deterministic path tests and the CLI
+// rely on. Seed 0 asks for a fresh per-query seed drawn from a single
+// engine-level source, so concurrent degraded queries never share
+// identical walk streams (they previously all walked with seed 1, making
+// simultaneous degraded answers perfectly correlated).
+func (e *Engine) querySeed(seed int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	e.seedMu.Lock()
+	defer e.seedMu.Unlock()
+	if e.seedRng == nil {
+		e.seedRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return e.seedRng.Int63()
+}
+
 // PairMonteCarlo estimates HeteSim(src, dst | p) from `walks` sampled
 // walks per endpoint, using the engine's normalization setting. The
-// estimate is deterministic for a fixed seed.
+// estimate is deterministic for a fixed non-zero seed; seed 0 draws a
+// fresh per-query seed from the engine-level source.
 func (e *Engine) PairMonteCarlo(ctx context.Context, p *metapath.Path, src, dst, walks int, seed int64) (MonteCarloResult, error) {
+	start := time.Now()
+	defer func() { observeQuery("mc_pair", time.Since(start).Seconds()) }()
 	if walks < 2 {
 		return MonteCarloResult{}, fmt.Errorf("core: PairMonteCarlo needs at least 2 walks, got %d", walks)
 	}
@@ -45,7 +69,7 @@ func (e *Engine) PairMonteCarlo(ctx context.Context, p *metapath.Path, src, dst,
 		return MonteCarloResult{}, err
 	}
 	h := splitPath(p)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(e.querySeed(seed)))
 	srcCounts, err := e.sampleWalks(ctx, src, h.leftSteps, h.middle, 'L', walks, rng)
 	if err != nil {
 		return MonteCarloResult{}, err
@@ -94,6 +118,14 @@ func (e *Engine) PairMonteCarlo(ctx context.Context, p *metapath.Path, src, dst,
 // are dropped, matching the measure's convention that missing neighbors
 // contribute zero relatedness.
 func (e *Engine) sampleWalks(ctx context.Context, start int, steps []metapath.Step, middle *metapath.Step, side byte, walks int, rng *rand.Rand) (map[int]int, error) {
+	sp := obs.FromContext(ctx).Start("mc_sample")
+	if sp != nil {
+		sp.SetAttr("side", string(side)).
+			SetAttr("walks", strconv.Itoa(walks)).
+			SetAttr("steps", strconv.Itoa(len(steps)))
+	}
+	defer sp.End()
+	metWalks.Add(uint64(walks))
 	// Pre-resolve the transition matrices once.
 	us := make([]*sparse.Matrix, len(steps))
 	for i, s := range steps {
@@ -174,15 +206,19 @@ func stepSample(u *sparse.Matrix, at int, rng *rand.Rand) (int, bool) {
 // regardless of how dense the half-path matrices are. The ranking it
 // induces approximates the reachable-probability (PCRW) ordering — the raw
 // HeteSim numerator taken in the source direction — so results must be
-// marked approximate.
+// marked approximate. Seeding follows the PairMonteCarlo convention: a
+// non-zero seed is deterministic, 0 draws a per-query seed from the
+// engine-level source.
 func (e *Engine) SingleSourceMonteCarlo(ctx context.Context, p *metapath.Path, src, walks int, seed int64) ([]float64, error) {
+	start := time.Now()
+	defer func() { observeQuery("mc_single_source", time.Since(start).Seconds()) }()
 	if walks < 1 {
 		return nil, fmt.Errorf("core: SingleSourceMonteCarlo needs at least 1 walk, got %d", walks)
 	}
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(e.querySeed(seed)))
 	counts, err := e.sampleWalks(ctx, src, p.Steps(), nil, 'P', walks, rng)
 	if err != nil {
 		return nil, err

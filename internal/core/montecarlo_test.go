@@ -88,6 +88,42 @@ func TestPairMonteCarloDeterministicBySeed(t *testing.T) {
 	_ = c // different seed may or may not differ; just must not panic
 }
 
+// TestQuerySeedDerivation pins the seeding contract: explicit non-zero
+// seeds pass through untouched (the deterministic-test path), while seed
+// 0 draws distinct values from the engine-level source so concurrent
+// degraded queries don't share a walk stream.
+func TestQuerySeedDerivation(t *testing.T) {
+	e := NewEngine(fig4Graph(t))
+	if got := e.querySeed(42); got != 42 {
+		t.Errorf("querySeed(42) = %d, want passthrough", got)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 64; i++ {
+		s := e.querySeed(0)
+		if seen[s] {
+			t.Fatalf("querySeed(0) repeated %d after %d draws", s, i)
+		}
+		seen[s] = true
+	}
+	// Concurrent derivation must be race-free and still collision-free.
+	results := make(chan int64, 128)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 16; i++ {
+				results <- e.querySeed(0)
+			}
+		}()
+	}
+	conc := make(map[int64]bool)
+	for i := 0; i < 128; i++ {
+		s := <-results
+		if conc[s] {
+			t.Fatalf("concurrent querySeed(0) collision on %d", s)
+		}
+		conc[s] = true
+	}
+}
+
 func TestPairMonteCarloZeroRelatedness(t *testing.T) {
 	g := fig4Graph(t)
 	e := NewEngine(g)

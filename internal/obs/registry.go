@@ -1,0 +1,402 @@
+// Package obs is the repository's dependency-free observability kit: a
+// concurrency-safe metrics registry with Prometheus text exposition, a
+// lightweight per-query tracer threaded through context.Context, and a
+// ring-buffered slow-query log. It sits below every other internal
+// package (it imports only the standard library), so the sparse kernels,
+// the HeteSim engine, and the HTTP server can all report into one
+// process-wide registry without import cycles.
+//
+// The paper's Section 4.6 cost model (transition-matrix build → reachable
+// probability chain → cosine normalization) only becomes actionable in a
+// service once each stage is measured; this package is that measurement
+// substrate.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricName is the Prometheus metric- and label-name grammar.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. n must not be negative; counters only go up.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (possibly negative) to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets hold upper
+// bounds in strictly increasing order; an implicit +Inf bucket catches
+// everything above the last bound.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (tens), and the scan beats a
+	// binary search's branch misses at that size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ValidateBuckets reports whether bounds form a legal histogram layout:
+// non-empty, finite, and strictly increasing. It is exported so `make
+// check` can fail fast on a misconfigured boundary via the obs self-test.
+func ValidateBuckets(bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("obs: bucket bound %d is %v; bounds must be finite (+Inf is implicit)", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return fmt.Errorf("obs: bucket bounds not strictly increasing at %d: %v <= %v", i, b, bounds[i-1])
+		}
+	}
+	return nil
+}
+
+// DefSecondsBuckets are latency buckets from 100µs to ~100s, a decade
+// ladder with 1-2.5-5 subdivisions — wide enough for both a cached pair
+// lookup and a cold AllPairs materialization.
+func DefSecondsBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	}
+}
+
+// kind discriminates registered metrics for exposition and collision
+// checks.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// entry is one registered metric family.
+type entry struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string // nil for plain metrics
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	// Labeled children, keyed by the serialized label values.
+	mu       sync.Mutex
+	children map[string]*entry
+	bounds   []float64 // histogram bounds, also inherited by children
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string // registration order, for stable exposition
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// std is the process-wide registry every package instruments into.
+var std = NewRegistry()
+
+// Default returns the process-wide registry. Package-level metrics in
+// sparse, core, and server register here so one /metrics scrape sees the
+// whole pipeline.
+func Default() *Registry { return std }
+
+// get returns the family named name, creating it with the given shape on
+// first use. Registration is idempotent — asking again with the same name
+// and kind returns the existing family, so multiple Server or Engine
+// instances (and tests) share counters instead of colliding. A kind or
+// label-arity mismatch is a programming error and panics.
+func (r *Registry) get(name, help string, k kind, labels []string, bounds []float64) *entry {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !metricName.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	if k == kindHistogram {
+		if err := ValidateBuckets(bounds); err != nil {
+			panic(err.Error())
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k || len(e.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%d labels (was %s/%d)",
+				name, k, len(labels), e.kind, len(e.labels)))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: k, labels: append([]string(nil), labels...), bounds: bounds}
+	if len(labels) == 0 {
+		e.counter, e.gauge = &Counter{}, &Gauge{}
+		if k == kindHistogram {
+			e.hist = newHistogram(bounds)
+		}
+	} else {
+		e.children = make(map[string]*entry)
+	}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Counter returns the counter named name, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.get(name, help, kindCounter, nil, nil).counter
+}
+
+// Gauge returns the gauge named name, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.get(name, help, kindGauge, nil, nil).gauge
+}
+
+// Histogram returns the histogram named name with the given bucket upper
+// bounds, registering it on first use. Panics if bounds are not strictly
+// increasing and finite.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.get(name, help, kindHistogram, nil, bounds).hist
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ e *entry }
+
+// CounterVec returns the labeled counter family named name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: CounterVec needs at least one label; use Counter")
+	}
+	return &CounterVec{e: r.get(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (one per label, in
+// registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.e.child(values).counter
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ e *entry }
+
+// HistogramVec returns the labeled histogram family named name.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label; use Histogram")
+	}
+	return &HistogramVec{e: r.get(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.e.child(values).hist
+}
+
+// child returns the labeled child for the given values, creating it on
+// first use.
+func (e *entry) child(values []string) *entry {
+	if len(values) != len(e.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", e.name, len(e.labels), len(values)))
+	}
+	key := labelKey(e.labels, values)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.children[key]
+	if !ok {
+		c = &entry{name: e.name, kind: e.kind, counter: &Counter{}, gauge: &Gauge{}}
+		if e.kind == kindHistogram {
+			c.hist = newHistogram(e.bounds)
+		}
+		e.children[key] = c
+	}
+	return c
+}
+
+// labelKey serializes label pairs as they appear in the exposition:
+// `a="x",b="y"`.
+func labelKey(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), in registration order with labeled
+// children sorted for stable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	families := make([]*entry, 0, len(r.order))
+	for _, name := range r.order {
+		families = append(families, r.entries[name])
+	}
+	r.mu.Unlock()
+	for _, e := range families {
+		if e.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind)
+		if e.labels == nil {
+			e.writeValues(w, "")
+			continue
+		}
+		e.mu.Lock()
+		keys := make([]string, 0, len(e.children))
+		for k := range e.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*entry, len(keys))
+		for i, k := range keys {
+			children[i] = e.children[k]
+		}
+		e.mu.Unlock()
+		for i, k := range keys {
+			children[i].writeValues(w, k)
+		}
+	}
+}
+
+// writeValues renders one concrete series (plain metric or labeled
+// child). key is the pre-serialized label pairs, empty for plain metrics.
+func (e *entry) writeValues(w io.Writer, key string) {
+	wrap := func(extra string) string {
+		switch {
+		case key == "" && extra == "":
+			return ""
+		case key == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + key + "}"
+		default:
+			return "{" + key + "," + extra + "}"
+		}
+	}
+	switch e.kind {
+	case kindCounter:
+		fmt.Fprintf(w, "%s%s %d\n", e.name, wrap(""), e.counter.Value())
+	case kindGauge:
+		fmt.Fprintf(w, "%s%s %s\n", e.name, wrap(""), formatFloat(e.gauge.Value()))
+	case kindHistogram:
+		var cum uint64
+		for i, bound := range e.hist.bounds {
+			cum += e.hist.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, wrap(`le="`+formatFloat(bound)+`"`), cum)
+		}
+		cum += e.hist.buckets[len(e.hist.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, wrap(`le="+Inf"`), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", e.name, wrap(""), formatFloat(e.hist.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", e.name, wrap(""), e.hist.Count())
+	}
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func readAll(t *testing.T, r io.Reader) string {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	// Idempotent re-registration returns the same instances.
+	if r.Counter("test_events_total", "events") != c {
+		t.Error("re-registering a counter returned a new instance")
+	}
+	if r.Gauge("test_depth", "depth") != g {
+		t.Error("re-registering a gauge returned a new instance")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		`test_latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestValidateBuckets(t *testing.T) {
+	if err := ValidateBuckets([]float64{0.1, 1, 10}); err != nil {
+		t.Errorf("valid buckets rejected: %v", err)
+	}
+	for name, bad := range map[string][]float64{
+		"empty":          {},
+		"non-increasing": {1, 1},
+		"decreasing":     {1, 0.5},
+		"nan":            {0.1, nanValue()},
+		"inf":            {0.1, infValue()},
+	} {
+		if err := ValidateBuckets(bad); err == nil {
+			t.Errorf("%s buckets accepted", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Histogram with bad buckets did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{2, 1})
+}
+
+func nanValue() float64 { return strconvNaN }
+func infValue() float64 { return strconvInf }
+
+var (
+	strconvNaN = func() float64 { v, _ := strconv.ParseFloat("NaN", 64); return v }()
+	strconvInf = func() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }()
+)
+
+// TestSelfTestDefaultBuckets is the `make check` histogram-bucket sanity
+// gate: the bucket layouts the daemon actually registers must validate.
+func TestSelfTestDefaultBuckets(t *testing.T) {
+	if err := ValidateBuckets(DefSecondsBuckets()); err != nil {
+		t.Fatalf("DefSecondsBuckets invalid: %v", err)
+	}
+}
+
+func TestCounterVecAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "requests", "route", "status")
+	v.With("/v1/pair", "200").Inc()
+	v.With("/v1/pair", "200").Inc()
+	v.With("/v1/topk", "429").Inc()
+	v.With(`weird"route\n`, "200").Inc()
+	if got := v.With("/v1/pair", "200").Value(); got != 2 {
+		t.Errorf("labeled counter = %d, want 2", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_requests_total{route="/v1/pair",status="200"} 2`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, `test_requests_total{route="weird\"route\\n",status="200"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_stage_seconds", "stage timings", []float64{0.1, 1}, "stage")
+	v.With("plan").Observe(0.05)
+	v.With("multiply").Observe(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_stage_seconds_bucket{stage="plan",le="0.1"} 1`) {
+		t.Errorf("missing labeled histogram bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `test_stage_seconds_count{stage="multiply"} 1`) {
+		t.Errorf("missing labeled histogram count:\n%s", out)
+	}
+}
+
+// expositionLine matches the three legal value-line shapes of the text
+// format: name, optional {labels}, then a number.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?(Inf|[0-9].*))$`)
+
+// CheckExposition validates the whole body line by line — shared with the
+// server scrape test via this package's export_test-free public surface.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("exposition had no value lines")
+	}
+}
+
+func TestHandlerServesValidExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "a").Inc()
+	r.Gauge("test_b", "b").Set(-3.25)
+	r.Histogram("test_c_seconds", "c", DefSecondsBuckets()).Observe(0.42)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	var b strings.Builder
+	if _, err := fmt.Fprint(&b, readAll(t, resp.Body)); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, b.String())
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("test_conc_total", "")
+			h := r.Histogram("test_conc_seconds", "", []float64{1, 2})
+			v := r.CounterVec("test_conc_vec_total", "", "worker")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 3))
+				v.With(strconv.Itoa(i % 2)).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("test_conc_total", "").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("test_conc_seconds", "", []float64{1, 2}).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	checkExposition(t, b.String())
+}

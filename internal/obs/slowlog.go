@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog is a fixed-capacity ring buffer of the most recent queries
+// that exceeded a latency threshold, each carrying its trace report when
+// the query was traced. It answers "what was slow in the last few
+// minutes" without any external collector — the in-process analogue of a
+// database slow-query log.
+type SlowLog struct {
+	threshold time.Duration
+	capacity  int
+
+	mu      sync.Mutex
+	entries []SlowEntry // ring storage, len <= capacity
+	next    int         // ring write position
+	total   uint64      // entries ever admitted, including overwritten
+}
+
+// SlowEntry is one admitted slow query.
+type SlowEntry struct {
+	Time       time.Time `json:"time"`
+	Query      string    `json:"query"` // method, path, and query string
+	Status     int       `json:"status"`
+	DurationMS float64   `json:"duration_ms"`
+	Trace      *Report   `json:"trace,omitempty"`
+}
+
+// NewSlowLog returns a slow log admitting queries slower than threshold,
+// keeping the most recent capacity entries. capacity <= 0 defaults to
+// 128.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, capacity: capacity}
+}
+
+// Threshold returns the admission threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Observe admits the entry if its duration is over the threshold,
+// evicting the oldest entry when full. Reports whether it was admitted.
+func (l *SlowLog) Observe(e SlowEntry, d time.Duration) bool {
+	if l == nil || d < l.threshold {
+		return false
+	}
+	e.DurationMS = float64(d) / float64(time.Millisecond)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.capacity {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.next] = e
+	}
+	l.next = (l.next + 1) % l.capacity
+	l.total++
+	return true
+}
+
+// Total returns how many queries have ever been admitted, including ones
+// the ring has since overwritten.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.entries))
+	// Walk backwards from the most recent write.
+	for i := 0; i < len(l.entries); i++ {
+		idx := (l.next - 1 - i + 2*l.capacity) % l.capacity
+		if idx >= len(l.entries) {
+			// Ring not yet full: positions past len are unwritten.
+			continue
+		}
+		out = append(out, l.entries[idx])
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	tr := FromContext(context.Background())
+	if tr != nil {
+		t.Fatal("FromContext on a bare context returned a trace")
+	}
+	// All of these must be safe on nil receivers.
+	sp := tr.Start("anything")
+	sp.SetAttr("k", "v")
+	sp.End()
+	tr.Event("nothing", nil)
+	if rep := tr.Report(time.Second); rep != nil {
+		t.Errorf("nil trace Report = %+v, want nil", rep)
+	}
+}
+
+func TestTraceSpansAndReport(t *testing.T) {
+	ctx, tr := NewTrace(context.Background())
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the installed trace")
+	}
+	sp := tr.Start("chain_multiply").SetAttr("rows", "10").SetAttr("nnz", "42")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	tr.Event("cache_hit", map[string]string{"key": "C:writes"})
+	rep := tr.Report(4 * time.Millisecond)
+	if len(rep.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(rep.Spans))
+	}
+	if rep.Spans[0].Attrs["nnz"] != "42" {
+		t.Errorf("attrs = %v", rep.Spans[0].Attrs)
+	}
+	if rep.Coverage <= 0 {
+		t.Errorf("coverage = %v, want > 0", rep.Coverage)
+	}
+	// The report must marshal with microsecond fields for humans.
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total_us"`, `"dur_us"`, `"cache_hit"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("report JSON missing %s: %s", want, b)
+		}
+	}
+}
+
+func TestCoverageUnion(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	spans := []Span{
+		{Name: "parent", Start: ms(0), Dur: ms(10)},
+		{Name: "child", Start: ms(2), Dur: ms(4)},   // nested: counted once
+		{Name: "tail", Start: ms(12), Dur: ms(4)},   // disjoint
+		{Name: "event", Start: ms(5), Dur: 0},       // zero-duration: ignored
+		{Name: "overlap", Start: ms(8), Dur: ms(3)}, // extends parent by 1ms
+	}
+	got := Coverage(spans, ms(20))
+	want := 15.0 / 20.0 // [0,11) ∪ [12,16)
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("coverage = %v, want %v", got, want)
+	}
+	if c := Coverage(spans, 0); c != 0 {
+		t.Errorf("coverage with zero total = %v", c)
+	}
+	if c := Coverage(nil, ms(10)); c != 0 {
+		t.Errorf("coverage with no spans = %v", c)
+	}
+	// Spans exceeding the total clamp to 1.
+	if c := Coverage([]Span{{Start: 0, Dur: ms(100)}}, ms(10)); c != 1 {
+		t.Errorf("coverage clamp = %v, want 1", c)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	_, tr := NewTrace(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := tr.Start("s")
+				sp.SetAttr("j", "1")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Report(time.Second).Spans); got != 1600 {
+		t.Errorf("spans = %d, want 1600", got)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 3)
+	if l.Observe(SlowEntry{Query: "fast"}, 5*time.Millisecond) {
+		t.Error("fast query admitted")
+	}
+	for i := 0; i < 5; i++ {
+		q := SlowEntry{Query: strings.Repeat("x", i+1)}
+		if !l.Observe(q, time.Duration(20+i)*time.Millisecond) {
+			t.Fatalf("slow query %d rejected", i)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5", l.Total())
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	// Newest first: the 5th, 4th, 3rd admissions.
+	for i, wantLen := range []int{5, 4, 3} {
+		if len(got[i].Query) != wantLen {
+			t.Errorf("entry %d query = %q, want len %d", i, got[i].Query, wantLen)
+		}
+	}
+	if got[0].DurationMS != 24 {
+		t.Errorf("duration_ms = %v, want 24", got[0].DurationMS)
+	}
+	var nilLog *SlowLog
+	if nilLog.Observe(SlowEntry{}, time.Hour) {
+		t.Error("nil slowlog admitted an entry")
+	}
+	if nilLog.Entries() != nil || nilLog.Total() != 0 {
+		t.Error("nil slowlog not empty")
+	}
+}

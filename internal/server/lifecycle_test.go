@@ -340,18 +340,41 @@ func TestPathLengthCap(t *testing.T) {
 // TestStatsCachedMatrices checks /v1/stats exposes the engine cache gauge.
 func TestStatsCachedMatrices(t *testing.T) {
 	srv, ts := lifecycleServer(t)
-	var stats map[string]int
+	var stats map[string]any
 	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
-	if _, ok := stats["cached_matrices"]; !ok {
+	before, ok := stats["cached_matrices"].(float64)
+	if !ok {
 		t.Fatalf("stats = %v, want cached_matrices", stats)
 	}
 	if err := srv.Precompute("APC"); err != nil {
 		t.Fatal(err)
 	}
-	var after map[string]int
+	var after map[string]any
 	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &after)
-	if after["cached_matrices"] <= stats["cached_matrices"] {
-		t.Errorf("cached_matrices did not grow after precompute: %d -> %d",
-			stats["cached_matrices"], after["cached_matrices"])
+	if after["cached_matrices"].(float64) <= before {
+		t.Errorf("cached_matrices did not grow after precompute: %v -> %v",
+			before, after["cached_matrices"])
+	}
+	// The extended stats carry the merged cache snapshot and the engine
+	// option settings that produced it.
+	cache, ok := after["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing cache object: %v", after)
+	}
+	if cache["chain"].(float64) < 1 {
+		t.Errorf("cache.chain = %v after precompute, want >= 1", cache["chain"])
+	}
+	if _, ok := cache["evictions"]; !ok {
+		t.Errorf("cache object missing evictions: %v", cache)
+	}
+	options, ok := after["options"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing options object: %v", after)
+	}
+	for _, key := range []string{"cache_limit", "degrade_walks", "query_timeout_ms",
+		"max_inflight", "max_path_steps", "slowlog_threshold_ms"} {
+		if _, ok := options[key]; !ok {
+			t.Errorf("options missing %q: %v", key, options)
+		}
 	}
 }

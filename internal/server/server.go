@@ -29,7 +29,26 @@ import (
 	"hetesim/internal/core"
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
 	"hetesim/internal/rank"
+)
+
+// HTTP-layer observability, reported into the process-wide registry next
+// to the engine and kernel metrics so one GET /metrics scrape shows the
+// whole pipeline.
+var (
+	metRequests = obs.Default().CounterVec("hetesim_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "status")
+	metLatency = obs.Default().Histogram("hetesim_http_request_duration_seconds",
+		"End-to-end /v1 query latency.", obs.DefSecondsBuckets())
+	metInflight = obs.Default().Gauge("hetesim_http_inflight_queries",
+		"Currently executing /v1 queries.")
+	metShed = obs.Default().Counter("hetesim_http_shed_total",
+		"Queries shed with 429 at the in-flight cap.")
+	metDegraded = obs.Default().Counter("hetesim_http_degraded_total",
+		"Queries answered by the Monte Carlo fallback after the exact plan timed out.")
+	metSlowQueries = obs.Default().Counter("hetesim_http_slow_queries_total",
+		"Queries admitted to the slow-query log.")
 )
 
 // StatusClientClosedRequest is the de-facto (nginx) status for a request
@@ -54,6 +73,10 @@ type Server struct {
 	maxPathSteps int           // longest accepted relevance path
 	degradeWalks int           // Monte Carlo walks for degraded answers; 0 = disabled
 	degradeGrace time.Duration // extra budget granted to the degraded plan
+
+	slowThreshold time.Duration // slow-query log admission bar; 0 = disabled
+	slowCapacity  int           // slow-query log ring size
+	slowlog       *obs.SlowLog  // nil when disabled
 
 	inflight chan struct{}
 	ready    atomic.Bool
@@ -92,17 +115,30 @@ func WithEngineOptions(opts ...core.Option) Option {
 	return func(s *Server) { s.engineOpts = append(s.engineOpts, opts...) }
 }
 
+// WithSlowLog configures the slow-query log: /v1 queries slower than
+// threshold are retained (newest capacity entries) with their per-stage
+// traces and served at GET /v1/slowlog. The default is 1s/128; threshold
+// 0 disables the log and with it the always-on tracing of /v1 queries.
+func WithSlowLog(threshold time.Duration, capacity int) Option {
+	return func(s *Server) { s.slowThreshold, s.slowCapacity = threshold, capacity }
+}
+
 // New creates a Server over g.
 func New(g *hin.Graph, opts ...Option) *Server {
 	s := &Server{
-		g:            g,
-		mux:          http.NewServeMux(),
-		maxBody:      1 << 20,
-		maxPathSteps: 128,
-		degradeGrace: 2 * time.Second,
+		g:             g,
+		mux:           http.NewServeMux(),
+		maxBody:       1 << 20,
+		maxPathSteps:  128,
+		degradeGrace:  2 * time.Second,
+		slowThreshold: time.Second,
+		slowCapacity:  128,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.slowThreshold > 0 {
+		s.slowlog = obs.NewSlowLog(s.slowThreshold, s.slowCapacity)
 	}
 	e := core.NewEngine(g, s.engineOpts...)
 	s.engine = e
@@ -115,8 +151,10 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.ready.Store(true)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.Handle("GET /metrics", obs.Default().Handler())
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/slowlog", s.handleSlowLog)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
@@ -129,18 +167,113 @@ func New(g *hin.Graph, opts ...Option) *Server {
 // middleware (panic recovery, body limits, load shedding, deadlines).
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// buildHandler assembles the middleware chain, outermost first: recover
-// from panics, cap body reads, shed load, then apply the query deadline.
+// buildHandler assembles the middleware chain, outermost first: measure
+// the request, recover from panics, cap body reads, shed load, then
+// apply the query deadline. Instrumentation sits outermost so shed,
+// panicking, and timed-out requests are all counted with their final
+// status.
 func (s *Server) buildHandler() http.Handler {
 	var h http.Handler = s.mux
 	h = s.applyTimeout(h)
 	h = s.limitInflight(h)
 	h = s.limitBody(h)
 	h = s.recoverPanics(h)
+	h = s.instrument(h)
 	return h
 }
 
 func isQueryPath(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
+
+// routeLabel maps a request path to a bounded label value: the fixed
+// route set keeps /metrics cardinality constant no matter what paths
+// clients probe.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/metrics",
+		"/v1/schema", "/v1/stats", "/v1/slowlog",
+		"/v1/pair", "/v1/topk", "/v1/explain", "/v1/why":
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// wantTrace reports whether the client asked for the trace inline
+// (?trace=1 on a /v1 query).
+func wantTrace(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
+}
+
+// instrument is the outermost middleware: it counts every request by
+// route and status, tracks in-flight /v1 queries, threads a per-query
+// trace through the context (when the client asked with ?trace=1, or
+// always while the slow-query log is enabled so slow entries carry their
+// stage breakdown), and feeds finished queries into the slow-query log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !isQueryPath(r) {
+			sw := &statusWriter{ResponseWriter: w}
+			next.ServeHTTP(sw, r)
+			metRequests.With(routeLabel(r.URL.Path), strconv.Itoa(sw.statusOr200())).Inc()
+			return
+		}
+		start := time.Now()
+		metInflight.Add(1)
+		defer metInflight.Add(-1)
+		var tr *obs.Trace
+		if s.slowlog != nil || wantTrace(r) {
+			var ctx context.Context
+			ctx, tr = obs.NewTrace(r.Context())
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		d := time.Since(start)
+		status := sw.statusOr200()
+		metRequests.With(routeLabel(r.URL.Path), strconv.Itoa(status)).Inc()
+		metLatency.Observe(d.Seconds())
+		if s.slowlog != nil {
+			entry := obs.SlowEntry{
+				Time:   start,
+				Query:  r.Method + " " + r.URL.RequestURI(),
+				Status: status,
+				Trace:  tr.Report(d),
+			}
+			if s.slowlog.Observe(entry, d) {
+				metSlowQueries.Inc()
+			}
+		}
+	})
+}
+
+func (w *statusWriter) statusOr200() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
 
 // recoverPanics converts a handler panic into a 500 JSON response instead
 // of killing the daemon. http.ErrAbortHandler is re-panicked so aborted
@@ -192,6 +325,7 @@ func (s *Server) limitInflight(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
+			metShed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests,
 				errorBody{Error: "server is at its in-flight query limit", Code: "overloaded"})
@@ -359,11 +493,55 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// statsCache merges the normalized and raw engines' cache snapshots, so
+// operators see total cache pressure regardless of which engine served a
+// query.
+func addCacheInfo(a, b core.CacheInfo) core.CacheInfo {
+	return core.CacheInfo{
+		Transition: a.Transition + b.Transition,
+		Edge:       a.Edge + b.Edge,
+		Chain:      a.Chain + b.Chain,
+		Evictions:  a.Evictions + b.Evictions,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cache := addCacheInfo(s.engine.CacheStats(), s.raw.CacheStats())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":           s.g.TotalNodes(),
 		"edges":           s.g.TotalEdges(),
 		"cached_matrices": s.engine.CacheSize() + s.raw.CacheSize(),
+		"cache":           cache,
+		// The configuration that produced the numbers above, so a stats
+		// snapshot is interpretable on its own.
+		"options": map[string]any{
+			"cache_limit":          s.engine.CacheLimit(),
+			"degrade_walks":        s.degradeWalks,
+			"query_timeout_ms":     float64(s.queryTimeout) / float64(time.Millisecond),
+			"max_inflight":         s.maxInflight,
+			"max_path_steps":       s.maxPathSteps,
+			"slowlog_threshold_ms": float64(s.slowThreshold) / float64(time.Millisecond),
+		},
+	})
+}
+
+// handleSlowLog serves the ring-buffered slow-query log, newest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, _ *http.Request) {
+	if s.slowlog == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": false, "entries": []obs.SlowEntry{},
+		})
+		return
+	}
+	entries := s.slowlog.Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":      true,
+		"threshold_ms": float64(s.slowlog.Threshold()) / float64(time.Millisecond),
+		"total":        s.slowlog.Total(),
+		"entries":      entries,
 	})
 }
 
@@ -438,22 +616,27 @@ func (s *Server) shouldDegrade(q query, err error) bool {
 }
 
 type pairBody struct {
-	Path        string  `json:"path"`
-	Source      string  `json:"source"`
-	Target      string  `json:"target"`
-	Measure     string  `json:"measure"`
-	Score       float64 `json:"score"`
-	Approximate bool    `json:"approximate,omitempty"`
+	Path        string      `json:"path"`
+	Source      string      `json:"source"`
+	Target      string      `json:"target"`
+	Measure     string      `json:"measure"`
+	Score       float64     `json:"score"`
+	Approximate bool        `json:"approximate,omitempty"`
+	Trace       *obs.Report `json:"trace,omitempty"`
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("decode")
 	q, err := s.decodeQuery(r)
 	if err != nil {
+		sp.End()
 		writeError(w, err)
 		return
 	}
 	target := r.URL.Query().Get("target")
+	sp.End()
 	if target == "" {
 		writeError(w, fmt.Errorf("%w: missing target parameter", errBadRequest))
 		return
@@ -469,17 +652,25 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	}
 	approximate := false
 	if err != nil && s.shouldDegrade(q, err) {
+		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
 		score, err = s.degradedPair(r, q, target)
 		approximate = err == nil
+		if approximate {
+			metDegraded.Inc()
+		}
 	}
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, pairBody{
+	body := pairBody{
 		Path: q.path.String(), Source: q.source, Target: target,
 		Measure: q.measure, Score: score, Approximate: approximate,
-	})
+	}
+	if wantTrace(r) {
+		body.Trace = tr.Report(tr.Elapsed())
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // degradedPair estimates a pair score from Monte Carlo walks after the
@@ -495,7 +686,7 @@ func (s *Server) degradedPair(r *http.Request, q query, target string) (float64,
 	}
 	ctx, cancel := s.degradeCtx(r)
 	defer cancel()
-	res, err := s.hetesimEngine(q).PairMonteCarlo(ctx, q.path, src, dst, s.degradeWalks, 1)
+	res, err := s.hetesimEngine(q).PairMonteCarlo(ctx, q.path, src, dst, s.degradeWalks, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -503,11 +694,12 @@ func (s *Server) degradedPair(r *http.Request, q query, target string) (float64,
 }
 
 type topKBody struct {
-	Path        string    `json:"path"`
-	Source      string    `json:"source"`
-	Measure     string    `json:"measure"`
-	Approximate bool      `json:"approximate,omitempty"`
-	Results     []hitBody `json:"results"`
+	Path        string      `json:"path"`
+	Source      string      `json:"source"`
+	Measure     string      `json:"measure"`
+	Approximate bool        `json:"approximate,omitempty"`
+	Results     []hitBody   `json:"results"`
+	Trace       *obs.Report `json:"trace,omitempty"`
 }
 
 type hitBody struct {
@@ -631,7 +823,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("decode")
 	q, err := s.decodeQuery(r)
+	sp.End()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -655,14 +850,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	approximate := false
 	if err != nil && s.shouldDegrade(q, err) {
+		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
 		scores, err = s.degradedTopK(r, q)
 		approximate = err == nil
+		if approximate {
+			metDegraded.Inc()
+		}
 	}
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	sp = tr.Start("rank")
 	items, err := rank.List(scores, s.g.NodeIDs(q.path.Target()), k)
+	sp.End()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -670,6 +871,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure, Approximate: approximate}
 	for _, it := range items {
 		body.Results = append(body.Results, hitBody{ID: it.ID, Score: it.Score})
+	}
+	if wantTrace(r) {
+		body.Trace = tr.Report(tr.Elapsed())
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -685,5 +889,5 @@ func (s *Server) degradedTopK(r *http.Request, q query) ([]float64, error) {
 	}
 	ctx, cancel := s.degradeCtx(r)
 	defer cancel()
-	return s.hetesimEngine(q).SingleSourceMonteCarlo(ctx, q.path, src, s.degradeWalks, 1)
+	return s.hetesimEngine(q).SingleSourceMonteCarlo(ctx, q.path, src, s.degradeWalks, 0)
 }

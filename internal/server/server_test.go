@@ -74,9 +74,9 @@ func TestSchemaAndStats(t *testing.T) {
 	if schema.Relations[0].Edges != 4 {
 		t.Errorf("writes edges = %d, want 4", schema.Relations[0].Edges)
 	}
-	var stats map[string]int
+	var stats map[string]any
 	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
-	if stats["nodes"] != 7 || stats["edges"] != 7 {
+	if stats["nodes"] != 7.0 || stats["edges"] != 7.0 {
 		t.Errorf("stats = %v", stats)
 	}
 }

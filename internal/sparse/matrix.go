@@ -245,10 +245,12 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	acc := make([]float64, b.cols)
 	mark := make([]int, b.cols) // mark[c] == r+1 when acc[c] is live for row r
 	cols := make([]int, 0, b.cols)
+	flops := 0
 	for r := 0; r < m.rows; r++ {
 		cols = cols[:0]
 		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
 			j, av := m.colIdx[k], m.val[k]
+			flops += b.rowPtr[j+1] - b.rowPtr[j]
 			for kb := b.rowPtr[j]; kb < b.rowPtr[j+1]; kb++ {
 				c := b.colIdx[kb]
 				if mark[c] != r+1 {
@@ -268,6 +270,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		}
 		out.rowPtr[r+1] = len(out.val)
 	}
+	recordMul(flops, len(out.val), false)
 	return out
 }
 

@@ -32,6 +32,7 @@ func (m *Matrix) MulParallel(b *Matrix, workers int) *Matrix {
 		colIdx []int
 		val    []float64
 		rowNNZ []int
+		flops  int
 	}
 	blocks := make([]block, workers)
 	var wg sync.WaitGroup
@@ -49,6 +50,7 @@ func (m *Matrix) MulParallel(b *Matrix, workers int) *Matrix {
 				cols = cols[:0]
 				for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
 					j, av := m.colIdx[k], m.val[k]
+					blk.flops += b.rowPtr[j+1] - b.rowPtr[j]
 					for kb := b.rowPtr[j]; kb < b.rowPtr[j+1]; kb++ {
 						c := b.colIdx[kb]
 						if mark[c] != r+1 {
@@ -74,9 +76,10 @@ func (m *Matrix) MulParallel(b *Matrix, workers int) *Matrix {
 	}
 	wg.Wait()
 	out := &Matrix{rows: m.rows, cols: b.cols, rowPtr: make([]int, m.rows+1)}
-	total := 0
+	total, flops := 0, 0
 	for _, blk := range blocks {
 		total += len(blk.val)
+		flops += blk.flops
 	}
 	out.colIdx = make([]int, 0, total)
 	out.val = make([]float64, 0, total)
@@ -87,6 +90,7 @@ func (m *Matrix) MulParallel(b *Matrix, workers int) *Matrix {
 		out.colIdx = append(out.colIdx, blk.colIdx...)
 		out.val = append(out.val, blk.val...)
 	}
+	recordMul(flops, total, true)
 	return out
 }
 

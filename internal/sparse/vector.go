@@ -191,12 +191,16 @@ func (v *Vector) MulMat(m *Matrix) *Vector {
 		panic("sparse: MulMat length mismatch")
 	}
 	acc := make(map[int]float64, len(v.idx)*2)
+	flops := 0
 	for k, r := range v.idx {
 		xv := v.val[k]
+		flops += m.rowPtr[r+1] - m.rowPtr[r]
 		for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
 			acc[m.colIdx[p]] += xv * m.val[p]
 		}
 	}
+	metVecMulTotal.Inc()
+	metVecMulFlops.Add(uint64(flops))
 	out := &Vector{n: m.cols, idx: make([]int, 0, len(acc)), val: make([]float64, 0, len(acc))}
 	for i := range acc {
 		out.idx = append(out.idx, i)
