@@ -1,7 +1,7 @@
 # Tier-1 flow: build + vet + tests, plus a short-mode race pass over the
 # packages with real concurrency (engine cache, HTTP server, parallel
 # SpGEMM, metrics registry).
-.PHONY: all build vet test race race-full check obs-selftest bench-json
+.PHONY: all build vet test race race-full check obs-selftest chaos bench-json
 
 all: check
 
@@ -27,10 +27,19 @@ race-full:
 obs-selftest:
 	go test -run 'TestSelfTest|TestValidateBuckets|TestHandlerServesValidExposition' ./internal/obs
 
-check: vet build test race obs-selftest
+# Fault-injection recovery matrix under the race detector: kill-mid-write
+# at every byte offset, ENOSPC, torn renames, failed fsyncs, at-rest
+# corruption sweeps, and hot-reload under concurrent query load. Short
+# mode keeps the corruption sweeps seeded-sample-sized; part of `make check`.
+chaos:
+	go test -race -short ./internal/snapshot ./internal/chaos
+	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart' ./internal/server
+
+check: vet build test race obs-selftest chaos
 
 # Regenerate the committed benchmark baseline: every paper-table and
-# figure benchmark, with allocation stats, as JSON.
+# figure benchmark plus the snapshot warm-vs-cold boot comparison, with
+# allocation stats, as JSON.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

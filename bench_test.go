@@ -9,6 +9,7 @@
 package hetesim
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"hetesim/internal/datagen"
 	"hetesim/internal/exp"
 	"hetesim/internal/metapath"
+	"hetesim/internal/snapshot"
 )
 
 // benchCtx shares one experiment context (and thus one pair of generated
@@ -286,6 +288,70 @@ func BenchmarkAblationTopKSearch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := e.TopKSearch(context.Background(), p, i%n, 10, 1e-3); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotBoot measures what the durability layer buys at boot.
+// "cold" materializes the working-set chain matrices from the raw graph —
+// the Section 4.6 offline computation a fresh process must repeat.
+// "warm" restores the same matrices from a snapshot: parse and checksum
+// the container, validate the graph fingerprint, decode the sparse
+// matrices, and import them into a fresh engine — the path hetesimd takes
+// at startup when -snapshot-path names a matching snapshot.
+func BenchmarkSnapshotBoot(b *testing.B) {
+	ds := complexityGraph(3000)
+	g := ds.Graph
+	// The working set that makes warm starts matter: the long chain's
+	// materialization is real SpGEMM work, not a few sparse products.
+	paths := []*metapath.Path{
+		metapath.MustParse(g.Schema(), "APCPA"),
+		metapath.MustParse(g.Schema(), "APCPAPCPA"),
+	}
+	precompute := func(e *core.Engine) {
+		for _, p := range paths {
+			if err := e.Precompute(context.Background(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	// Build the snapshot once, outside every timed region.
+	fingerprint := g.Fingerprint()
+	donor := core.NewEngine(g)
+	precompute(donor)
+	snap := &snapshot.Snapshot{Fingerprint: fingerprint, PruneEps: donor.PruneEps()}
+	if err := snapshot.EncodeChains(snap, donor.ExportChains()); err != nil {
+		b.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := snapshot.Write(&blob, snap); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			precompute(core.NewEngine(g))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.SetBytes(int64(blob.Len()))
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g)
+			s, err := snapshot.Read(bytes.NewReader(blob.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.CheckCompat(fingerprint, e.PruneEps()); err != nil {
+				b.Fatal(err)
+			}
+			chains, err := snapshot.DecodeChains(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n := e.ImportChains(chains); n == 0 {
+				b.Fatal("warm boot imported no chains")
 			}
 		}
 	})

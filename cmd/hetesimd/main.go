@@ -7,6 +7,7 @@
 //	         [-query-timeout 10s] [-max-inflight 256] [-shutdown-grace 15s]
 //	         [-max-body-bytes 1048576] [-degrade-walks 20000] [-cache-limit 0]
 //	         [-slowlog-threshold 1s] [-slowlog-size 128] [-debug-addr ""]
+//	         [-snapshot-path chains.snap] [-snapshot-save-interval 5m]
 //
 // -precompute materializes the listed relevance paths in the background at
 // startup (the offline materialization of Section 4.6 of the paper);
@@ -16,6 +17,15 @@
 // exact hetesim query degrades to -degrade-walks Monte Carlo walks
 // (response marked "approximate": true; 0 disables the fallback).
 // SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace.
+//
+// Durability: -snapshot-path names a checksummed snapshot of the engine's
+// materialized chain matrices. At boot the daemon warm-starts from it when
+// it matches the graph (a corrupt or mismatched snapshot is rejected and
+// logged, never served); it is rewritten crash-safely after startup
+// materialization, every -snapshot-save-interval, and on shutdown.
+// SIGHUP (or POST /v1/admin/reload) re-reads -graph and swaps the new
+// graph in atomically — in-flight queries finish on the old graph, not
+// one request fails, and a bad replacement leaves the old graph serving.
 //
 // Observability: Prometheus metrics are served at GET /metrics on the
 // main listener, queries slower than -slowlog-threshold are retained
@@ -56,6 +66,8 @@ func main() {
 		slowThreshold = flag.Duration("slowlog-threshold", time.Second, "retain /v1 queries slower than this in the slow-query log (0 disables)")
 		slowSize      = flag.Int("slowlog-size", 128, "slow-query log ring capacity")
 		debugAddr     = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; do not expose publicly)")
+		snapshotPath  = flag.String("snapshot-path", "", "chain-cache snapshot file for warm starts (empty disables)")
+		snapshotEvery = flag.Duration("snapshot-save-interval", 5*time.Minute, "how often to persist the chain cache (0 disables the periodic save)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -80,17 +92,32 @@ func main() {
 		server.WithDegradedTopK(*degradeWalks),
 		server.WithEngineOptions(core.WithCacheLimit(*cacheLimit)),
 		server.WithSlowLog(*slowThreshold, *slowSize),
+		server.WithSnapshotPath(*snapshotPath),
+		server.WithReloadFrom(*graphPath),
 	)
-	if *precompute != "" {
-		var specs []string
-		for _, spec := range strings.Split(*precompute, ",") {
-			specs = append(specs, strings.TrimSpace(spec))
+
+	// Warm-start from the snapshot before materialization kicks off: paths
+	// already in the snapshot then cost nothing to "materialize" again. A
+	// bad snapshot is logged and skipped — recompute is always correct.
+	if *snapshotPath != "" {
+		if warm, err := srv.WarmStart(); err != nil {
+			log.Printf("hetesimd: snapshot rejected, starting cold: %v", err)
+		} else if warm {
+			log.Printf("hetesimd: warm start from %s", *snapshotPath)
 		}
-		// Materialization runs in the background; /readyz flips to 200
-		// once it finishes. A malformed path still fails startup here.
-		if err := srv.PrecomputeBackground(specs, log.Printf); err != nil {
-			log.Fatal("hetesimd: ", err)
+	}
+
+	var specs []string
+	for _, spec := range strings.Split(*precompute, ",") {
+		if spec = strings.TrimSpace(spec); spec != "" {
+			specs = append(specs, spec)
 		}
+	}
+	// Materialization runs in the background; /readyz flips to 200 once it
+	// finishes (immediately with no paths). A malformed path still fails
+	// startup here.
+	if err := srv.PrecomputeBackground(specs, log.Printf); err != nil {
+		log.Fatal("hetesimd: ", err)
 	}
 
 	httpSrv := &http.Server{
@@ -122,6 +149,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP hot-reloads the graph file: the replacement is validated off
+	// to the side and swapped in atomically, so a bad file (or a crash
+	// mid-rewrite of it) leaves the old graph serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Printf("hetesimd: SIGHUP: reloading %s", *graphPath)
+			res, err := srv.Reload(context.Background())
+			if err != nil {
+				log.Printf("hetesimd: reload failed, old graph keeps serving: %v", err)
+				continue
+			}
+			log.Printf("hetesimd: reloaded %d nodes, %d edges (fingerprint %s, %d warm chains) in %s",
+				res.Nodes, res.Edges, res.Fingerprint, res.WarmChains, res.Duration.Round(time.Millisecond))
+		}
+	}()
+
+	// Periodic snapshot saves bound the materialization work lost to a
+	// crash to one interval.
+	if *snapshotPath != "" && *snapshotEvery > 0 {
+		go srv.RunSnapshotSaver(ctx, *snapshotEvery, log.Printf)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("hetesimd: listening on %s", *addr)
@@ -134,8 +185,16 @@ func main() {
 		log.Printf("hetesimd: shutting down, draining for up to %s", *shutdownGrace)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
-		if err := httpSrv.Shutdown(drainCtx); err != nil {
-			log.Printf("hetesimd: drain incomplete: %v", err)
+		drainErr := httpSrv.Shutdown(drainCtx)
+		if *snapshotPath != "" {
+			if err := srv.SaveSnapshot(); err != nil {
+				log.Printf("hetesimd: final snapshot save: %v", err)
+			} else {
+				log.Printf("hetesimd: chain cache saved to %s", *snapshotPath)
+			}
+		}
+		if drainErr != nil {
+			log.Printf("hetesimd: drain incomplete: %v", drainErr)
 			httpSrv.Close()
 			os.Exit(1)
 		}

@@ -1,0 +1,206 @@
+// Package chaos provides deterministic fault injection for the durability
+// layer: io.Reader/io.Writer wrappers that fail, truncate, stall, or
+// fragment at chosen byte offsets, a filesystem shim implementing
+// snapshot.FS that injects write failures (ENOSPC, kill-mid-write), torn
+// renames, and failed syncs, and a seeded offset generator so a recovery
+// test matrix sweeps reproducible fault points.
+//
+// Everything here is deterministic given its construction parameters: the
+// same seed produces the same fault schedule, so a failing matrix entry
+// replays exactly.
+package chaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ErrInjected is the default error returned by injected faults. Tests can
+// substitute their own (e.g. syscall.ENOSPC) to model specific failures.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// failWriter fails once n total bytes have been written through it. The
+// write that crosses the boundary writes the prefix up to byte n and then
+// returns the injected error with a short count — exactly a torn write: the
+// bytes before the fault hit the underlying writer, the rest never exist.
+type failWriter struct {
+	w       io.Writer
+	n       int64
+	err     error
+	written int64
+}
+
+// FailWriter returns a writer that passes the first n bytes through to w
+// and fails every write after that with err (ErrInjected if err is nil).
+func FailWriter(w io.Writer, n int64, err error) io.Writer {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &failWriter{w: w, n: n, err: err}
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	remain := f.n - f.written
+	if remain <= 0 {
+		return 0, f.err
+	}
+	if int64(len(p)) <= remain {
+		n, err := f.w.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.w.Write(p[:remain])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, f.err
+}
+
+// failReader mirrors failWriter for reads: the first n bytes flow through,
+// then every read fails with err.
+type failReader struct {
+	r    io.Reader
+	n    int64
+	err  error
+	read int64
+}
+
+// FailReader returns a reader that yields the first n bytes of r and fails
+// afterwards with err (ErrInjected if nil).
+func FailReader(r io.Reader, n int64, err error) io.Reader {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &failReader{r: r, n: n, err: err}
+}
+
+func (f *failReader) Read(p []byte) (int, error) {
+	remain := f.n - f.read
+	if remain <= 0 {
+		return 0, f.err
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := f.r.Read(p)
+	f.read += int64(n)
+	return n, err
+}
+
+// ShortReader yields the first n bytes of r and then reports a clean EOF —
+// a truncated file rather than an I/O error, the harder case for a decoder
+// because nothing looks wrong until the bytes simply end.
+func ShortReader(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }
+
+// partialWriter fragments writes: each call forwards at most chunk bytes
+// and reports the short count with a nil error — a deliberate io.Writer
+// contract violation that flushes out callers ignoring short counts
+// (contract-respecting plumbing like io.Copy turns it into ErrShortWrite).
+type partialWriter struct {
+	w     io.Writer
+	chunk int
+}
+
+// PartialWriter returns a writer that accepts at most chunk bytes per
+// Write call, forcing callers through the short-write path.
+func PartialWriter(w io.Writer, chunk int) io.Writer {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &partialWriter{w: w, chunk: chunk}
+}
+
+func (p *partialWriter) Write(b []byte) (int, error) {
+	if len(b) > p.chunk {
+		b = b[:p.chunk]
+	}
+	return p.w.Write(b)
+}
+
+// slowWriter sleeps before every write — a disk with terrible latency, for
+// exercising timeouts around persistence.
+type slowWriter struct {
+	w io.Writer
+	d time.Duration
+}
+
+// SlowWriter returns a writer that sleeps d before every Write.
+func SlowWriter(w io.Writer, d time.Duration) io.Writer { return &slowWriter{w: w, d: d} }
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.d)
+	return s.w.Write(p)
+}
+
+// slowReader sleeps before every read.
+type slowReader struct {
+	r io.Reader
+	d time.Duration
+}
+
+// SlowReader returns a reader that sleeps d before every Read.
+func SlowReader(r io.Reader, d time.Duration) io.Reader { return &slowReader{r: r, d: d} }
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.d)
+	return s.r.Read(p)
+}
+
+// corruptReader flips one bit at a byte offset in the stream.
+type corruptReader struct {
+	r      io.Reader
+	offset int64
+	mask   byte
+	pos    int64
+}
+
+// CorruptReader returns a reader that flips mask's bits into the byte at
+// the given stream offset — a model of at-rest bit rot the checksums must
+// catch. A zero mask flips the low bit.
+func CorruptReader(r io.Reader, offset int64, mask byte) io.Reader {
+	if mask == 0 {
+		mask = 1
+	}
+	return &corruptReader{r: r, offset: offset, mask: mask}
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.offset >= c.pos && c.offset < c.pos+int64(n) {
+		p[c.offset-c.pos] ^= c.mask
+	}
+	c.pos += int64(n)
+	return n, err
+}
+
+// Offsets returns count distinct pseudo-random byte offsets in [0, max),
+// deterministic for a given seed, sorted ascending. When max <= count every
+// offset in range is returned — a full sweep.
+func Offsets(seed, max int64, count int) []int64 {
+	if max <= 0 {
+		return nil
+	}
+	if int64(count) >= max {
+		out := make([]int64, max)
+		for i := range out {
+			out[i] = int64(i)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int64]bool, count)
+	out := make([]int64, 0, count)
+	for len(out) < count {
+		v := rng.Int63n(max)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFailWriterTearsAtBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailWriter(&buf, 5, nil)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("underlying writer got %q, want the torn prefix", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault Write = (%d, %v)", n, err)
+	}
+}
+
+func TestFailReaderAndShortReader(t *testing.T) {
+	r := FailReader(strings.NewReader("abcdef"), 4, nil)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) || string(got) != "abcd" {
+		t.Fatalf("FailReader = (%q, %v)", got, err)
+	}
+	got, err = io.ReadAll(ShortReader(strings.NewReader("abcdef"), 4))
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("ShortReader = (%q, %v)", got, err)
+	}
+}
+
+func TestPartialWriterFragments(t *testing.T) {
+	var buf bytes.Buffer
+	w := PartialWriter(&buf, 3)
+	if n, err := w.Write([]byte("abcdefgh")); n != 3 || err != nil {
+		t.Fatalf("Write = (%d, %v), want short count 3", n, err)
+	}
+	// A contract-respecting copier surfaces the short write instead of
+	// silently losing bytes — the bug class this wrapper exists to catch.
+	if _, err := io.Copy(w, strings.NewReader("rest")); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("io.Copy err = %v, want ErrShortWrite", err)
+	}
+	if buf.String() != "abcres" {
+		t.Fatalf("underlying writer got %q", buf.String())
+	}
+}
+
+func TestCorruptReaderFlipsOneBit(t *testing.T) {
+	src := bytes.Repeat([]byte{0}, 16)
+	got, err := io.ReadAll(CorruptReader(bytes.NewReader(src), 9, 0x20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0)
+		if i == 9 {
+			want = 0x20
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestOffsetsDeterministicAndBounded(t *testing.T) {
+	a := Offsets(1, 1000, 20)
+	b := Offsets(1, 1000, 20)
+	if len(a) != 20 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different offsets")
+		}
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("offset %d out of range", a[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatal("offsets not strictly ascending")
+		}
+	}
+	if full := Offsets(9, 5, 100); len(full) != 5 {
+		t.Fatalf("full sweep len = %d, want 5", len(full))
+	}
+}

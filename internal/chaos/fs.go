@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"sync"
+
+	"hetesim/internal/snapshot"
+)
+
+// FS implements snapshot.FS over the real filesystem with injectable
+// faults: a byte-metered write failure shared across every file the FS
+// creates (kill-mid-write / ENOSPC at byte N of a save), failed fsyncs,
+// torn renames, and failed temp-file creation. All knobs are settable
+// between operations; the zero configuration injects nothing and behaves
+// exactly like snapshot.OS.
+type FS struct {
+	real snapshot.OS
+
+	mu          sync.Mutex
+	written     int64 // bytes written across all files since construction/reset
+	failWriteAt int64 // fail writes once written reaches this; <0 disables
+	writeErr    error
+	syncErr     error // returned by File.Sync and SyncDir when set
+	renameErr   error // returned by Rename when set
+	createErr   error // returned by CreateTemp when set
+}
+
+// NewFS returns a chaos FS with no faults armed.
+func NewFS() *FS {
+	return &FS{failWriteAt: -1}
+}
+
+// FailWriteAt arms a write failure: once n total bytes have been written
+// through files created by this FS, further writes fail with err
+// (ErrInjected if nil). The write crossing byte n is torn — its prefix
+// reaches the disk. Pass n < 0 to disarm.
+func (f *FS) FailWriteAt(n int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.failWriteAt, f.writeErr, f.written = n, err, 0
+}
+
+// FailSync makes File.Sync and SyncDir fail with err (ErrInjected if nil);
+// nil via DisarmAll restores normal behavior.
+func (f *FS) FailSync(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.syncErr = err
+}
+
+// FailRename makes Rename fail with err (ErrInjected if nil) — the torn
+// "crash between write and publish" point of the save protocol.
+func (f *FS) FailRename(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.renameErr = err
+}
+
+// FailCreate makes CreateTemp fail with err (ErrInjected if nil).
+func (f *FS) FailCreate(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.createErr = err
+}
+
+// DisarmAll clears every armed fault and resets the byte meter.
+func (f *FS) DisarmAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAt, f.writeErr = -1, nil
+	f.syncErr, f.renameErr, f.createErr = nil, nil, nil
+	f.written = 0
+}
+
+// Written reports the total bytes written through this FS since the last
+// FailWriteAt arming or DisarmAll — used by sweeps to size their offsets.
+func (f *FS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (snapshot.File, error) {
+	f.mu.Lock()
+	err := f.createErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	file, ferr := f.real.CreateTemp(dir, pattern)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &chaosFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Open(name string) (snapshot.File, error) { return f.real.Open(name) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.renameErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.real.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error { return f.real.Remove(name) }
+
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	err := f.syncErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.real.SyncDir(dir)
+}
+
+// chaosFile meters writes against the FS's armed write fault.
+type chaosFile struct {
+	snapshot.File
+	fs *FS
+}
+
+func (c *chaosFile) Write(p []byte) (int, error) {
+	c.fs.mu.Lock()
+	limit, werr := c.fs.failWriteAt, c.fs.writeErr
+	written := c.fs.written
+	c.fs.mu.Unlock()
+
+	allow := int64(len(p))
+	injected := false
+	if limit >= 0 {
+		remain := limit - written
+		if remain < allow {
+			allow = remain
+			injected = true
+		}
+		if allow < 0 {
+			allow = 0
+		}
+	}
+	n := 0
+	var err error
+	if allow > 0 {
+		n, err = c.File.Write(p[:allow])
+	}
+	c.fs.mu.Lock()
+	c.fs.written += int64(n)
+	c.fs.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if injected {
+		return n, werr
+	}
+	return n, nil
+}
+
+func (c *chaosFile) Sync() error {
+	c.fs.mu.Lock()
+	err := c.fs.syncErr
+	c.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.File.Sync()
+}

@@ -737,6 +737,47 @@ func (e *Engine) CacheStats() CacheInfo {
 // that produced them.
 func (e *Engine) CacheLimit() int { return e.cacheLimit }
 
+// PruneEps returns the WithPruning epsilon the engine's matrices are built
+// with. Snapshot validation records it because pruned and exact chains are
+// different matrices: a snapshot is only loadable into an engine with the
+// same epsilon.
+func (e *Engine) PruneEps() float64 { return e.pruneEps }
+
+// ExportChains returns the engine's materialized chain matrices keyed by
+// chain cache key — the state worth persisting across restarts (Section
+// 4.6's offline materialization). Matrices are immutable and shared, so the
+// export is cheap and safe under concurrent queries.
+func (e *Engine) ExportChains() map[string]*sparse.Matrix {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]*sparse.Matrix, len(e.reach))
+	for k, m := range e.reach {
+		out[k] = m
+	}
+	return out
+}
+
+// ImportChains installs previously exported chain matrices in the cache,
+// returning how many were admitted. Keys and matrices must come from an
+// engine over the same graph with the same pruning epsilon — the snapshot
+// layer enforces this with the graph fingerprint before calling. Row norms
+// are recomputed lazily on first use. A non-caching engine ignores the
+// import entirely.
+func (e *Engine) ImportChains(chains map[string]*sparse.Matrix) int {
+	if !e.caching {
+		return 0
+	}
+	n := 0
+	for k, m := range chains {
+		if m == nil {
+			continue
+		}
+		e.cachePut(k, m)
+		n++
+	}
+	return n
+}
+
 // ClearCache drops all cached matrices and norms.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()

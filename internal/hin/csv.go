@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -17,6 +18,11 @@ import (
 // against the provided schema; a missing weight means 1. A header line is
 // skipped when its first field names no schema relation. Blank lines and
 // lines starting with '#' are ignored.
+//
+// The loader is strict so bad data fails at ingest, not as a wrong score
+// later: every rejected record — unknown relation, empty node ID, or a
+// weight that is not a finite positive number — is reported with the line
+// it came from.
 func ReadCSV(r io.Reader, schema *Schema) (*Graph, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // validated per record: 3 or 4 fields
@@ -32,11 +38,12 @@ func ReadCSV(r io.Reader, schema *Schema) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hin: reading CSV: %w", err)
 		}
+		line, _ := cr.FieldPos(0)
 		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
 			continue
 		}
 		if len(rec) != 3 && len(rec) != 4 {
-			return nil, fmt.Errorf("hin: CSV record %v has %d fields, want 3 or 4", rec, len(rec))
+			return nil, fmt.Errorf("hin: CSV line %d: record %v has %d fields, want 3 or 4", line, rec, len(rec))
 		}
 		relName := strings.TrimSpace(rec[0])
 		if first {
@@ -46,16 +53,24 @@ func ReadCSV(r io.Reader, schema *Schema) (*Graph, error) {
 			}
 		}
 		if _, err := schema.RelationByName(relName); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("hin: CSV line %d: %w", line, err)
+		}
+		src, dst := strings.TrimSpace(rec[1]), strings.TrimSpace(rec[2])
+		if src == "" || dst == "" {
+			return nil, fmt.Errorf("hin: CSV line %d: empty node id in edge %s(%q->%q)", line, relName, src, dst)
 		}
 		w := 1.0
 		if len(rec) == 4 {
 			w, err = strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
 			if err != nil {
-				return nil, fmt.Errorf("hin: CSV weight %q: %w", rec[3], err)
+				return nil, fmt.Errorf("hin: CSV line %d: weight %q: %w", line, rec[3], err)
 			}
 		}
-		b.AddWeightedEdge(relName, strings.TrimSpace(rec[1]), strings.TrimSpace(rec[2]), w)
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("hin: CSV line %d: edge %s(%s->%s) has invalid weight %v: want a finite positive number",
+				line, relName, src, dst, w)
+		}
+		b.AddWeightedEdge(relName, src, dst, w)
 	}
 	return b.Build()
 }

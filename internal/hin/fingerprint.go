@@ -1,0 +1,64 @@
+package hin
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"math"
+	"sort"
+)
+
+// Fingerprint returns a deterministic 64-bit digest of the graph: schema
+// types and relations, node identifiers in index order, and every adjacency
+// triplet in CSR order. Two graphs share a fingerprint exactly when their
+// index-addressed contents are identical, which is the property snapshot
+// validation needs — materialized chain matrices are addressed by node
+// index, so a snapshot is only safe to load into a graph whose node
+// numbering and edges match the graph that produced it (Defs. 1–2: the
+// network and its type/relation structure).
+func (g *Graph) Fingerprint() uint64 {
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	var num [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(num[:], v)
+		h.Write(num[:])
+	}
+	writeStr := func(s string) {
+		writeInt(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	types := g.schema.Types()
+	sort.Slice(types, func(i, j int) bool { return types[i].Name < types[j].Name })
+	writeInt(uint64(len(types)))
+	for _, t := range types {
+		writeStr(t.Name)
+		writeInt(uint64(t.Abbrev))
+		ids := g.nodes[t.Name]
+		writeInt(uint64(len(ids)))
+		for _, id := range ids {
+			writeStr(id)
+		}
+	}
+
+	rels := g.schema.Relations()
+	sort.Slice(rels, func(i, j int) bool { return rels[i].Name < rels[j].Name })
+	writeInt(uint64(len(rels)))
+	for _, r := range rels {
+		writeStr(r.Name)
+		writeStr(r.Source)
+		writeStr(r.Target)
+		m := g.adj[r.Name]
+		if m == nil {
+			writeInt(0)
+			continue
+		}
+		ts := m.Triplets()
+		writeInt(uint64(len(ts)))
+		for _, t := range ts {
+			writeInt(uint64(t.Row))
+			writeInt(uint64(t.Col))
+			writeInt(math.Float64bits(t.Val))
+		}
+	}
+	return h.Sum64()
+}

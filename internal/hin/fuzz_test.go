@@ -28,6 +28,13 @@ func FuzzRead(f *testing.F) {
 	f.Add(`not json`)
 	f.Add(`{"version":1,"types":[{"name":"a"}],"relations":[{"name":"r","source":"a","target":"zzz"}]}`)
 	f.Add(`{"version":1,"types":[{"name":"a"},{"name":"b"}],"relations":[{"name":"r","source":"a","target":"b"}],"nodes":{"a":["x"],"b":["y"]},"edges":{"r":[{"s":9,"t":0}]}}`)
+	// Hardening seeds: duplicate node ids, empty ids, negative weights,
+	// node/edge lists for undeclared names.
+	f.Add(`{"version":1,"types":[{"name":"a"}],"relations":[],"nodes":{"a":["x","x"]},"edges":{}}`)
+	f.Add(`{"version":1,"types":[{"name":"a"}],"relations":[],"nodes":{"a":[""]},"edges":{}}`)
+	f.Add(`{"version":1,"types":[{"name":"a"},{"name":"b"}],"relations":[{"name":"r","source":"a","target":"b"}],"nodes":{"a":["x"],"b":["y"]},"edges":{"r":[{"s":0,"t":0,"w":-1}]}}`)
+	f.Add(`{"version":1,"types":[{"name":"a"}],"relations":[],"nodes":{"ghost":["x"]},"edges":{}}`)
+	f.Add(`{"version":1,"types":[{"name":"a"}],"relations":[],"nodes":{},"edges":{"ghost":[]}}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		g, err := Read(strings.NewReader(data))
@@ -44,6 +51,52 @@ func FuzzRead(f *testing.F) {
 		}
 		if g2.TotalNodes() != g.TotalNodes() || g2.TotalEdges() != g.TotalEdges() {
 			t.Fatalf("round trip changed sizes: %s vs %s", g2.Stats(), g.Stats())
+		}
+		if g2.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("round trip changed fingerprint: %016x vs %016x", g2.Fingerprint(), g.Fingerprint())
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV loader never panics and that anything it
+// accepts survives a CSV round trip with sizes intact.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("relation,source,target,weight\nr,x,y,1\nr,x,z,2.5\n")
+	f.Add("r,x,y\n")
+	f.Add("r,x,y,0\n")
+	f.Add("r,x,y,-3\n")
+	f.Add("r,x,y,NaN\n")
+	f.Add("r,x,y,+Inf\n")
+	f.Add("r,,y\n")
+	f.Add("bogus,x,y\n")
+	f.Add("# comment\n\nr,x,y\n")
+	f.Add("r,x\n")
+	f.Add("r,x,y,1,extra\n")
+	f.Add("r,\"x\"\"quoted\",y\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s := NewSchema()
+		s.MustAddType("a", 'A')
+		s.MustAddType("b", 'B')
+		s.MustAddRelation("r", "a", "b")
+		g, err := ReadCSV(strings.NewReader(data), s)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, g); err != nil {
+			t.Fatalf("accepted graph does not serialize: %v", err)
+		}
+		s2 := NewSchema()
+		s2.MustAddType("a", 'A')
+		s2.MustAddType("b", 'B')
+		s2.MustAddRelation("r", "a", "b")
+		g2, err := ReadCSV(bytes.NewReader(out.Bytes()), s2)
+		if err != nil {
+			t.Fatalf("round trip fails to parse: %v", err)
+		}
+		if g2.TotalEdges() != g.TotalEdges() {
+			t.Fatalf("round trip changed edges: %s vs %s", g2.Stats(), g.Stats())
 		}
 	})
 }

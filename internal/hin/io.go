@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // fileFormat is the on-disk JSON representation of a graph. Edge weights of
@@ -92,22 +93,51 @@ func Read(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
+	// Keys that name no declared type or relation would be dropped on the
+	// floor; a file that carries them is malformed, not merely verbose.
+	for name := range ff.Nodes {
+		if !s.HasType(name) {
+			return nil, fmt.Errorf("hin: node list for undeclared type %q", name)
+		}
+	}
+	for name := range ff.Edges {
+		if _, err := s.RelationByName(name); err != nil {
+			return nil, fmt.Errorf("hin: edge list for undeclared relation %q", name)
+		}
+	}
 	b := NewBuilder(s)
 	for _, t := range ff.Types {
-		for _, id := range ff.Nodes[t.Name] {
+		// A duplicate node ID would silently collapse onto its first
+		// occurrence and shift the index of every node after it — so each
+		// edge written against the original indices would land on the wrong
+		// endpoint. Reject the file instead of building a subtly wrong graph.
+		seen := make(map[string]int, len(ff.Nodes[t.Name]))
+		for i, id := range ff.Nodes[t.Name] {
+			if id == "" {
+				return nil, fmt.Errorf("hin: type %q node %d has an empty id", t.Name, i)
+			}
+			if j, dup := seen[id]; dup {
+				return nil, fmt.Errorf("hin: type %q has duplicate node id %q (entries %d and %d)", t.Name, id, j, i)
+			}
+			seen[id] = i
 			b.AddNode(t.Name, id)
 		}
 	}
 	for _, rel := range ff.Relations {
 		nodesS := ff.Nodes[rel.Source]
 		nodesT := ff.Nodes[rel.Target]
-		for _, e := range ff.Edges[rel.Name] {
+		for i, e := range ff.Edges[rel.Name] {
 			if e.Src < 0 || e.Src >= len(nodesS) || e.Dst < 0 || e.Dst >= len(nodesT) {
-				return nil, fmt.Errorf("hin: edge (%d,%d) out of range for relation %q", e.Src, e.Dst, rel.Name)
+				return nil, fmt.Errorf("hin: relation %q edge %d references unknown node (%d,%d): have %d source and %d target nodes",
+					rel.Name, i, e.Src, e.Dst, len(nodesS), len(nodesT))
 			}
 			w := e.Weight
 			if w == 0 {
 				w = 1
+			}
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("hin: relation %q edge %d (%s->%s) has invalid weight %v: want a finite positive number",
+					rel.Name, i, nodesS[e.Src], nodesT[e.Dst], w)
 			}
 			b.AddWeightedEdge(rel.Name, nodesS[e.Src], nodesT[e.Dst], w)
 		}

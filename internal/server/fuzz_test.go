@@ -44,7 +44,7 @@ func FuzzDecodeQuery(f *testing.F) {
 			v.Set("raw", raw)
 		}
 		r := httptest.NewRequest("GET", "/v1/topk?"+v.Encode(), nil)
-		q, err := s.decodeQuery(r)
+		q, err := s.decodeQuery(s.current(), r)
 		if err != nil {
 			return
 		}

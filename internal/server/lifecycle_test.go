@@ -272,26 +272,41 @@ func TestGracefulShutdownDrain(t *testing.T) {
 	}
 }
 
-// TestReadiness checks the liveness/readiness split: /readyz answers 503
-// while background materialization runs and 200 once it finishes, while
-// /healthz stays 200 throughout.
+// TestReadiness checks the liveness/readiness lifecycle: a fresh server
+// reports cold (503), a warmup with no work flips straight to ready, and
+// background materialization passes through warming before landing on
+// ready — while /healthz stays 200 throughout.
 func TestReadiness(t *testing.T) {
 	srv, ts := lifecycleServer(t)
-	if !srv.Ready() {
-		t.Fatal("server not ready with no precompute pending")
+	if srv.Ready() {
+		t.Fatal("fresh server already ready; want cold until warmup runs")
 	}
 	var body map[string]string
-	getJSON(t, ts.URL+"/readyz", http.StatusOK, &body)
-	if body["status"] != "ready" {
-		t.Errorf("readyz = %v", body)
+	getJSON(t, ts.URL+"/readyz", http.StatusServiceUnavailable, &body)
+	if body["status"] != "cold" {
+		t.Errorf("readyz on fresh server = %v, want cold", body)
 	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &body)
 
-	// A malformed spec fails synchronously and does not wedge readiness.
+	// A malformed spec fails synchronously and does not mark the server
+	// ready by accident.
 	if err := srv.PrecomputeBackground([]string{"not a path"}, t.Logf); err == nil {
 		t.Fatal("PrecomputeBackground accepted a malformed path")
 	}
+	if srv.Ready() {
+		t.Fatal("failed parse marked server ready")
+	}
+
+	// Nothing to materialize: ready immediately.
+	if err := srv.PrecomputeBackground(nil, t.Logf); err != nil {
+		t.Fatal(err)
+	}
 	if !srv.Ready() {
-		t.Fatal("failed parse left server not ready")
+		t.Fatal("empty warmup left server not ready")
+	}
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &body)
+	if body["status"] != "ready" {
+		t.Errorf("readyz = %v", body)
 	}
 
 	if err := srv.PrecomputeBackground([]string{"APC", "APCPA"}, t.Logf); err != nil {

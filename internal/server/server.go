@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"hetesim/internal/metapath"
 	"hetesim/internal/obs"
 	"hetesim/internal/rank"
+	"hetesim/internal/snapshot"
 )
 
 // HTTP-layer observability, reported into the process-wide registry next
@@ -55,14 +57,13 @@ var (
 // whose client went away before the response was ready.
 const StatusClientClosedRequest = 499
 
-// Server answers relevance queries over one graph. It is safe for
-// concurrent use: all underlying engines are.
+// Server answers relevance queries over one graph generation at a time.
+// It is safe for concurrent use: all underlying engines are, and the
+// serving engine set sits behind an atomic pointer so an admin reload (or
+// SIGHUP) swaps the whole graph without failing a single in-flight query —
+// requests resolve the set once at entry and drain against it.
 type Server struct {
-	g       *hin.Graph
-	engine  *core.Engine
-	raw     *core.Engine
-	pcrw    *baseline.PCRW
-	pathsim *baseline.PathSim
+	cur     atomic.Pointer[engineSet]
 	mux     *http.ServeMux
 	handler http.Handler
 
@@ -78,8 +79,20 @@ type Server struct {
 	slowCapacity  int           // slow-query log ring size
 	slowlog       *obs.SlowLog  // nil when disabled
 
+	snapshotPath string      // chain-cache snapshot location; "" disables
+	graphPath    string      // graph file re-read on Reload; "" disables
+	fsys         snapshot.FS // injectable for fault-injection tests
+	logf         func(string, ...any)
+
+	saveMu   sync.Mutex // serializes SaveSnapshot
+	reloadMu sync.Mutex // serializes Reload
+	specMu   sync.Mutex // guards precomputeSpecs
+	// precomputeSpecs are the boot-time materialization paths, kept so a
+	// hot-reload can re-warm the replacement graph.
+	precomputeSpecs []string
+
 	inflight chan struct{}
-	ready    atomic.Bool
+	state    atomic.Int32 // ReadyState
 }
 
 // Option configures a Server.
@@ -123,16 +136,37 @@ func WithSlowLog(threshold time.Duration, capacity int) Option {
 	return func(s *Server) { s.slowThreshold, s.slowCapacity = threshold, capacity }
 }
 
-// New creates a Server over g.
+// WithSnapshotPath points the server at its chain-cache snapshot: WarmStart
+// loads it at boot, SaveSnapshot/RunSnapshotSaver persist to it, and
+// reloads try to re-warm from it. Empty (the default) disables snapshots.
+func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapshotPath = path } }
+
+// WithReloadFrom names the graph file POST /v1/admin/reload (and SIGHUP in
+// the daemon) re-reads. Empty (the default) disables hot-reload.
+func WithReloadFrom(graphPath string) Option { return func(s *Server) { s.graphPath = graphPath } }
+
+// WithSnapshotFS substitutes the filesystem used for snapshot I/O —
+// the hook the fault-injection tests use. Defaults to the real filesystem.
+func WithSnapshotFS(fsys snapshot.FS) Option { return func(s *Server) { s.fsys = fsys } }
+
+// WithLogf sets the server's background logger (reload re-warm, snapshot
+// saves). Defaults to log.Printf.
+func WithLogf(logf func(string, ...any)) Option { return func(s *Server) { s.logf = logf } }
+
+// New creates a Server over g. The server starts in StateCold: construct,
+// then optionally WarmStart from a snapshot, then PrecomputeBackground
+// (which flips to ready — immediately when there is nothing to
+// materialize) or MarkReady directly.
 func New(g *hin.Graph, opts ...Option) *Server {
 	s := &Server{
-		g:             g,
 		mux:           http.NewServeMux(),
 		maxBody:       1 << 20,
 		maxPathSteps:  128,
 		degradeGrace:  2 * time.Second,
 		slowThreshold: time.Second,
 		slowCapacity:  128,
+		fsys:          snapshot.OS{},
+		logf:          log.Printf,
 	}
 	for _, o := range opts {
 		o(s)
@@ -140,15 +174,11 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	if s.slowThreshold > 0 {
 		s.slowlog = obs.NewSlowLog(s.slowThreshold, s.slowCapacity)
 	}
-	e := core.NewEngine(g, s.engineOpts...)
-	s.engine = e
-	s.raw = core.NewEngine(g, append(append([]core.Option(nil), s.engineOpts...), core.WithNormalization(false))...)
-	s.pcrw = baseline.NewPCRWFromEngine(e)
-	s.pathsim = baseline.NewPathSim(g)
+	s.cur.Store(s.newEngineSet(g))
+	s.setState(StateCold)
 	if s.maxInflight > 0 {
 		s.inflight = make(chan struct{}, s.maxInflight)
 	}
-	s.ready.Store(true)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("GET /metrics", obs.Default().Handler())
@@ -159,6 +189,7 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.handler = s.buildHandler()
 	return s
 }
@@ -182,7 +213,12 @@ func (s *Server) buildHandler() http.Handler {
 	return h
 }
 
-func isQueryPath(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
+// isQueryPath selects the /v1 query surface for the robustness middleware
+// (deadline, shedding, slow log). Admin endpoints are excluded: a reload
+// must not be shed under load or cut off by the query deadline.
+func isQueryPath(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/v1/") && !strings.HasPrefix(r.URL.Path, "/v1/admin/")
+}
 
 // routeLabel maps a request path to a bounded label value: the fixed
 // route set keeps /metrics cardinality constant no matter what paths
@@ -191,7 +227,8 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/schema", "/v1/stats", "/v1/slowlog",
-		"/v1/pair", "/v1/topk", "/v1/explain", "/v1/why":
+		"/v1/pair", "/v1/topk", "/v1/explain", "/v1/why",
+		"/v1/admin/reload":
 		return path
 	}
 	return "other"
@@ -348,54 +385,85 @@ func (s *Server) applyTimeout(next http.Handler) http.Handler {
 	})
 }
 
-// Precompute materializes the given relevance path in the HeteSim engine,
-// so subsequent queries on it are served from cached reaching
-// distributions.
-func (s *Server) Precompute(spec string) error {
-	p, err := metapath.Parse(s.g.Schema(), spec)
+// precomputeOn materializes one relevance path spec in es's HeteSim
+// engine. Reload uses it to re-warm a freshly swapped-in engine set.
+func (s *Server) precomputeOn(es *engineSet, spec string) error {
+	p, err := metapath.Parse(es.g.Schema(), spec)
 	if err != nil {
 		return err
 	}
-	return s.engine.Precompute(context.Background(), p)
+	return es.engine.Precompute(context.Background(), p)
+}
+
+// recordSpec remembers a boot-time materialization path so hot-reloads can
+// re-warm the replacement graph with the same working set.
+func (s *Server) recordSpec(spec string) {
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	for _, have := range s.precomputeSpecs {
+		if have == spec {
+			return
+		}
+	}
+	s.precomputeSpecs = append(s.precomputeSpecs, spec)
+}
+
+// Precompute materializes the given relevance path in the HeteSim engine,
+// so subsequent queries on it are served from cached reaching
+// distributions. The spec is remembered for hot-reload re-warming.
+func (s *Server) Precompute(spec string) error {
+	if err := s.precomputeOn(s.current(), spec); err != nil {
+		return err
+	}
+	s.recordSpec(spec)
+	return nil
 }
 
 // PrecomputeBackground parses specs immediately — so a bad flag still
 // fails fast at startup — then materializes the paths in a background
 // goroutine, keeping startup off the critical path. The server reports
-// not ready (/readyz answers 503) until materialization finishes; a path
-// that fails to materialize is logged and skipped rather than blocking
-// readiness, since its queries can still be answered from cold caches.
+// warming (/readyz answers 503) until materialization finishes, then
+// flips to ready; with no specs it flips immediately. A path that fails
+// to materialize is logged and skipped rather than blocking readiness,
+// since its queries can still be answered from cold caches. After a
+// successful warmup the chain cache is persisted to the snapshot path,
+// so the next boot warm-starts.
 func (s *Server) PrecomputeBackground(specs []string, logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	es := s.current()
 	paths := make([]*metapath.Path, 0, len(specs))
 	for _, spec := range specs {
-		p, err := metapath.Parse(s.g.Schema(), spec)
+		p, err := metapath.Parse(es.g.Schema(), spec)
 		if err != nil {
 			return err
 		}
 		paths = append(paths, p)
+		s.recordSpec(spec)
 	}
 	if len(paths) == 0 {
+		s.MarkReady()
 		return nil
 	}
-	s.ready.Store(false)
+	s.setState(StateWarming)
 	go func() {
 		for _, p := range paths {
-			if err := s.engine.Precompute(context.Background(), p); err != nil {
+			if err := es.engine.Precompute(context.Background(), p); err != nil {
 				logf("server: precomputing %s: %v", p, err)
 				continue
 			}
 			logf("server: materialized %s", p)
 		}
-		s.ready.Store(true)
+		s.MarkReady()
+		if s.snapshotPath != "" {
+			if err := s.SaveSnapshot(); err != nil {
+				logf("server: post-warmup snapshot save: %v", err)
+			}
+		}
 	}()
 	return nil
 }
-
-// Ready reports whether startup materialization has finished.
-func (s *Server) Ready() bool { return s.ready.Load() }
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -443,14 +511,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReady is the readiness probe: 503 while startup materialization
-// is still running, 200 once the server should receive traffic.
+// handleReady is the readiness probe. It reports the lifecycle state by
+// name — cold and warming answer 503 (do not route traffic yet); ready
+// and reloading answer 200 (a reload keeps serving from the old graph).
+// The body also carries the serving graph's fingerprint, so an operator
+// can confirm from the probe alone which generation answered.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	st := s.State()
+	body := map[string]any{
+		"status":      st.String(),
+		"fingerprint": fmt.Sprintf("%016x", s.current().fingerprint),
+	}
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 type schemaBody struct {
@@ -472,16 +548,17 @@ type relationBody struct {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	g := s.current().g
 	var body schemaBody
-	for _, t := range s.g.Schema().Types() {
+	for _, t := range g.Schema().Types() {
 		ab := ""
 		if t.Abbrev != 0 {
 			ab = string(t.Abbrev)
 		}
-		body.Types = append(body.Types, typeBody{Name: t.Name, Abbrev: ab, Count: s.g.NodeCount(t.Name)})
+		body.Types = append(body.Types, typeBody{Name: t.Name, Abbrev: ab, Count: g.NodeCount(t.Name)})
 	}
-	for _, r := range s.g.Schema().Relations() {
-		adj, err := s.g.Adjacency(r.Name)
+	for _, r := range g.Schema().Relations() {
+		adj, err := g.Adjacency(r.Name)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -506,16 +583,18 @@ func addCacheInfo(a, b core.CacheInfo) core.CacheInfo {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	cache := addCacheInfo(s.engine.CacheStats(), s.raw.CacheStats())
+	es := s.current()
+	cache := addCacheInfo(es.engine.CacheStats(), es.raw.CacheStats())
 	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes":           s.g.TotalNodes(),
-		"edges":           s.g.TotalEdges(),
-		"cached_matrices": s.engine.CacheSize() + s.raw.CacheSize(),
+		"nodes":           es.g.TotalNodes(),
+		"edges":           es.g.TotalEdges(),
+		"fingerprint":     fmt.Sprintf("%016x", es.fingerprint),
+		"cached_matrices": es.engine.CacheSize() + es.raw.CacheSize(),
 		"cache":           cache,
 		// The configuration that produced the numbers above, so a stats
 		// snapshot is interpretable on its own.
 		"options": map[string]any{
-			"cache_limit":          s.engine.CacheLimit(),
+			"cache_limit":          es.engine.CacheLimit(),
 			"degrade_walks":        s.degradeWalks,
 			"query_timeout_ms":     float64(s.queryTimeout) / float64(time.Millisecond),
 			"max_inflight":         s.maxInflight,
@@ -553,13 +632,13 @@ type query struct {
 	raw     bool
 }
 
-func (s *Server) decodeQuery(r *http.Request) (query, error) {
+func (s *Server) decodeQuery(es *engineSet, r *http.Request) (query, error) {
 	q := r.URL.Query()
 	spec := q.Get("path")
 	if spec == "" {
 		return query{}, fmt.Errorf("%w: missing path parameter", errBadRequest)
 	}
-	p, err := metapath.Parse(s.g.Schema(), spec)
+	p, err := metapath.Parse(es.g.Schema(), spec)
 	if err != nil {
 		return query{}, err
 	}
@@ -592,14 +671,6 @@ func (s *Server) decodeQuery(r *http.Request) (query, error) {
 	return query{path: p, source: source, measure: measure, raw: raw}, nil
 }
 
-// hetesimEngine picks the engine matching the query's normalization.
-func (s *Server) hetesimEngine(q query) *core.Engine {
-	if q.raw {
-		return s.raw
-	}
-	return s.engine
-}
-
 // degradeCtx returns a fresh context for the degraded plan of a request
 // whose deadline already expired: it inherits the request's values but
 // not its (spent) deadline, bounded by the degradation grace budget.
@@ -627,9 +698,10 @@ type pairBody struct {
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	es := s.current()
 	tr := obs.FromContext(ctx)
 	sp := tr.Start("decode")
-	q, err := s.decodeQuery(r)
+	q, err := s.decodeQuery(es, r)
 	if err != nil {
 		sp.End()
 		writeError(w, err)
@@ -644,16 +716,16 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	var score float64
 	switch q.measure {
 	case "hetesim":
-		score, err = s.hetesimEngine(q).Pair(ctx, q.path, q.source, target)
+		score, err = es.hetesim(q.raw).Pair(ctx, q.path, q.source, target)
 	case "pcrw":
-		score, err = s.pcrw.Pair(ctx, q.path, q.source, target)
+		score, err = es.pcrw.Pair(ctx, q.path, q.source, target)
 	case "pathsim":
-		score, err = s.pathsim.Pair(ctx, q.path, q.source, target)
+		score, err = es.pathsim.Pair(ctx, q.path, q.source, target)
 	}
 	approximate := false
 	if err != nil && s.shouldDegrade(q, err) {
 		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
-		score, err = s.degradedPair(r, q, target)
+		score, err = s.degradedPair(es, r, q, target)
 		approximate = err == nil
 		if approximate {
 			metDegraded.Inc()
@@ -675,18 +747,18 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 
 // degradedPair estimates a pair score from Monte Carlo walks after the
 // exact plan blew its deadline.
-func (s *Server) degradedPair(r *http.Request, q query, target string) (float64, error) {
-	src, err := s.g.NodeIndex(q.path.Source(), q.source)
+func (s *Server) degradedPair(es *engineSet, r *http.Request, q query, target string) (float64, error) {
+	src, err := es.g.NodeIndex(q.path.Source(), q.source)
 	if err != nil {
 		return 0, err
 	}
-	dst, err := s.g.NodeIndex(q.path.Target(), target)
+	dst, err := es.g.NodeIndex(q.path.Target(), target)
 	if err != nil {
 		return 0, err
 	}
 	ctx, cancel := s.degradeCtx(r)
 	defer cancel()
-	res, err := s.hetesimEngine(q).PairMonteCarlo(ctx, q.path, src, dst, s.degradeWalks, 0)
+	res, err := es.hetesim(q.raw).PairMonteCarlo(ctx, q.path, src, dst, s.degradeWalks, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -739,7 +811,8 @@ type contributionBody struct {
 // contributions.
 func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	q, err := s.decodeQuery(r)
+	es := s.current()
+	q, err := s.decodeQuery(es, r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -761,17 +834,17 @@ func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	src, err := s.g.NodeIndex(q.path.Source(), q.source)
+	src, err := es.g.NodeIndex(q.path.Source(), q.source)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	dst, err := s.g.NodeIndex(q.path.Target(), target)
+	dst, err := es.g.NodeIndex(q.path.Target(), target)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	score, contribs, err := s.hetesimEngine(q).PairContributions(ctx, q.path, src, dst, k)
+	score, contribs, err := es.hetesim(q.raw).PairContributions(ctx, q.path, src, dst, k)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -788,12 +861,13 @@ func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
 // handleExplain exposes the HeteSim query planner: the estimated cost of
 // every physical plan for a path, amortized over an expected query count.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	es := s.current()
 	spec := r.URL.Query().Get("path")
 	if spec == "" {
 		writeError(w, fmt.Errorf("%w: missing path parameter", errBadRequest))
 		return
 	}
-	p, err := metapath.Parse(s.g.Schema(), spec)
+	p, err := metapath.Parse(es.g.Schema(), spec)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -806,7 +880,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	report, plans, err := s.engine.Explain(p, queries)
+	report, plans, err := es.engine.Explain(p, queries)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -823,9 +897,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	es := s.current()
 	tr := obs.FromContext(ctx)
 	sp := tr.Start("decode")
-	q, err := s.decodeQuery(r)
+	q, err := s.decodeQuery(es, r)
 	sp.End()
 	if err != nil {
 		writeError(w, err)
@@ -842,16 +917,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var scores []float64
 	switch q.measure {
 	case "hetesim":
-		scores, err = s.hetesimEngine(q).SingleSource(ctx, q.path, q.source)
+		scores, err = es.hetesim(q.raw).SingleSource(ctx, q.path, q.source)
 	case "pcrw":
-		scores, err = s.pcrw.SingleSource(ctx, q.path, q.source)
+		scores, err = es.pcrw.SingleSource(ctx, q.path, q.source)
 	case "pathsim":
-		scores, err = s.pathsim.SingleSource(ctx, q.path, q.source)
+		scores, err = es.pathsim.SingleSource(ctx, q.path, q.source)
 	}
 	approximate := false
 	if err != nil && s.shouldDegrade(q, err) {
 		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
-		scores, err = s.degradedTopK(r, q)
+		scores, err = s.degradedTopK(es, r, q)
 		approximate = err == nil
 		if approximate {
 			metDegraded.Inc()
@@ -862,7 +937,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp = tr.Start("rank")
-	items, err := rank.List(scores, s.g.NodeIDs(q.path.Target()), k)
+	items, err := rank.List(scores, es.g.NodeIDs(q.path.Target()), k)
 	sp.End()
 	if err != nil {
 		writeError(w, err)
@@ -882,12 +957,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // after the exact plan blew its deadline. The walk-frequency ranking
 // approximates the reaching-distribution ordering, so the response is
 // marked approximate.
-func (s *Server) degradedTopK(r *http.Request, q query) ([]float64, error) {
-	src, err := s.g.NodeIndex(q.path.Source(), q.source)
+func (s *Server) degradedTopK(es *engineSet, r *http.Request, q query) ([]float64, error) {
+	src, err := es.g.NodeIndex(q.path.Source(), q.source)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := s.degradeCtx(r)
 	defer cancel()
-	return s.hetesimEngine(q).SingleSourceMonteCarlo(ctx, q.path, src, s.degradeWalks, 0)
+	return es.hetesim(q.raw).SingleSourceMonteCarlo(ctx, q.path, src, s.degradeWalks, 0)
 }

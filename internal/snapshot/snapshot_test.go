@@ -1,0 +1,192 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hetesim/internal/sparse"
+)
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Fingerprint: 0xdeadbeefcafef00d,
+		PruneEps:    1e-6,
+		Sections: []Section{
+			{Name: "meta", Data: []byte(`{"saved_by":"test"}`)},
+			{Name: "chain:C:write|cite~", Data: bytes.Repeat([]byte{7, 1}, 300)},
+			{Name: "empty", Data: nil},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint || got.PruneEps != want.PruneEps {
+		t.Errorf("header round trip: got %x/%g want %x/%g",
+			got.Fingerprint, got.PruneEps, want.Fingerprint, want.PruneEps)
+	}
+	if len(got.Sections) != len(want.Sections) {
+		t.Fatalf("sections: got %d want %d", len(got.Sections), len(want.Sections))
+	}
+	for i, sec := range got.Sections {
+		if sec.Name != want.Sections[i].Name || !bytes.Equal(sec.Data, want.Sections[i].Data) {
+			t.Errorf("section %d differs", i)
+		}
+	}
+}
+
+// TestEveryTruncationRejected chops the serialized snapshot at every length
+// shorter than the whole file; each prefix must be rejected, never accepted.
+func TestEveryTruncationRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n++ {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes was accepted", n, len(raw))
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrMismatch) {
+			t.Fatalf("truncation to %d: error %v is not ErrCorrupt/ErrMismatch", n, err)
+		}
+	}
+}
+
+// TestEveryBitFlipRejected flips a bit in every byte of the file; every
+// flip must be caught by one of the checksums or structural checks.
+func TestEveryBitFlipRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for off := 0; off < len(raw); off++ {
+		for _, mask := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= mask
+			if _, err := Read(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("bit flip at byte %d (mask %#x) was accepted", off, mask)
+			}
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version byte; header CRC now also mismatches — either way rejected
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted bumped version")
+	}
+}
+
+func TestCheckCompat(t *testing.T) {
+	s := testSnapshot()
+	if err := s.CheckCompat(s.Fingerprint, s.PruneEps); err != nil {
+		t.Fatalf("matching compat check failed: %v", err)
+	}
+	if err := s.CheckCompat(s.Fingerprint+1, s.PruneEps); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("wrong fingerprint: err = %v, want ErrMismatch", err)
+	}
+	if err := s.CheckCompat(s.Fingerprint, 0); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("wrong prune eps: err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	want := testSnapshot()
+	if err := Save(OS{}, path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint || len(got.Sections) != len(want.Sections) {
+		t.Fatalf("loaded snapshot differs: %+v", got)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after save, want just the snapshot", len(entries))
+	}
+	// A missing snapshot is reported as not-exist, the cold-start signal.
+	if _, err := Load(OS{}, filepath.Join(dir, "nope.snap")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestChainsCodec(t *testing.T) {
+	chains := map[string]*sparse.Matrix{
+		"C:write":       sparse.New(3, 4, []sparse.Triplet{{Row: 0, Col: 1, Val: 0.5}, {Row: 2, Col: 3, Val: 1}}),
+		"C:write|cite~": sparse.New(2, 2, nil),
+	}
+	s := &Snapshot{Fingerprint: 1}
+	if err := EncodeChains(s, chains); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChains(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(chains) {
+		t.Fatalf("decoded %d chains, want %d", len(got), len(chains))
+	}
+	for k, m := range chains {
+		gm, ok := got[k]
+		if !ok {
+			t.Fatalf("chain %q missing after round trip", k)
+		}
+		if !reflect.DeepEqual(gm.Triplets(), m.Triplets()) || gm.Rows() != m.Rows() || gm.Cols() != m.Cols() {
+			t.Errorf("chain %q differs after round trip", k)
+		}
+	}
+}
+
+// TestChainPayloadSizeGuard hand-crafts a chain section whose matrix header
+// declares far more entries than the payload carries; the decoder must
+// reject it before allocating for the declared size.
+func TestChainPayloadSizeGuard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sparse.WriteMatrix(&buf, sparse.New(2, 2, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// nnz lives at bytes 24..32; claim 2^33 entries.
+	for i := 24; i < 32; i++ {
+		raw[i] = 0
+	}
+	raw[28] = 2 // 2 << 32
+	s := &Snapshot{Sections: []Section{{Name: "chain:x", Data: raw}}}
+	if _, err := DecodeChains(s); err == nil {
+		t.Fatal("oversized nnz declaration was accepted")
+	}
+}

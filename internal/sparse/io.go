@@ -24,33 +24,38 @@ var (
 	matrixVersion = uint32(1)
 )
 
-// WriteMatrix serializes m to w in the binary CSR format.
+// WriteMatrix serializes m to w in the binary CSR format. The element
+// arrays are encoded directly into a scratch buffer rather than through
+// binary.Write, whose per-element reflection dominates bulk serialization.
 func WriteMatrix(w io.Writer, m *Matrix) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(matrixMagic[:]); err != nil {
 		return err
 	}
-	hdr := []uint64{uint64(matrixVersion), uint64(m.rows), uint64(m.cols), uint64(len(m.val))}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(hdr[0])); err != nil {
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], matrixVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(m.rows))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(m.cols))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(len(m.val)))
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	for _, v := range hdr[1:] {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
+	var b [8]byte
 	for _, p := range m.rowPtr {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(p)); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(p))
+		if _, err := bw.Write(b[:]); err != nil {
 			return err
 		}
 	}
 	for _, c := range m.colIdx {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(c)); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(c))
+		if _, err := bw.Write(b[:]); err != nil {
 			return err
 		}
 	}
 	for _, v := range m.val {
-		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		if _, err := bw.Write(b[:]); err != nil {
 			return err
 		}
 	}
@@ -69,19 +74,16 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 	if magic != matrixMagic {
 		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
 	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("%w: reading version: %v", ErrBadFormat, err)
+	var hdr [28]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
 	}
-	if version != matrixVersion {
+	if version := binary.LittleEndian.Uint32(hdr[0:4]); version != matrixVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
 	}
-	var rows, cols, nnz uint64
-	for _, dst := range []*uint64{&rows, &cols, &nnz} {
-		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
-			return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
-		}
-	}
+	rows := binary.LittleEndian.Uint64(hdr[4:12])
+	cols := binary.LittleEndian.Uint64(hdr[12:20])
+	nnz := binary.LittleEndian.Uint64(hdr[20:28])
 	const maxDim = 1 << 40 // sanity cap against absurd headers
 	if rows > maxDim || cols > maxDim || nnz > maxDim {
 		return nil, fmt.Errorf("%w: implausible dimensions %dx%d nnz=%d", ErrBadFormat, rows, cols, nnz)
@@ -93,26 +95,44 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 		colIdx: make([]int, nnz),
 		val:    make([]float64, nnz),
 	}
-	for i := range m.rowPtr {
-		var v uint64
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return nil, fmt.Errorf("%w: reading row pointers: %v", ErrBadFormat, err)
+	// Decode the element arrays through one fixed scratch buffer: a
+	// per-element binary.Read costs a reflection pass and an allocation,
+	// which at millions of nonzeros dominates a warm boot.
+	var scratch [1 << 14]byte
+	readInts := func(dst []int, what string) error {
+		for len(dst) > 0 {
+			n := len(dst) * 8
+			if n > len(scratch) {
+				n = len(scratch)
+			}
+			if _, err := io.ReadFull(br, scratch[:n]); err != nil {
+				return fmt.Errorf("%w: reading %s: %v", ErrBadFormat, what, err)
+			}
+			for i := 0; i < n/8; i++ {
+				dst[i] = int(binary.LittleEndian.Uint64(scratch[i*8 : i*8+8]))
+			}
+			dst = dst[n/8:]
 		}
-		m.rowPtr[i] = int(v)
+		return nil
 	}
-	for i := range m.colIdx {
-		var v uint64
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return nil, fmt.Errorf("%w: reading columns: %v", ErrBadFormat, err)
+	if err := readInts(m.rowPtr, "row pointers"); err != nil {
+		return nil, err
+	}
+	if err := readInts(m.colIdx, "columns"); err != nil {
+		return nil, err
+	}
+	for vals := m.val; len(vals) > 0; {
+		n := len(vals) * 8
+		if n > len(scratch) {
+			n = len(scratch)
 		}
-		m.colIdx[i] = int(v)
-	}
-	for i := range m.val {
-		var v uint64
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
 			return nil, fmt.Errorf("%w: reading values: %v", ErrBadFormat, err)
 		}
-		m.val[i] = math.Float64frombits(v)
+		for i := 0; i < n/8; i++ {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[i*8 : i*8+8]))
+		}
+		vals = vals[n/8:]
 	}
 	// Structural validation.
 	if m.rowPtr[0] != 0 || m.rowPtr[len(m.rowPtr)-1] != int(nnz) {
