@@ -1,7 +1,7 @@
 # Tier-1 flow: build + vet + tests, plus a short-mode race pass over the
 # packages with real concurrency (engine cache, HTTP server, parallel
 # SpGEMM, metrics registry).
-.PHONY: all build vet test race race-full check obs-selftest chaos bench-json
+.PHONY: all build vet test race race-full check obs-selftest chaos properties bench-json
 
 all: check
 
@@ -35,11 +35,20 @@ chaos:
 	go test -race -short ./internal/snapshot ./internal/chaos
 	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart' ./internal/server
 
-check: vet build test race obs-selftest chaos
+# Paper-property suite under the race detector: randomized symmetry /
+# self-maximum / semi-metric / indiscernibles checks (Properties 3-5)
+# plus the differential top-k and Monte Carlo cross-checks, run twice so
+# per-run seeding shenanigans can't hide order dependence; part of
+# `make check`.
+properties:
+	go test -race -count=2 -run 'TestPropertyRandom|TestDifferential' ./internal/core
+
+check: vet build test race obs-selftest chaos properties
 
 # Regenerate the committed benchmark baseline: every paper-table and
-# figure benchmark plus the snapshot warm-vs-cold boot comparison, with
+# figure benchmark, the snapshot warm-vs-cold boot comparison, and the
+# batch scheduler's sequential-vs-batched amortization run, with
 # allocation stats, as JSON.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

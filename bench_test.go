@@ -293,6 +293,76 @@ func BenchmarkAblationTopKSearch(b *testing.B) {
 	})
 }
 
+// batchBenchQueries builds the 64 same-path pair queries of the batch
+// amortization benchmark: a 16-source × 4-target block of the relevance
+// matrix, the shape a recommendation or profile page issues per render.
+func batchBenchQueries(g interface{ NodeCount(string) int }, p *metapath.Path) []core.BatchQuery {
+	nA := g.NodeCount("author")
+	qs := make([]core.BatchQuery, 0, 64)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 4; d++ {
+			qs = append(qs, core.BatchQuery{
+				Kind: core.BatchPair, Path: p,
+				Src: (s * 37) % nA, Dst: (d*113 + 19) % nA,
+			})
+		}
+	}
+	return qs
+}
+
+// BenchmarkBatchPairAmortization is the batch scheduler's acceptance
+// benchmark: 64 pair queries on one relevance path, answered sequentially
+// (each pays its own vector propagations) versus as one batch (the group
+// propagates each distinct source and target row once — Property 2's
+// factorization shared 64 ways). Engines are cold per iteration, so the
+// ratio isolates the scheduler's amortization, not cache warmth; the warm
+// variant shows the residual per-batch cost once chains are cached.
+func BenchmarkBatchPairAmortization(b *testing.B) {
+	ds := complexityGraph(20000)
+	g := ds.Graph
+	// The long even path's half-chains (A→P→C→P→A) fan out through the
+	// conference type, so each solo pair query pays two genuinely expensive
+	// vector propagations — the workload Property 2's factorization is for.
+	p := metapath.MustParse(g.Schema(), "APCPAPCPA")
+	qs := batchBenchQueries(g, p)
+	b.Run("sequential-64-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g)
+			for _, q := range qs {
+				if _, err := e.PairByIndex(context.Background(), p, q.Src, q.Dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-64-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g)
+			results, _, err := e.ExecuteBatch(context.Background(), qs, core.BatchOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+	b.Run("batch-64-warm", func(b *testing.B) {
+		e := core.NewEngine(g)
+		if err := e.Precompute(context.Background(), p); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.ExecuteBatch(context.Background(), qs, core.BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSnapshotBoot measures what the durability layer buys at boot.
 // "cold" materializes the working-set chain matrices from the raw graph —
 // the Section 4.6 offline computation a fresh process must repeat.

@@ -6,6 +6,7 @@
 //	hetesim -graph g.json -path APVC -source <id> [-target <id>] [-k 10]
 //	        [-measure hetesim|pcrw|pathsim] [-raw] [-montecarlo walks]
 //	hetesim -graph g.json -enumerate author,conference [-maxlen 4]
+//	hetesim -graph g.json -batch queries.json
 //
 // With -target it prints the pair's relevance; without, the top-k most
 // related objects of the path's target type. -montecarlo estimates a pair
@@ -14,6 +15,13 @@
 // types, the input to path selection. -v dumps the process metrics
 // (Prometheus text format) to stderr after the query, showing what the
 // kernels and caches did for it.
+//
+// -batch runs many queries from a JSON file ("-" reads stdin) through the
+// path-group batch scheduler — the same request shape as POST /v1/batch:
+// {"queries": [{"kind": "pair"|"single_source"|"topk", "path": "...",
+// "source": "...", "target": "...", "k": 10, "eps": 0, "raw": false}]}.
+// Results (one per query, each with its own error) and the amortization
+// stats are printed as JSON.
 package main
 
 import (
@@ -41,6 +49,7 @@ func main() {
 		measure    = flag.String("measure", "hetesim", "measure: hetesim | pcrw | pathsim")
 		raw        = flag.Bool("raw", false, "report unnormalized HeteSim (meeting probability)")
 		montecarlo = flag.Int("montecarlo", 0, "approximate a pair with this many sampled walks")
+		batchFile  = flag.String("batch", "", "run the JSON batch request in this file (\"-\" = stdin) through the batch scheduler")
 		enumerate  = flag.String("enumerate", "", "list relevance paths between two comma-separated types")
 		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate")
 		explain    = flag.Int("explain", 0, "print the query plans for -path amortized over this many queries")
@@ -54,6 +63,8 @@ func main() {
 	}
 	var err error
 	switch {
+	case *batchFile != "":
+		err = runBatch(*graphPath, *batchFile)
 	case *enumerate != "":
 		err = runEnumerate(*graphPath, *enumerate, *maxLen)
 	case *explain > 0 && *pathSpec != "":

@@ -6,6 +6,7 @@
 //	hetesimd -graph g.json [-addr :8080] [-precompute APVC,CVPA]
 //	         [-query-timeout 10s] [-max-inflight 256] [-shutdown-grace 15s]
 //	         [-max-body-bytes 1048576] [-degrade-walks 20000] [-cache-limit 0]
+//	         [-batch-max-queries 1024] [-batch-workers 0]
 //	         [-slowlog-threshold 1s] [-slowlog-size 128] [-debug-addr ""]
 //	         [-snapshot-path chains.snap] [-snapshot-save-interval 5m]
 //
@@ -17,6 +18,11 @@
 // exact hetesim query degrades to -degrade-walks Monte Carlo walks
 // (response marked "approximate": true; 0 disables the fallback).
 // SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace.
+//
+// POST /v1/batch accepts up to -batch-max-queries queries per request and
+// executes them on -batch-workers goroutines via the path-group scheduler;
+// the -query-timeout budget applies to each query in the batch
+// individually, not to the batch as a whole.
 //
 // Durability: -snapshot-path names a checksummed snapshot of the engine's
 // materialized chain matrices. At boot the daemon warm-starts from it when
@@ -63,6 +69,8 @@ func main() {
 		maxBodyBytes  = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes (0 disables)")
 		degradeWalks  = flag.Int("degrade-walks", 20000, "Monte Carlo walks answering a timed-out exact query (0 disables)")
 		cacheLimit    = flag.Int("cache-limit", 0, "max materialized chain matrices kept per engine (0 = unbounded)")
+		batchMax      = flag.Int("batch-max-queries", 1024, "max queries accepted per POST /v1/batch request (0 = unlimited)")
+		batchWorkers  = flag.Int("batch-workers", 0, "concurrent batch-scheduler workers (0 = runtime default)")
 		slowThreshold = flag.Duration("slowlog-threshold", time.Second, "retain /v1 queries slower than this in the slow-query log (0 disables)")
 		slowSize      = flag.Int("slowlog-size", 128, "slow-query log ring capacity")
 		debugAddr     = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; do not expose publicly)")
@@ -91,6 +99,7 @@ func main() {
 		server.WithMaxBodyBytes(*maxBodyBytes),
 		server.WithDegradedTopK(*degradeWalks),
 		server.WithEngineOptions(core.WithCacheLimit(*cacheLimit)),
+		server.WithBatchLimits(*batchMax, *batchWorkers),
 		server.WithSlowLog(*slowThreshold, *slowSize),
 		server.WithSnapshotPath(*snapshotPath),
 		server.WithReloadFrom(*graphPath),

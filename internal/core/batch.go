@@ -1,0 +1,502 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
+	"hetesim/internal/sparse"
+)
+
+// Batch execution: many heterogeneous queries answered in one call, grouped
+// by canonical relevance path. Every query on path P needs the same two
+// reachable-probability chains PM_PL and PM'_{PR⁻¹} (Equation 8 / Property
+// 2: PM_P factors into the per-step transition matrices U_{A1A2}…U_{AlAl+1}),
+// so the scheduler pays each group's chain propagation once and fans the
+// per-query vector work out over a bounded worker pool. With N same-path
+// queries the chain cost amortizes N ways — the batch analogue of Section
+// 4.6's offline materialization.
+
+// BatchKind selects the query shape of one BatchQuery.
+type BatchKind string
+
+// The batchable query kinds.
+const (
+	BatchPair         BatchKind = "pair"          // HeteSim(src, dst | P)
+	BatchSingleSource BatchKind = "single_source" // src against every target
+	BatchTopK         BatchKind = "topk"          // k best targets of src
+)
+
+// BatchQuery is one query inside a batch. Src, Dst are node indices within
+// the path's source and target types. K and Eps apply to BatchTopK only.
+type BatchQuery struct {
+	Kind BatchKind
+	Path *metapath.Path
+	Src  int
+	Dst  int
+	K    int
+	Eps  float64
+}
+
+// BatchResult is the outcome of one BatchQuery, in the batch's order. Err is
+// per-query: one failing query never fails its siblings. Shared reports
+// whether the scheduler answered the query from group-shared chain state
+// (false for singleton groups and for queries that fell back to the solo
+// plan after a group preparation failure).
+type BatchResult struct {
+	Score  float64   // BatchPair
+	Scores []float64 // BatchSingleSource, indexed by target node index
+	TopK   []Scored  // BatchTopK
+	Shared bool
+	Err    error
+}
+
+// BatchStats summarizes how much sharing one batch achieved.
+type BatchStats struct {
+	Queries       int     // queries submitted
+	Groups        int     // distinct canonical path groups
+	SharedQueries int     // queries answered from group-shared chains
+	ChainBuilds   int     // chain propagations performed (full or subset)
+	Amortization  float64 // queries per group: N queries / 1 materialization
+}
+
+// BatchOptions tunes ExecuteBatch.
+type BatchOptions struct {
+	// Workers bounds the concurrency of group preparation and per-query
+	// execution. <= 0 uses a runtime-sized default.
+	Workers int
+	// PerQueryTimeout, when positive, bounds each query (and each group's
+	// shared chain preparation) with its own context deadline.
+	PerQueryTimeout time.Duration
+}
+
+// batchSide is one half-chain's shared state: either the full chain matrix
+// (rowOf nil, node index == row) or a subset propagation restricted to the
+// rows the group actually needs (rowOf maps node index → row).
+type batchSide struct {
+	m     *sparse.Matrix
+	rowOf map[int]int
+}
+
+func (s *batchSide) row(i int) *sparse.Vector {
+	if s.rowOf != nil {
+		i = s.rowOf[i]
+	}
+	return s.m.Row(i)
+}
+
+// batchGroup collects the queries of one canonical path (identical chain
+// cache keys on both halves) and the shared state prepared for them.
+type batchGroup struct {
+	path    *metapath.Path
+	h       halves
+	queries []int // indices into the batch
+
+	plan       string // "solo", "warm", "full", "subset" (left-side plan)
+	left       *batchSide
+	right      *batchSide
+	rightFull  *sparse.Matrix // full right chain when the group has matrix kinds
+	rightNorms []float64
+	prepErr    error
+}
+
+// needsRightMatrix reports whether any query in the group requires the full
+// right-half matrix (single-source and top-k combine against every target).
+func (g *batchGroup) needsRightMatrix(qs []BatchQuery) bool {
+	for _, qi := range g.queries {
+		if qs[qi].Kind != BatchPair {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecuteBatch answers a list of heterogeneous queries, grouping them by
+// canonical path so each path's chains are propagated exactly once. Results
+// are positional; each carries its own error (partial-failure semantics). A
+// batch-level error is returned only when ctx is already done before any
+// work starts.
+//
+// Scores are bit-identical to the same queries issued alone on an exact
+// engine (the default): every plan — solo vector propagation, full chain
+// materialization, and the group subset propagation — accumulates per-entry
+// contributions in the same ascending-index order. With WithPruning > 0 the
+// solo vector plan is unpruned while materialized chains prune per step, so
+// batch and solo scores may then differ within the pruning bound (the same
+// caveat that already applies across PairByIndex and AllPairs).
+func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	start := time.Now()
+	defer func() { observeQuery("batch", time.Since(start).Seconds()) }()
+	stats := BatchStats{Queries: len(queries)}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	results := make([]BatchResult, len(queries))
+
+	// Group by canonical path: both half-chain cache keys. Paths spelled
+	// differently but decomposing into the same chains share a group.
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("batch_plan")
+	groups := make(map[string]*batchGroup)
+	var order []string // deterministic group ordering for stats and traces
+	for i, q := range queries {
+		if err := e.validateBatchQuery(q); err != nil {
+			results[i].Err = err
+			continue
+		}
+		h := splitPath(q.Path)
+		key := e.chainFullKey(h.leftSteps, h.middle, 'L') + "\x00" + e.chainFullKey(h.rightSteps, h.middle, 'R')
+		g, ok := groups[key]
+		if !ok {
+			g = &batchGroup{path: q.Path, h: h}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.queries = append(g.queries, i)
+	}
+	stats.Groups = len(groups)
+	if stats.Groups > 0 {
+		stats.Amortization = float64(stats.Queries) / float64(stats.Groups)
+	}
+	if sp != nil {
+		sp.SetAttr("queries", strconv.Itoa(len(queries))).
+			SetAttr("groups", strconv.Itoa(len(groups))).End()
+	}
+	metBatches.Inc()
+	metBatchQueries.Add(uint64(len(queries)))
+	metBatchSize.Observe(float64(len(queries)))
+	metBatchGroups.Observe(float64(len(groups)))
+	if stats.Groups > 0 {
+		metBatchAmortization.Observe(stats.Amortization)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = defaultBatchWorkers()
+	}
+	sem := make(chan struct{}, workers)
+	var builds atomic.Int64
+
+	// Phase A: prepare each group's shared chain state in parallel. A group
+	// of one query skips preparation — the solo plans are already optimal —
+	// and a failed preparation degrades its queries to the solo plan rather
+	// than failing them outright.
+	var wg sync.WaitGroup
+	for _, key := range order {
+		g := groups[key]
+		if len(g.queries) < 2 {
+			g.plan = "solo"
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pctx, cancel := batchQueryContext(ctx, opts.PerQueryTimeout)
+			defer cancel()
+			g.prepErr = e.prepareGroup(pctx, g, queries, &builds)
+		}()
+	}
+	wg.Wait()
+
+	// Phase B: per-query execution over the shared state, each query under
+	// its own deadline.
+	var shared atomic.Int64
+	for i := range queries {
+		if results[i].Err != nil {
+			continue // failed validation
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			h := splitPath(queries[i].Path)
+			key := e.chainFullKey(h.leftSteps, h.middle, 'L') + "\x00" + e.chainFullKey(h.rightSteps, h.middle, 'R')
+			g := groups[key]
+			qctx, cancel := batchQueryContext(ctx, opts.PerQueryTimeout)
+			defer cancel()
+			results[i] = e.executeBatchQuery(qctx, g, queries[i])
+			if results[i].Shared {
+				shared.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	stats.SharedQueries = int(shared.Load())
+	stats.ChainBuilds = int(builds.Load())
+	metBatchShared.Add(uint64(stats.SharedQueries))
+	metBatchChainBuilds.Add(uint64(stats.ChainBuilds))
+	return results, stats, nil
+}
+
+func (e *Engine) validateBatchQuery(q BatchQuery) error {
+	if q.Path == nil {
+		return fmt.Errorf("core: batch query has no path")
+	}
+	switch q.Kind {
+	case BatchPair:
+		if err := e.checkIndex(q.Path.Source(), q.Src); err != nil {
+			return err
+		}
+		return e.checkIndex(q.Path.Target(), q.Dst)
+	case BatchSingleSource:
+		return e.checkIndex(q.Path.Source(), q.Src)
+	case BatchTopK:
+		if q.K <= 0 {
+			return fmt.Errorf("core: TopKSearch k=%d must be positive", q.K)
+		}
+		if q.Eps < 0 || q.Eps >= 1 {
+			return fmt.Errorf("core: TopKSearch eps=%v outside [0,1)", q.Eps)
+		}
+		return e.checkIndex(q.Path.Source(), q.Src)
+	default:
+		return fmt.Errorf("core: unknown batch query kind %q", q.Kind)
+	}
+}
+
+// prepareGroup materializes the shared chain state of one multi-query group.
+// The left side serves rows to every query; the plan picks, per side, among
+// a cache hit (warm), a full chain materialization (cached for later — worth
+// it when the group touches a large fraction of the rows), and an uncached
+// subset propagation of only the needed rows (the cheap plan for small
+// groups on large types).
+func (e *Engine) prepareGroup(ctx context.Context, g *batchGroup, queries []BatchQuery, builds *atomic.Int64) error {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("batch_materialize")
+	srcRows := distinctInts(g.queries, func(qi int) (int, bool) { return queries[qi].Src, true })
+	left, plan, err := e.prepareSide(ctx, g.h.leftSteps, g.h.middle, 'L', srcRows, builds)
+	if err != nil {
+		if sp != nil {
+			sp.SetAttr("path", g.path.String()).SetAttr("error", err.Error()).End()
+		}
+		return err
+	}
+	g.left = left
+	g.plan = plan
+
+	if g.needsRightMatrix(queries) {
+		// Single-source and top-k combine against every target: the full
+		// right chain is needed regardless of group size, exactly as solo.
+		pmr, err := e.chainMatrix(ctx, g.h.rightSteps, g.h.middle, 'R')
+		if err != nil {
+			return err
+		}
+		g.rightFull = pmr
+		g.right = &batchSide{m: pmr}
+		if e.normalized {
+			g.rightNorms = e.chainRowNorms(e.chainFullKey(g.h.rightSteps, g.h.middle, 'R'), pmr)
+		}
+	} else {
+		dstRows := distinctInts(g.queries, func(qi int) (int, bool) {
+			return queries[qi].Dst, queries[qi].Kind == BatchPair
+		})
+		right, _, err := e.prepareSide(ctx, g.h.rightSteps, g.h.middle, 'R', dstRows, builds)
+		if err != nil {
+			return err
+		}
+		g.right = right
+	}
+	if sp != nil {
+		sp.SetAttr("path", g.path.String()).
+			SetAttr("plan", g.plan).
+			SetAttr("queries", strconv.Itoa(len(g.queries))).End()
+	}
+	return nil
+}
+
+// prepareSide builds one half-chain's shared state for the given distinct
+// node rows.
+func (e *Engine) prepareSide(ctx context.Context, steps []metapath.Step, middle *metapath.Step, side byte, rows []int, builds *atomic.Int64) (*batchSide, string, error) {
+	key := e.chainFullKey(steps, middle, side)
+	if m, ok := e.cacheGet(key); ok {
+		metCacheHits.Inc()
+		return &batchSide{m: m}, "warm", nil
+	}
+	total := e.g.NodeCount(e.chainStartType(steps, middle, side))
+	// When the group needs at least half of the rows, materialize the full
+	// chain: barely more work than the subset, and it lands in the cache
+	// for every later query on the path.
+	if e.caching && len(rows)*2 >= total {
+		builds.Add(1)
+		m, err := e.chainMatrix(ctx, steps, middle, side)
+		if err != nil {
+			return nil, "", err
+		}
+		return &batchSide{m: m}, "full", nil
+	}
+	builds.Add(1)
+	m, err := e.chainSubset(ctx, rows, steps, middle, side)
+	if err != nil {
+		return nil, "", err
+	}
+	rowOf := make(map[int]int, len(rows))
+	for r, node := range rows {
+		rowOf[node] = r
+	}
+	return &batchSide{m: m, rowOf: rowOf}, "subset", nil
+}
+
+// chainSubset propagates the identity rows of the given node indices through
+// a chain without caching — the shared-subset plan of the batch scheduler.
+// Row r of the result is the reaching distribution of rows[r], bit-identical
+// to the matching row of the fully materialized chain and to chainVector's
+// sparse propagation: every plan accumulates each output entry's
+// contributions in the same ascending-index order. Like chainVector (and
+// unlike chainMatrix) it never prunes, so batch pair scores match the solo
+// vector plan exactly even under WithPruning.
+func (e *Engine) chainSubset(ctx context.Context, rows []int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
+	tr := obs.FromContext(ctx)
+	startType := e.chainStartType(steps, middle, side)
+	// Seed with the selector matrix directly — one unit entry per requested
+	// row — rather than slicing a full n×n identity, so subset preparation
+	// costs O(|rows|) regardless of the node count.
+	seed := make([]sparse.Triplet, len(rows))
+	for r, node := range rows {
+		seed[r] = sparse.Triplet{Row: r, Col: node, Val: 1}
+	}
+	pm := sparse.New(len(rows), e.g.NodeCount(startType), seed)
+	for _, s := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		u, err := e.transition(s)
+		if err != nil {
+			return nil, err
+		}
+		sp := tr.Start("chain_multiply")
+		pm = pm.MulAuto(u)
+		if sp != nil {
+			spanMatrixAttrs(sp, side, stepKey(s), pm).End()
+		}
+	}
+	if middle != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		use, ute, err := e.middleEdgeTransitions(*middle)
+		if err != nil {
+			return nil, err
+		}
+		sp := tr.Start("chain_multiply")
+		if side == 'L' {
+			pm = pm.MulAuto(use)
+		} else {
+			pm = pm.MulAuto(ute)
+		}
+		if sp != nil {
+			spanMatrixAttrs(sp, side, "edge("+stepKey(*middle)+")", pm).End()
+		}
+	}
+	return pm, nil
+}
+
+// executeBatchQuery answers one query, preferring the group's shared state
+// and degrading to the solo plan when the group is a singleton or its
+// preparation failed.
+func (e *Engine) executeBatchQuery(ctx context.Context, g *batchGroup, q BatchQuery) BatchResult {
+	if g.plan == "solo" || g.prepErr != nil || g.left == nil {
+		return e.executeSoloQuery(ctx, q)
+	}
+	var res BatchResult
+	res.Shared = true
+	switch q.Kind {
+	case BatchPair:
+		l := g.left.row(q.Src)
+		r := g.right.row(q.Dst)
+		if e.normalized {
+			res.Score = l.Cosine(r)
+		} else {
+			res.Score = l.Dot(r)
+		}
+	case BatchSingleSource:
+		left := g.left.row(q.Src)
+		res.Scores = e.combineSingleSource(left, g.rightFull, g.rightNorms)
+	case BatchTopK:
+		left := g.left.row(q.Src)
+		topk, err := e.topKFrom(ctx, q.Path, g.h, left, q.K, q.Eps)
+		if err != nil {
+			res.Err = err
+			res.Shared = false
+			return res
+		}
+		res.TopK = topk
+	}
+	return res
+}
+
+// executeSoloQuery answers one query through the ordinary solo entry points.
+func (e *Engine) executeSoloQuery(ctx context.Context, q BatchQuery) BatchResult {
+	var res BatchResult
+	switch q.Kind {
+	case BatchPair:
+		res.Score, res.Err = e.PairByIndex(ctx, q.Path, q.Src, q.Dst)
+	case BatchSingleSource:
+		res.Scores, res.Err = e.SingleSourceByIndex(ctx, q.Path, q.Src)
+	case BatchTopK:
+		res.TopK, res.Err = e.TopKSearch(ctx, q.Path, q.Src, q.K, q.Eps)
+	default:
+		res.Err = fmt.Errorf("core: unknown batch query kind %q", q.Kind)
+	}
+	return res
+}
+
+// combineSingleSource combines a propagated left distribution with the full
+// right-half matrix — the shared combine/normalize of SingleSourceByIndex,
+// factored so batch and solo run the same code and produce bit-identical
+// scores. rightNorms may be nil on an unnormalized engine.
+func (e *Engine) combineSingleSource(left *sparse.Vector, pmr *sparse.Matrix, rightNorms []float64) []float64 {
+	scores := pmr.MulVec(left.Dense())
+	if e.normalized {
+		normalizeSingleSource(scores, left.Norm(), rightNorms)
+	}
+	return scores
+}
+
+// batchQueryContext derives a per-query (or per-group-preparation) context.
+func batchQueryContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// distinctInts collects the distinct accepted values over a group's queries,
+// in ascending order (deterministic subset row layout).
+func distinctInts(queryIdx []int, get func(qi int) (int, bool)) []int {
+	seen := make(map[int]struct{}, len(queryIdx))
+	var out []int
+	for _, qi := range queryIdx {
+		v, ok := get(qi)
+		if !ok {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func defaultBatchWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
+}

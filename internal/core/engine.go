@@ -549,18 +549,25 @@ func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src 
 	}
 	sp = tr.Start("normalize")
 	if e.normalized {
-		ln := left.Norm()
 		rns := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
-		for b := range scores {
-			if ln == 0 || rns[b] == 0 {
-				scores[b] = 0
-			} else {
-				scores[b] /= ln * rns[b]
-			}
-		}
+		normalizeSingleSource(scores, left.Norm(), rns)
 	}
 	sp.End()
 	return scores, nil
+}
+
+// normalizeSingleSource applies the cosine normalization of Definition 10 to
+// a combined single-source score vector in place: score_b / (|left| · |row_b|),
+// with zero-norm rows scored 0. Shared by the solo plan and the batch
+// scheduler so both produce bit-identical scores.
+func normalizeSingleSource(scores []float64, ln float64, rns []float64) {
+	for b := range scores {
+		if ln == 0 || rns[b] == 0 {
+			scores[b] = 0
+		} else {
+			scores[b] /= ln * rns[b]
+		}
+	}
 }
 
 // AllPairs returns the full relevance matrix HeteSim(A1, Al+1 | p) with rows
@@ -645,7 +652,10 @@ func (e *Engine) PairsSubset(ctx context.Context, p *metapath.Path, srcs, dsts [
 	}
 	subL := pml.SelectRows(srcs)
 	subR := pmr.SelectRows(dsts)
-	rel := subL.MulAuto(subR.Transpose())
+	rel, err := mulBlockedCtx(ctx, subL, subR.Transpose())
+	if err != nil {
+		return nil, err
+	}
 	if !e.normalized {
 		return rel, nil
 	}
@@ -664,6 +674,47 @@ func (e *Engine) PairsSubset(ctx context.Context, p *metapath.Path, srcs, dsts [
 		rn[i] = inv(rn[i])
 	}
 	return rel.ScaleRows(ln).ScaleCols(rn), nil
+}
+
+// mulBlockedCtx computes a·b in row blocks sized to roughly constant work,
+// polling ctx between the per-block column multiplies so a canceled
+// clustering-scale subset product stops within one block's latency instead
+// of running the full |srcs| x |dsts| product to completion. SpGEMM rows
+// are independent, so the stacked result is bit-identical to the unblocked
+// product.
+func mulBlockedCtx(ctx context.Context, a, b *sparse.Matrix) (*sparse.Matrix, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows := a.Rows()
+	if rows == 0 {
+		return a.MulAuto(b), nil
+	}
+	// Expected multiply-adds per row of a: its average row support times
+	// the average support of the b rows each entry scatters.
+	perRow := float64(a.NNZ()) / float64(rows) * float64(b.NNZ()) / float64(max(b.Rows(), 1))
+	const targetFlops = 4 << 20 // ~ms-scale cancellation latency per block
+	block := rows
+	if perRow > 0 {
+		block = int(targetFlops / perRow)
+	}
+	block = max(block, 16)
+	if block >= rows {
+		return a.MulAuto(b), nil
+	}
+	idx := make([]int, 0, block)
+	parts := make([]*sparse.Matrix, 0, (rows+block-1)/block)
+	for lo := 0; lo < rows; lo += block {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		idx = idx[:0]
+		for r := lo; r < min(lo+block, rows); r++ {
+			idx = append(idx, r)
+		}
+		parts = append(parts, a.SelectRows(idx).MulAuto(b))
+	}
+	return sparse.VStack(parts), nil
 }
 
 // Precompute materializes and caches both half-path reachable probability

@@ -137,6 +137,44 @@ func TestCancelStopsSingleSource(t *testing.T) {
 	}
 }
 
+// TestCancelStopsPairsSubset cancels mid-way through the subset plan's
+// final cross product. The half-chains here are single transitions (cheap,
+// uninterruptible), so the whole runtime sits in subL·subRᵀ — the multiply
+// that runs in ctx-polled row blocks precisely so this cancel can land.
+func TestCancelStopsPairsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	g := denseBipartiteGraph(t, 400)
+	e := NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "ABA")
+	all := make([]int, g.NodeCount("a"))
+	for i := range all {
+		all[i] = i
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.PairsSubset(ctx, p, all, all)
+		done <- err
+	}()
+	time.Sleep(25 * time.Millisecond)
+	canceledAt := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PairsSubset returned err = %v, want context.Canceled (graph too small to outlive the cancel?)", err)
+		}
+		if lag := time.Since(canceledAt); lag > 100*time.Millisecond {
+			t.Errorf("PairsSubset returned %v after cancel, want < 100ms", lag)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PairsSubset did not return within 5s of cancel")
+	}
+}
+
 func TestDeadlineExceededSurfaces(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")

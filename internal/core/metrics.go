@@ -21,6 +21,23 @@ var (
 		"Chain matrices evicted by WithCacheLimit.")
 	metWalks = obs.Default().Counter("hetesim_engine_mc_walks_total",
 		"Monte Carlo walks sampled across all degraded and explicit MC queries.")
+
+	// Batch scheduler: how many batches arrive, how big they are, how well
+	// path grouping amortizes chain propagation across their queries.
+	metBatches = obs.Default().Counter("hetesim_engine_batches_total",
+		"Batches executed by the path-group scheduler.")
+	metBatchQueries = obs.Default().Counter("hetesim_engine_batch_queries_total",
+		"Queries submitted through batches.")
+	metBatchShared = obs.Default().Counter("hetesim_engine_batch_shared_queries_total",
+		"Batch queries answered from group-shared chain state.")
+	metBatchChainBuilds = obs.Default().Counter("hetesim_engine_batch_chain_builds_total",
+		"Chain propagations (full or subset) performed by batch group preparation.")
+	metBatchSize = obs.Default().Histogram("hetesim_engine_batch_size",
+		"Queries per batch.", obs.DefCountBuckets())
+	metBatchGroups = obs.Default().Histogram("hetesim_engine_batch_groups",
+		"Distinct canonical-path groups per batch.", obs.DefCountBuckets())
+	metBatchAmortization = obs.Default().Histogram("hetesim_engine_batch_amortization_ratio",
+		"Queries per path group in a batch: N queries sharing one chain materialization.", obs.DefCountBuckets())
 )
 
 // queryInstr pairs the pre-resolved per-kind counter and histogram, so

@@ -39,6 +39,14 @@ func (e *Engine) TopKSearch(ctx context.Context, p *metapath.Path, src, k int, e
 	if err != nil {
 		return nil, err
 	}
+	return e.topKFrom(ctx, p, h, left, k, eps)
+}
+
+// topKFrom runs the candidate-restricted top-k scan from an already
+// propagated left middle distribution. Factored out of TopKSearch so the
+// batch scheduler (which serves left from a group-shared chain) runs the
+// identical pruning, accumulation and normalization code as solo queries.
+func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left *sparse.Vector, k int, eps float64) ([]Scored, error) {
 	// Prune the source's middle distribution.
 	if eps > 0 {
 		var max float64

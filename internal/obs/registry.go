@@ -127,6 +127,13 @@ func DefSecondsBuckets() []float64 {
 	}
 }
 
+// DefCountBuckets are size buckets for count-valued histograms (batch
+// sizes, path-group counts, amortization ratios): a power-of-two ladder
+// from 1 to 4096.
+func DefCountBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+}
+
 // kind discriminates registered metrics for exposition and collision
 // checks.
 type kind string

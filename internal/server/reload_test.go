@@ -108,6 +108,53 @@ func TestHotReloadUnderLoad(t *testing.T) {
 		}(w)
 	}
 
+	// A batch worker alongside the GET workers: every batch resolves one
+	// engine-set snapshot, so its slots must all answer against a single
+	// generation, and HS(Tom, KDD | APC) is exactly 1 in every generation
+	// (Tom's one paper is KDD's one paper) — a swap mid-batch that mixed
+	// generations or dropped shared chain state would surface here.
+	batchReq, err := json.Marshal(batchRequest{Queries: []batchQueryBody{
+		{Kind: "pair", Path: "APC", Source: "Tom", Target: "KDD"},
+		{Kind: "pair", Path: "APC", Source: "Tom", Target: "KDD", Raw: true},
+		{Kind: "topk", Path: "APCPA", Source: "Mary", K: 5},
+		{Kind: "single_source", Path: "APC", Source: "Mary"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(batchReq))
+			if err != nil {
+				failures.Add(1)
+				continue
+			}
+			var body batchResponse
+			decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decodeErr != nil {
+				t.Errorf("POST /v1/batch = %d (%v)", resp.StatusCode, decodeErr)
+				failures.Add(1)
+				continue
+			}
+			for i, res := range body.Results {
+				if res.Error != "" {
+					t.Errorf("batch slot %d failed during reload: %s (%s)", i, res.Error, res.Code)
+					failures.Add(1)
+				}
+			}
+			for _, i := range []int{0, 1} {
+				if body.Results[i].Score == nil || *body.Results[i].Score != 1 {
+					t.Errorf("batch slot %d: HS(Tom,KDD|APC) = %v, want exactly 1", i, body.Results[i].Score)
+					failures.Add(1)
+				}
+			}
+			served.Add(1)
+		}
+	}()
+
 	// Several reload cycles through distinct graph generations while the
 	// workers hammer the query surface.
 	fingerprints := make(map[string]bool)

@@ -79,6 +79,9 @@ type Server struct {
 	slowCapacity  int           // slow-query log ring size
 	slowlog       *obs.SlowLog  // nil when disabled
 
+	maxBatchQueries int // queries accepted per /v1/batch request; 0 = unlimited
+	batchWorkers    int // batch scheduler worker bound; 0 = runtime default
+
 	snapshotPath string      // chain-cache snapshot location; "" disables
 	graphPath    string      // graph file re-read on Reload; "" disables
 	fsys         snapshot.FS // injectable for fault-injection tests
@@ -115,6 +118,15 @@ func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n }
 // query endpoints (default 128 steps), so a single adversarial request
 // cannot queue an arbitrarily long matrix chain.
 func WithMaxPathSteps(n int) Option { return func(s *Server) { s.maxPathSteps = n } }
+
+// WithBatchLimits bounds POST /v1/batch: at most maxQueries queries per
+// request (0 = unlimited; the default is 1024), executed by at most
+// workers concurrent scheduler goroutines (0 = a runtime-sized default).
+// A batch occupies a single WithMaxInflight slot regardless of its size —
+// workers is the knob that keeps one giant batch from monopolizing cores.
+func WithBatchLimits(maxQueries, workers int) Option {
+	return func(s *Server) { s.maxBatchQueries, s.batchWorkers = maxQueries, workers }
+}
 
 // WithDegradedTopK enables graceful degradation: when an exact hetesim
 // /v1/topk or /v1/pair query exceeds its deadline, the server answers
@@ -159,14 +171,15 @@ func WithLogf(logf func(string, ...any)) Option { return func(s *Server) { s.log
 // materialize) or MarkReady directly.
 func New(g *hin.Graph, opts ...Option) *Server {
 	s := &Server{
-		mux:           http.NewServeMux(),
-		maxBody:       1 << 20,
-		maxPathSteps:  128,
-		degradeGrace:  2 * time.Second,
-		slowThreshold: time.Second,
-		slowCapacity:  128,
-		fsys:          snapshot.OS{},
-		logf:          log.Printf,
+		mux:             http.NewServeMux(),
+		maxBody:         1 << 20,
+		maxPathSteps:    128,
+		maxBatchQueries: 1024,
+		degradeGrace:    2 * time.Second,
+		slowThreshold:   time.Second,
+		slowCapacity:    128,
+		fsys:            snapshot.OS{},
+		logf:            log.Printf,
 	}
 	for _, o := range opts {
 		o(s)
@@ -187,6 +200,7 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/slowlog", s.handleSlowLog)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
@@ -227,7 +241,7 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/schema", "/v1/stats", "/v1/slowlog",
-		"/v1/pair", "/v1/topk", "/v1/explain", "/v1/why",
+		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/explain", "/v1/why",
 		"/v1/admin/reload":
 		return path
 	}
@@ -376,7 +390,10 @@ func (s *Server) applyTimeout(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if isQueryPath(r) {
+		// /v1/batch is exempt: the batch scheduler applies the same budget
+		// to each query individually, so a big batch is not killed whole by
+		// a deadline sized for one query.
+		if isQueryPath(r) && r.URL.Path != "/v1/batch" {
 			ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
@@ -484,14 +501,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // 400/bad_request, an expired per-request deadline 504/deadline_exceeded,
 // a client that went away 499/canceled, everything else 500/internal.
 func writeError(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, "internal"
+	status, code := errorStatusCode(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+}
+
+// errorStatusCode maps a domain error to its HTTP status and stable code —
+// shared by whole-request errors (writeError) and the per-slot errors of
+// POST /v1/batch responses.
+func errorStatusCode(err error) (int, string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
+		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
-		status, code = StatusClientClosedRequest, "canceled"
+		return StatusClientClosedRequest, "canceled"
 	case errors.Is(err, hin.ErrUnknownNode):
-		status, code = http.StatusNotFound, "not_found"
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, hin.ErrUnknownType),
 		errors.Is(err, hin.ErrUnknownRelation),
 		errors.Is(err, hin.ErrAmbiguous),
@@ -500,9 +524,9 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, metapath.ErrNotChained),
 		errors.Is(err, baseline.ErrAsymmetricPath),
 		errors.Is(err, errBadRequest):
-		status, code = http.StatusBadRequest, "bad_request"
+		return http.StatusBadRequest, "bad_request"
 	}
-	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+	return http.StatusInternalServerError, "internal"
 }
 
 var errBadRequest = errors.New("bad request")
@@ -599,6 +623,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"query_timeout_ms":     float64(s.queryTimeout) / float64(time.Millisecond),
 			"max_inflight":         s.maxInflight,
 			"max_path_steps":       s.maxPathSteps,
+			"batch_max_queries":    s.maxBatchQueries,
+			"batch_workers":        s.batchWorkers,
 			"slowlog_threshold_ms": float64(s.slowThreshold) / float64(time.Millisecond),
 		},
 	})

@@ -524,6 +524,38 @@ func (m *Matrix) SelectRows(rows []int) *Matrix {
 	return out
 }
 
+// VStack concatenates matrices vertically, preserving values and per-row
+// entry order exactly — stacking row blocks of a product reproduces the
+// unblocked product bit for bit. All blocks must share one column count;
+// the empty stack is the 0x0 matrix.
+func VStack(blocks []*Matrix) *Matrix {
+	if len(blocks) == 0 {
+		return Zeros(0, 0)
+	}
+	cols := blocks[0].cols
+	rows, nnz := 0, 0
+	for _, b := range blocks {
+		if b.cols != cols {
+			panic(fmt.Sprintf("sparse: VStack column mismatch %d vs %d", b.cols, cols))
+		}
+		rows += b.rows
+		nnz += len(b.val)
+	}
+	m := &Matrix{rows: rows, cols: cols,
+		rowPtr: make([]int, 1, rows+1),
+		colIdx: make([]int, 0, nnz),
+		val:    make([]float64, 0, nnz)}
+	for _, b := range blocks {
+		base := len(m.val)
+		for r := 0; r < b.rows; r++ {
+			m.rowPtr = append(m.rowPtr, base+b.rowPtr[r+1])
+		}
+		m.colIdx = append(m.colIdx, b.colIdx...)
+		m.val = append(m.val, b.val...)
+	}
+	return m
+}
+
 // Dense returns the matrix as a freshly allocated dense [][]float64.
 func (m *Matrix) Dense() [][]float64 {
 	d := make([][]float64, m.rows)
