@@ -1,7 +1,7 @@
 # Tier-1 flow: build + vet + tests, plus a short-mode race pass over the
 # packages with real concurrency (engine cache, HTTP server, parallel
 # SpGEMM, metrics registry).
-.PHONY: all build vet test race race-full check obs-selftest chaos properties bench-json
+.PHONY: all build vet test race race-full check obs-selftest chaos properties bench-json staticcheck
 
 all: check
 
@@ -10,6 +10,17 @@ build:
 
 vet:
 	go vet ./...
+
+# Deeper static analysis when a checker is on PATH; a plain `go vet` box
+# (like CI bootstrap images) skips it rather than failing the build.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "staticcheck/golangci-lint not installed; skipping"; \
+	fi
 
 test:
 	go test ./...
@@ -43,12 +54,13 @@ chaos:
 properties:
 	go test -race -count=2 -run 'TestPropertyRandom|TestDifferential' ./internal/core
 
-check: vet build test race obs-selftest chaos properties
+check: vet staticcheck build test race obs-selftest chaos properties
 
 # Regenerate the committed benchmark baseline: every paper-table and
-# figure benchmark, the snapshot warm-vs-cold boot comparison, and the
-# batch scheduler's sequential-vs-batched amortization run, with
-# allocation stats, as JSON.
+# figure benchmark, the snapshot warm-vs-cold boot comparison, the
+# batch scheduler's sequential-vs-batched amortization run, and the
+# query-optimizer auto-vs-forced plan comparison, with allocation
+# stats, as JSON.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

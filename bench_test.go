@@ -426,3 +426,43 @@ func BenchmarkSnapshotBoot(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPlanAuto races the cost-based optimizer against every static
+// plan it chooses between, on a mixed pair workload. Cold, auto should
+// track pair-vectors (no materialization for a handful of queries); after
+// Precompute warms the half-chains, auto should flip to all-pairs row
+// lookups. The committed baseline therefore shows auto no slower than the
+// best static plan in either regime.
+func BenchmarkPlanAuto(b *testing.B) {
+	ds := complexityGraph(1000)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	n := g.NodeCount("author")
+	plans := []core.PlanKind{core.PlanAuto, core.PlanPairVectors, core.PlanSingleVsMatrix, core.PlanAllPairs}
+	for _, kind := range plans {
+		b.Run("cold/"+string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.NewEngine(g)
+				if _, _, err := e.PairWithPlan(context.Background(), p, i%n, (i*7)%n,
+					core.PlanOptions{Force: kind}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, kind := range plans {
+		b.Run("warm/"+string(kind), func(b *testing.B) {
+			e := core.NewEngine(g)
+			if err := e.Precompute(context.Background(), p); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.PairWithPlan(context.Background(), p, i%n, (i*7)%n,
+					core.PlanOptions{Force: kind}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,10 +11,13 @@
 // With -target it prints the pair's relevance; without, the top-k most
 // related objects of the path's target type. -montecarlo estimates a pair
 // by sampled walks instead of exact propagation (Section 4.6 of the
-// paper). -enumerate lists the candidate relevance paths between two
-// types, the input to path selection. -v dumps the process metrics
-// (Prometheus text format) to stderr after the query, showing what the
-// kernels and caches did for it.
+// paper). -plan forces a physical query plan instead of letting the
+// cost-based optimizer choose (the chosen plan is reported on stderr);
+// -explain prints the optimizer's cost model for a path. -enumerate
+// lists the candidate relevance paths between two types, the input to
+// path selection. -v dumps the process metrics (Prometheus text format)
+// to stderr after the query, showing what the kernels and caches did
+// for it.
 //
 // -batch runs many queries from a JSON file ("-" reads stdin) through the
 // path-group batch scheduler — the same request shape as POST /v1/batch:
@@ -53,6 +56,7 @@ func main() {
 		enumerate  = flag.String("enumerate", "", "list relevance paths between two comma-separated types")
 		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate")
 		explain    = flag.Int("explain", 0, "print the query plans for -path amortized over this many queries")
+		planName   = flag.String("plan", "", "force a hetesim physical plan: auto | pair-vectors | single-vs-matrix | all-pairs | monte-carlo (walks from -montecarlo)")
 		why        = flag.Int("why", 0, "with -target: show this many top meeting-object contributions")
 		verbose    = flag.Bool("v", false, "dump process metrics to stderr after the query")
 	)
@@ -72,7 +76,7 @@ func main() {
 	case *why > 0 && *pathSpec != "" && *source != "" && *target != "":
 		err = runWhy(*graphPath, *pathSpec, *source, *target, *why, *raw)
 	case *pathSpec != "" && *source != "":
-		err = run(*graphPath, *pathSpec, *source, *target, *measure, *k, *raw, *montecarlo)
+		err = run(*graphPath, *pathSpec, *source, *target, *measure, *planName, *k, *raw, *montecarlo)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -161,6 +165,15 @@ func runWhy(graphPath, pathSpec, source, target string, k int, raw bool) error {
 	return nil
 }
 
+// reportPlan tells the operator what the optimizer chose, on stderr so the
+// score on stdout stays machine-readable.
+func reportPlan(d core.PlanDecision, err error) {
+	if err != nil || d.Kind == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "plan: %s (est %.3g flops, %s)\n", d.Kind, d.Est.Flops, d.Reason)
+}
+
 func loadGraph(graphPath string) (*hin.Graph, error) {
 	f, err := os.Open(graphPath)
 	if err != nil {
@@ -170,7 +183,7 @@ func loadGraph(graphPath string) (*hin.Graph, error) {
 	return hin.Read(f)
 }
 
-func run(graphPath, pathSpec, source, target, measure string, k int, raw bool, montecarlo int) error {
+func run(graphPath, pathSpec, source, target, measure, planName string, k int, raw bool, montecarlo int) error {
 	g, err := loadGraph(graphPath)
 	if err != nil {
 		return err
@@ -179,7 +192,14 @@ func run(graphPath, pathSpec, source, target, measure string, k int, raw bool, m
 	if err != nil {
 		return err
 	}
-	if montecarlo > 0 {
+	force, err := core.ParsePlanKind(planName)
+	if err != nil {
+		return err
+	}
+	if force != core.PlanAuto && measure != "hetesim" {
+		return fmt.Errorf("-plan applies only to the hetesim measure")
+	}
+	if montecarlo > 0 && force == core.PlanAuto {
 		if target == "" || measure != "hetesim" {
 			return fmt.Errorf("-montecarlo needs -target and the hetesim measure")
 		}
@@ -214,8 +234,29 @@ func run(graphPath, pathSpec, source, target, measure string, k int, raw bool, m
 			opts = append(opts, core.WithNormalization(false))
 		}
 		e := core.NewEngine(g, opts...)
-		single = func(s string) ([]float64, error) { return e.SingleSource(context.Background(), p, s) }
-		pair = func(s, t string) (float64, error) { return e.Pair(context.Background(), p, s, t) }
+		po := core.PlanOptions{Force: force, Walks: montecarlo}
+		single = func(s string) ([]float64, error) {
+			src, err := g.NodeIndex(p.Source(), s)
+			if err != nil {
+				return nil, err
+			}
+			scores, d, err := e.SingleSourceWithPlan(context.Background(), p, src, po)
+			reportPlan(d, err)
+			return scores, err
+		}
+		pair = func(s, t string) (float64, error) {
+			src, err := g.NodeIndex(p.Source(), s)
+			if err != nil {
+				return 0, err
+			}
+			dst, err := g.NodeIndex(p.Target(), t)
+			if err != nil {
+				return 0, err
+			}
+			v, d, err := e.PairWithPlan(context.Background(), p, src, dst, po)
+			reportPlan(d, err)
+			return v, err
+		}
 	case "pcrw":
 		m := baseline.NewPCRW(g)
 		single = func(s string) ([]float64, error) { return m.SingleSource(context.Background(), p, s) }

@@ -68,6 +68,7 @@ func main() {
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 		maxBodyBytes  = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes (0 disables)")
 		degradeWalks  = flag.Int("degrade-walks", 20000, "Monte Carlo walks answering a timed-out exact query (0 disables)")
+		forcePlan     = flag.String("force-plan", "", "default physical plan for hetesim queries without an explicit ?plan= (auto | pair-vectors | single-vs-matrix | all-pairs | monte-carlo)")
 		cacheLimit    = flag.Int("cache-limit", 0, "max materialized chain matrices kept per engine (0 = unbounded)")
 		batchMax      = flag.Int("batch-max-queries", 1024, "max queries accepted per POST /v1/batch request (0 = unlimited)")
 		batchWorkers  = flag.Int("batch-workers", 0, "concurrent batch-scheduler workers (0 = runtime default)")
@@ -93,7 +94,13 @@ func main() {
 	}
 	log.Printf("hetesimd: loaded %s", g.Stats())
 
+	defaultPlan, err := core.ParsePlanKind(*forcePlan)
+	if err != nil {
+		log.Fatal("hetesimd: -force-plan: ", err)
+	}
+
 	srv := server.New(g,
+		server.WithDefaultPlan(defaultPlan),
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithMaxInflight(*maxInflight),
 		server.WithMaxBodyBytes(*maxBodyBytes),

@@ -152,7 +152,7 @@ func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts Ba
 			continue
 		}
 		h := splitPath(q.Path)
-		key := e.chainFullKey(h.leftSteps, h.middle, 'L') + "\x00" + e.chainFullKey(h.rightSteps, h.middle, 'R')
+		key := e.chainCacheKey(h.left()) + "\x00" + e.chainCacheKey(h.right())
 		g, ok := groups[key]
 		if !ok {
 			g = &batchGroup{path: q.Path, h: h}
@@ -220,7 +220,7 @@ func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts Ba
 			defer wg.Done()
 			defer func() { <-sem }()
 			h := splitPath(queries[i].Path)
-			key := e.chainFullKey(h.leftSteps, h.middle, 'L') + "\x00" + e.chainFullKey(h.rightSteps, h.middle, 'R')
+			key := e.chainCacheKey(h.left()) + "\x00" + e.chainCacheKey(h.right())
 			g := groups[key]
 			qctx, cancel := batchQueryContext(ctx, opts.PerQueryTimeout)
 			defer cancel()
@@ -274,7 +274,7 @@ func (e *Engine) prepareGroup(ctx context.Context, g *batchGroup, queries []Batc
 	tr := obs.FromContext(ctx)
 	sp := tr.Start("batch_materialize")
 	srcRows := distinctInts(g.queries, func(qi int) (int, bool) { return queries[qi].Src, true })
-	left, plan, err := e.prepareSide(ctx, g.h.leftSteps, g.h.middle, 'L', srcRows, builds)
+	left, plan, err := e.prepareSide(ctx, g.h.left(), srcRows, builds)
 	if err != nil {
 		if sp != nil {
 			sp.SetAttr("path", g.path.String()).SetAttr("error", err.Error()).End()
@@ -287,20 +287,20 @@ func (e *Engine) prepareGroup(ctx context.Context, g *batchGroup, queries []Batc
 	if g.needsRightMatrix(queries) {
 		// Single-source and top-k combine against every target: the full
 		// right chain is needed regardless of group size, exactly as solo.
-		pmr, err := e.chainMatrix(ctx, g.h.rightSteps, g.h.middle, 'R')
+		pmr, err := e.opMatrixChain(ctx, g.h.right())
 		if err != nil {
 			return err
 		}
 		g.rightFull = pmr
 		g.right = &batchSide{m: pmr}
 		if e.normalized {
-			g.rightNorms = e.chainRowNorms(e.chainFullKey(g.h.rightSteps, g.h.middle, 'R'), pmr)
+			g.rightNorms = e.chainRowNorms(e.chainCacheKey(g.h.right()), pmr)
 		}
 	} else {
 		dstRows := distinctInts(g.queries, func(qi int) (int, bool) {
 			return queries[qi].Dst, queries[qi].Kind == BatchPair
 		})
-		right, _, err := e.prepareSide(ctx, g.h.rightSteps, g.h.middle, 'R', dstRows, builds)
+		right, _, err := e.prepareSide(ctx, g.h.right(), dstRows, builds)
 		if err != nil {
 			return err
 		}
@@ -315,27 +315,28 @@ func (e *Engine) prepareGroup(ctx context.Context, g *batchGroup, queries []Batc
 }
 
 // prepareSide builds one half-chain's shared state for the given distinct
-// node rows.
-func (e *Engine) prepareSide(ctx context.Context, steps []metapath.Step, middle *metapath.Step, side byte, rows []int, builds *atomic.Int64) (*batchSide, string, error) {
-	key := e.chainFullKey(steps, middle, side)
-	if m, ok := e.cacheGet(key); ok {
+// node rows. The subset plan rides on opSubsetChain, which (like the solo
+// vector plan, and unlike full materialization) never prunes — so batch pair
+// scores match the solo vector plan exactly even under WithPruning.
+func (e *Engine) prepareSide(ctx context.Context, c chain, rows []int, builds *atomic.Int64) (*batchSide, string, error) {
+	if m, ok := e.cacheGet(e.chainCacheKey(c)); ok {
 		metCacheHits.Inc()
 		return &batchSide{m: m}, "warm", nil
 	}
-	total := e.g.NodeCount(e.chainStartType(steps, middle, side))
+	total := e.g.NodeCount(e.chainStart(c))
 	// When the group needs at least half of the rows, materialize the full
 	// chain: barely more work than the subset, and it lands in the cache
 	// for every later query on the path.
 	if e.caching && len(rows)*2 >= total {
 		builds.Add(1)
-		m, err := e.chainMatrix(ctx, steps, middle, side)
+		m, err := e.opMatrixChain(ctx, c)
 		if err != nil {
 			return nil, "", err
 		}
 		return &batchSide{m: m}, "full", nil
 	}
 	builds.Add(1)
-	m, err := e.chainSubset(ctx, rows, steps, middle, side)
+	m, err := e.opSubsetChain(ctx, rows, c)
 	if err != nil {
 		return nil, "", err
 	}
@@ -344,60 +345,6 @@ func (e *Engine) prepareSide(ctx context.Context, steps []metapath.Step, middle 
 		rowOf[node] = r
 	}
 	return &batchSide{m: m, rowOf: rowOf}, "subset", nil
-}
-
-// chainSubset propagates the identity rows of the given node indices through
-// a chain without caching — the shared-subset plan of the batch scheduler.
-// Row r of the result is the reaching distribution of rows[r], bit-identical
-// to the matching row of the fully materialized chain and to chainVector's
-// sparse propagation: every plan accumulates each output entry's
-// contributions in the same ascending-index order. Like chainVector (and
-// unlike chainMatrix) it never prunes, so batch pair scores match the solo
-// vector plan exactly even under WithPruning.
-func (e *Engine) chainSubset(ctx context.Context, rows []int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
-	tr := obs.FromContext(ctx)
-	startType := e.chainStartType(steps, middle, side)
-	// Seed with the selector matrix directly — one unit entry per requested
-	// row — rather than slicing a full n×n identity, so subset preparation
-	// costs O(|rows|) regardless of the node count.
-	seed := make([]sparse.Triplet, len(rows))
-	for r, node := range rows {
-		seed[r] = sparse.Triplet{Row: r, Col: node, Val: 1}
-	}
-	pm := sparse.New(len(rows), e.g.NodeCount(startType), seed)
-	for _, s := range steps {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		u, err := e.transition(s)
-		if err != nil {
-			return nil, err
-		}
-		sp := tr.Start("chain_multiply")
-		pm = pm.MulAuto(u)
-		if sp != nil {
-			spanMatrixAttrs(sp, side, stepKey(s), pm).End()
-		}
-	}
-	if middle != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		use, ute, err := e.middleEdgeTransitions(*middle)
-		if err != nil {
-			return nil, err
-		}
-		sp := tr.Start("chain_multiply")
-		if side == 'L' {
-			pm = pm.MulAuto(use)
-		} else {
-			pm = pm.MulAuto(ute)
-		}
-		if sp != nil {
-			spanMatrixAttrs(sp, side, "edge("+stepKey(*middle)+")", pm).End()
-		}
-	}
-	return pm, nil
 }
 
 // executeBatchQuery answers one query, preferring the group's shared state

@@ -25,14 +25,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
-	"hetesim/internal/obs"
 	"hetesim/internal/sparse"
 )
 
@@ -59,6 +56,12 @@ type Engine struct {
 	norms     map[string][]float64      // row L2 norms per chain key
 	reachAge  []string                  // insertion order of reach keys, oldest first
 	evictions int                       // chain matrices dropped by the cache limit
+
+	estMu    sync.Mutex
+	estCache map[string]ChainEstimate // memoized cost estimates per chain key
+
+	planMu     sync.Mutex
+	planCounts map[PlanKind]uint64 // optimizer selections per physical plan
 
 	seedMu  sync.Mutex
 	seedRng *rand.Rand // engine-level source deriving per-query MC seeds
@@ -102,6 +105,8 @@ func NewEngine(g *hin.Graph, opts ...Option) *Engine {
 		edgeU:      make(map[string]*sparse.Matrix),
 		reach:      make(map[string]*sparse.Matrix),
 		norms:      make(map[string][]float64),
+		estCache:   make(map[string]ChainEstimate),
+		planCounts: make(map[PlanKind]uint64),
 	}
 	for _, o := range opts {
 		o(e)
@@ -270,93 +275,6 @@ func (e *Engine) cachePut(key string, m *sparse.Matrix) {
 	}
 }
 
-// chainMatrix materializes the reachable probability matrix of a chain of
-// steps, optionally extended by an edge half-step, caching every prefix so
-// that paths sharing prefixes reuse work (the concatenation speedup of
-// Section 4.6). ctx is polled between sparse multiply steps so a canceled
-// query stops within one step's latency.
-func (e *Engine) chainMatrix(ctx context.Context, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Matrix, error) {
-	tr := obs.FromContext(ctx)
-	fullKey := e.chainFullKey(steps, middle, side)
-	if e.caching {
-		if m, ok := e.cacheGet(fullKey); ok {
-			metCacheHits.Inc()
-			if tr != nil {
-				tr.Event("cache_hit", map[string]string{"key": fullKey, "side": string(side)})
-			}
-			return m, nil
-		}
-		metCacheMisses.Inc()
-		if tr != nil {
-			tr.Event("cache_miss", map[string]string{"key": fullKey, "side": string(side)})
-		}
-	}
-	var pm *sparse.Matrix
-	startType := e.chainStartType(steps, middle, side)
-	pm = sparse.Identity(e.g.NodeCount(startType))
-	for i, s := range steps {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		u, err := e.transition(s)
-		if err != nil {
-			return nil, err
-		}
-		sp := tr.Start("chain_multiply")
-		pm = pm.MulAuto(u)
-		if e.pruneEps > 0 {
-			pm = pm.Prune(e.pruneEps)
-		}
-		if sp != nil {
-			spanMatrixAttrs(sp, side, stepKey(s), pm).End()
-		}
-		if e.caching {
-			e.cachePut(e.chainFullKey(steps[:i+1], nil, side), pm)
-		}
-	}
-	if middle != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		use, ute, err := e.middleEdgeTransitions(*middle)
-		if err != nil {
-			return nil, err
-		}
-		sp := tr.Start("chain_multiply")
-		if side == 'L' {
-			pm = pm.MulAuto(use)
-		} else {
-			pm = pm.MulAuto(ute)
-		}
-		if e.pruneEps > 0 {
-			pm = pm.Prune(e.pruneEps)
-		}
-		if sp != nil {
-			spanMatrixAttrs(sp, side, "edge("+stepKey(*middle)+")", pm).End()
-		}
-	}
-	if e.caching {
-		e.cachePut(fullKey, pm)
-	}
-	return pm, nil
-}
-
-// spanMatrixAttrs annotates a chain-multiply span with the result's
-// shape and sparsity — the per-step cost accounting that makes a trace
-// explain where a `PM_PL · PM'_{PR⁻¹}` query spent its time.
-func spanMatrixAttrs(sp *obs.SpanHandle, side byte, step string, pm *sparse.Matrix) *obs.SpanHandle {
-	if sp == nil {
-		return nil
-	}
-	rows, cols := pm.Dims()
-	return sp.SetAttr("side", string(side)).
-		SetAttr("step", step).
-		SetAttr("kind", "matrix").
-		SetAttr("rows", strconv.Itoa(rows)).
-		SetAttr("cols", strconv.Itoa(cols)).
-		SetAttr("nnz", strconv.Itoa(pm.NNZ()))
-}
-
 // chainFullKey identifies a chain's materialized matrix. Pure step chains
 // share one key regardless of which query plan built them, so a path's left
 // half, a PCRW reachable matrix, and a longer path's prefix all reuse the
@@ -402,62 +320,6 @@ func (e *Engine) chainRowNorms(key string, pm *sparse.Matrix) []float64 {
 	return n
 }
 
-// chainVector propagates a single-source distribution along a chain without
-// materializing matrices — the cheap plan for one-off pair queries. ctx is
-// polled between propagation steps.
-func (e *Engine) chainVector(ctx context.Context, start int, steps []metapath.Step, middle *metapath.Step, side byte) (*sparse.Vector, error) {
-	tr := obs.FromContext(ctx)
-	startType := e.chainStartType(steps, middle, side)
-	v := sparse.Unit(e.g.NodeCount(startType), start)
-	for _, s := range steps {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		u, err := e.transition(s)
-		if err != nil {
-			return nil, err
-		}
-		sp := tr.Start("chain_multiply")
-		v = v.MulMat(u)
-		if sp != nil {
-			spanVectorAttrs(sp, side, stepKey(s), u, v).End()
-		}
-	}
-	if middle != nil {
-		use, ute, err := e.middleEdgeTransitions(*middle)
-		if err != nil {
-			return nil, err
-		}
-		sp := tr.Start("chain_multiply")
-		if side == 'L' {
-			v = v.MulMat(use)
-		} else {
-			v = v.MulMat(ute)
-		}
-		if sp != nil {
-			spanVectorAttrs(sp, side, "edge("+stepKey(*middle)+")", nil, v).End()
-		}
-	}
-	return v, nil
-}
-
-// spanVectorAttrs annotates a vector propagation step with the transition
-// matrix shape and the propagated distribution's support size.
-func spanVectorAttrs(sp *obs.SpanHandle, side byte, step string, u *sparse.Matrix, v *sparse.Vector) *obs.SpanHandle {
-	if sp == nil {
-		return nil
-	}
-	sp.SetAttr("side", string(side)).
-		SetAttr("step", step).
-		SetAttr("kind", "vector").
-		SetAttr("nnz", strconv.Itoa(v.NNZ()))
-	if u != nil {
-		rows, cols := u.Dims()
-		sp.SetAttr("rows", strconv.Itoa(rows)).SetAttr("cols", strconv.Itoa(cols))
-	}
-	return sp
-}
-
 // Pair returns HeteSim(src, dst | p) for nodes identified by string IDs.
 // src must be of type p.Source() and dst of type p.Target().
 func (e *Engine) Pair(ctx context.Context, p *metapath.Path, srcID, dstID string) (float64, error) {
@@ -472,41 +334,11 @@ func (e *Engine) Pair(ctx context.Context, p *metapath.Path, srcID, dstID string
 	return e.PairByIndex(ctx, p, i, j)
 }
 
-// PairByIndex is Pair addressed by node indices. It propagates sparse
-// distributions from both endpoints to the meeting type and combines them,
-// without materializing any matrix.
+// PairByIndex is Pair addressed by node indices, routed through the query
+// optimizer with default options (auto plan, no walk budget).
 func (e *Engine) PairByIndex(ctx context.Context, p *metapath.Path, src, dst int) (float64, error) {
-	start := time.Now()
-	defer func() { observeQuery("pair", time.Since(start).Seconds()) }()
-	if err := e.checkIndex(p.Source(), src); err != nil {
-		return 0, err
-	}
-	if err := e.checkIndex(p.Target(), dst); err != nil {
-		return 0, err
-	}
-	tr := obs.FromContext(ctx)
-	sp := tr.Start("plan")
-	h := splitPath(p)
-	if sp != nil {
-		sp.SetAttr("path", p.String()).End()
-	}
-	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
-	if err != nil {
-		return 0, err
-	}
-	right, err := e.chainVector(ctx, dst, h.rightSteps, h.middle, 'R')
-	if err != nil {
-		return 0, err
-	}
-	sp = tr.Start("normalize")
-	var score float64
-	if e.normalized {
-		score = left.Cosine(right)
-	} else {
-		score = left.Dot(right)
-	}
-	sp.End()
-	return score, nil
+	score, _, err := e.PairWithPlan(ctx, p, src, dst, PlanOptions{})
+	return score, err
 }
 
 // SingleSource returns the HeteSim scores of one source node against every
@@ -519,41 +351,11 @@ func (e *Engine) SingleSource(ctx context.Context, p *metapath.Path, srcID strin
 	return e.SingleSourceByIndex(ctx, p, i)
 }
 
-// SingleSourceByIndex is SingleSource addressed by node index. It propagates
-// the source distribution and combines it with the (cached) right-half
-// reachable probability matrix.
+// SingleSourceByIndex is SingleSource addressed by node index, routed
+// through the query optimizer with default options.
 func (e *Engine) SingleSourceByIndex(ctx context.Context, p *metapath.Path, src int) ([]float64, error) {
-	start := time.Now()
-	defer func() { observeQuery("single_source", time.Since(start).Seconds()) }()
-	if err := e.checkIndex(p.Source(), src); err != nil {
-		return nil, err
-	}
-	tr := obs.FromContext(ctx)
-	sp := tr.Start("plan")
-	h := splitPath(p)
-	if sp != nil {
-		sp.SetAttr("path", p.String()).End()
-	}
-	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
-	if err != nil {
-		return nil, err
-	}
-	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
-	if err != nil {
-		return nil, err
-	}
-	sp = tr.Start("combine")
-	scores := pmr.MulVec(left.Dense())
-	if sp != nil {
-		sp.SetAttr("targets", strconv.Itoa(len(scores))).End()
-	}
-	sp = tr.Start("normalize")
-	if e.normalized {
-		rns := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
-		normalizeSingleSource(scores, left.Norm(), rns)
-	}
-	sp.End()
-	return scores, nil
+	scores, _, err := e.SingleSourceWithPlan(ctx, p, src, PlanOptions{})
+	return scores, err
 }
 
 // normalizeSingleSource applies the cosine normalization of Definition 10 to
@@ -574,52 +376,8 @@ func normalizeSingleSource(scores []float64, ln float64, rns []float64) {
 // indexed by source nodes and columns by target nodes (Equation 6, plus the
 // normalization of Definition 10 when enabled).
 func (e *Engine) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
-	start := time.Now()
-	defer func() { observeQuery("all_pairs", time.Since(start).Seconds()) }()
-	tr := obs.FromContext(ctx)
-	sp := tr.Start("plan")
-	h := splitPath(p)
-	if sp != nil {
-		sp.SetAttr("path", p.String()).End()
-	}
-	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
-	if err != nil {
-		return nil, err
-	}
-	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	sp = tr.Start("combine")
-	rel := pml.MulAuto(pmr.Transpose())
-	if sp != nil {
-		spanMatrixAttrs(sp, 'B', "combine", rel).End()
-	}
-	if !e.normalized {
-		return rel, nil
-	}
-	sp = tr.Start("normalize")
-	defer sp.End()
-	ln := e.chainRowNorms(e.chainFullKey(h.leftSteps, h.middle, 'L'), pml)
-	rn := e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
-	inv := func(x float64) float64 {
-		if x == 0 {
-			return 0
-		}
-		return 1 / x
-	}
-	li := make([]float64, len(ln))
-	for i, x := range ln {
-		li[i] = inv(x)
-	}
-	ri := make([]float64, len(rn))
-	for i, x := range rn {
-		ri[i] = inv(x)
-	}
-	return rel.ScaleRows(li).ScaleCols(ri), nil
+	m, _, err := e.AllPairsWithPlan(ctx, p, PlanOptions{})
+	return m, err
 }
 
 // PairsSubset returns the relevance matrix restricted to the given source
@@ -628,52 +386,8 @@ func (e *Engine) AllPairs(ctx context.Context, p *metapath.Path) (*sparse.Matrix
 // subset of a large network never materializes the full |A1| x |Al+1|
 // relevance matrix — the plan the clustering experiments rely on.
 func (e *Engine) PairsSubset(ctx context.Context, p *metapath.Path, srcs, dsts []int) (*sparse.Matrix, error) {
-	for _, i := range srcs {
-		if err := e.checkIndex(p.Source(), i); err != nil {
-			return nil, err
-		}
-	}
-	for _, j := range dsts {
-		if err := e.checkIndex(p.Target(), j); err != nil {
-			return nil, err
-		}
-	}
-	h := splitPath(p)
-	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
-	if err != nil {
-		return nil, err
-	}
-	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	subL := pml.SelectRows(srcs)
-	subR := pmr.SelectRows(dsts)
-	rel, err := mulBlockedCtx(ctx, subL, subR.Transpose())
-	if err != nil {
-		return nil, err
-	}
-	if !e.normalized {
-		return rel, nil
-	}
-	ln := subL.RowNorms()
-	rn := subR.RowNorms()
-	inv := func(x float64) float64 {
-		if x == 0 {
-			return 0
-		}
-		return 1 / x
-	}
-	for i := range ln {
-		ln[i] = inv(ln[i])
-	}
-	for i := range rn {
-		rn[i] = inv(rn[i])
-	}
-	return rel.ScaleRows(ln).ScaleCols(rn), nil
+	m, _, err := e.PairsSubsetWithPlan(ctx, p, srcs, dsts, PlanOptions{})
+	return m, err
 }
 
 // mulBlockedCtx computes a·b in row blocks sized to roughly constant work,
@@ -723,16 +437,16 @@ func mulBlockedCtx(ctx context.Context, a, b *sparse.Matrix) (*sparse.Matrix, er
 // speedup of Section 4.6.
 func (e *Engine) Precompute(ctx context.Context, p *metapath.Path) error {
 	h := splitPath(p)
-	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
+	pml, err := e.opMatrixChain(ctx, h.left())
 	if err != nil {
 		return err
 	}
-	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
+	pmr, err := e.opMatrixChain(ctx, h.right())
 	if err != nil {
 		return err
 	}
-	e.chainRowNorms(e.chainFullKey(h.leftSteps, h.middle, 'L'), pml)
-	e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
+	e.chainRowNorms(e.chainCacheKey(h.left()), pml)
+	e.chainRowNorms(e.chainCacheKey(h.right()), pmr)
 	return nil
 }
 
@@ -741,7 +455,7 @@ func (e *Engine) Precompute(ctx context.Context, p *metapath.Path) error {
 // is exactly the Path Constrained Random Walk distribution, exposed for the
 // PCRW baseline and Fig. 7-style analyses.
 func (e *Engine) ReachableMatrix(ctx context.Context, p *metapath.Path) (*sparse.Matrix, error) {
-	return e.chainMatrix(ctx, p.Steps(), nil, 'P')
+	return e.opMatrixChain(ctx, pathChain(p))
 }
 
 // ReachableFrom returns row src of PM_P without materializing the matrix.
@@ -749,7 +463,7 @@ func (e *Engine) ReachableFrom(ctx context.Context, p *metapath.Path, src int) (
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, err
 	}
-	return e.chainVector(ctx, src, p.Steps(), nil, 'P')
+	return e.opVectorChain(ctx, src, pathChain(p))
 }
 
 // CacheSize reports the number of cached matrices (transition plus
@@ -829,15 +543,18 @@ func (e *Engine) ImportChains(chains map[string]*sparse.Matrix) int {
 	return n
 }
 
-// ClearCache drops all cached matrices and norms.
+// ClearCache drops all cached matrices, norms, and cost estimates.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.trans = make(map[string]*sparse.Matrix)
 	e.edgeU = make(map[string]*sparse.Matrix)
 	e.reach = make(map[string]*sparse.Matrix)
 	e.norms = make(map[string][]float64)
 	e.reachAge = nil
+	e.mu.Unlock()
+	e.estMu.Lock()
+	e.estCache = make(map[string]ChainEstimate)
+	e.estMu.Unlock()
 }
 
 func (e *Engine) checkIndex(typeName string, i int) error {

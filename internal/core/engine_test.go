@@ -695,11 +695,11 @@ func TestOddPathLeftRightDimensionsAgree(t *testing.T) {
 	if h.middle == nil {
 		t.Fatal("APVC must decompose with a middle step")
 	}
-	pml, err := e.chainMatrix(context.Background(), h.leftSteps, h.middle, 'L')
+	pml, err := e.opMatrixChain(context.Background(), h.left())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pmr, err := e.chainMatrix(context.Background(), h.rightSteps, h.middle, 'R')
+	pmr, err := e.opMatrixChain(context.Background(), h.right())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,8 @@ var (
 		"Chain matrices evicted by WithCacheLimit.")
 	metWalks = obs.Default().Counter("hetesim_engine_mc_walks_total",
 		"Monte Carlo walks sampled across all degraded and explicit MC queries.")
+	metPlanSelected = obs.Default().CounterVec("hetesim_engine_plan_selected_total",
+		"Physical query plans chosen by the cost-based optimizer, by plan kind.", "kind")
 
 	// Batch scheduler: how many batches arrive, how big they are, how well
 	// path grouping amortizes chain propagation across their queries.

@@ -59,22 +59,29 @@ func (e *Engine) querySeed(seed int64) int64 {
 func (e *Engine) PairMonteCarlo(ctx context.Context, p *metapath.Path, src, dst, walks int, seed int64) (MonteCarloResult, error) {
 	start := time.Now()
 	defer func() { observeQuery("mc_pair", time.Since(start).Seconds()) }()
-	if walks < 2 {
-		return MonteCarloResult{}, fmt.Errorf("core: PairMonteCarlo needs at least 2 walks, got %d", walks)
-	}
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return MonteCarloResult{}, err
 	}
 	if err := e.checkIndex(p.Target(), dst); err != nil {
 		return MonteCarloResult{}, err
 	}
+	return e.pairMC(ctx, p, src, dst, walks, seed)
+}
+
+// pairMC is the estimator body shared by PairMonteCarlo and the optimizer's
+// monte-carlo plan (which records its own query metrics and has already
+// validated the node indices).
+func (e *Engine) pairMC(ctx context.Context, p *metapath.Path, src, dst, walks int, seed int64) (MonteCarloResult, error) {
+	if walks < 2 {
+		return MonteCarloResult{}, fmt.Errorf("core: PairMonteCarlo needs at least 2 walks, got %d", walks)
+	}
 	h := splitPath(p)
 	rng := rand.New(rand.NewSource(e.querySeed(seed)))
-	srcCounts, err := e.sampleWalks(ctx, src, h.leftSteps, h.middle, 'L', walks, rng)
+	srcCounts, err := e.sampleWalks(ctx, src, h.left(), walks, rng)
 	if err != nil {
 		return MonteCarloResult{}, err
 	}
-	dstCounts, err := e.sampleWalks(ctx, dst, h.rightSteps, h.middle, 'R', walks, rng)
+	dstCounts, err := e.sampleWalks(ctx, dst, h.right(), walks, rng)
 	if err != nil {
 		return MonteCarloResult{}, err
 	}
@@ -117,35 +124,19 @@ func (e *Engine) PairMonteCarlo(ctx context.Context, p *metapath.Path, src, dst,
 // instance) and returns meeting-object visit counts. Walks that dead-end
 // are dropped, matching the measure's convention that missing neighbors
 // contribute zero relatedness.
-func (e *Engine) sampleWalks(ctx context.Context, start int, steps []metapath.Step, middle *metapath.Step, side byte, walks int, rng *rand.Rand) (map[int]int, error) {
+func (e *Engine) sampleWalks(ctx context.Context, start int, c chain, walks int, rng *rand.Rand) (map[int]int, error) {
 	sp := obs.FromContext(ctx).Start("mc_sample")
 	if sp != nil {
-		sp.SetAttr("side", string(side)).
+		sp.SetAttr("side", string(c.side)).
 			SetAttr("walks", strconv.Itoa(walks)).
-			SetAttr("steps", strconv.Itoa(len(steps)))
+			SetAttr("steps", strconv.Itoa(len(c.steps)))
 	}
 	defer sp.End()
 	metWalks.Add(uint64(walks))
-	// Pre-resolve the transition matrices once.
-	us := make([]*sparse.Matrix, len(steps))
-	for i, s := range steps {
-		u, err := e.transition(s)
-		if err != nil {
-			return nil, err
-		}
-		us[i] = u
-	}
-	var edgeU *sparse.Matrix
-	if middle != nil {
-		use, ute, err := e.middleEdgeTransitions(*middle)
-		if err != nil {
-			return nil, err
-		}
-		if side == 'L' {
-			edgeU = use
-		} else {
-			edgeU = ute
-		}
+	// Pre-resolve the transition matrices once (middle half-step last).
+	us, err := e.chainTransitions(ctx, c)
+	if err != nil {
+		return nil, err
 	}
 	counts := make(map[int]int)
 	for w := 0; w < walks; w++ {
@@ -161,9 +152,6 @@ func (e *Engine) sampleWalks(ctx context.Context, start int, steps []metapath.St
 			if !ok {
 				break
 			}
-		}
-		if ok && edgeU != nil {
-			at, ok = stepSample(edgeU, at, rng)
 		}
 		if ok {
 			counts[at]++
@@ -212,14 +200,20 @@ func stepSample(u *sparse.Matrix, at int, rng *rand.Rand) (int, bool) {
 func (e *Engine) SingleSourceMonteCarlo(ctx context.Context, p *metapath.Path, src, walks int, seed int64) ([]float64, error) {
 	start := time.Now()
 	defer func() { observeQuery("mc_single_source", time.Since(start).Seconds()) }()
-	if walks < 1 {
-		return nil, fmt.Errorf("core: SingleSourceMonteCarlo needs at least 1 walk, got %d", walks)
-	}
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, err
 	}
+	return e.singleSourceMC(ctx, p, src, walks, seed)
+}
+
+// singleSourceMC is the estimator body shared by SingleSourceMonteCarlo and
+// the optimizer's monte-carlo plan.
+func (e *Engine) singleSourceMC(ctx context.Context, p *metapath.Path, src, walks int, seed int64) ([]float64, error) {
+	if walks < 1 {
+		return nil, fmt.Errorf("core: SingleSourceMonteCarlo needs at least 1 walk, got %d", walks)
+	}
 	rng := rand.New(rand.NewSource(e.querySeed(seed)))
-	counts, err := e.sampleWalks(ctx, src, p.Steps(), nil, 'P', walks, rng)
+	counts, err := e.sampleWalks(ctx, src, pathChain(p), walks, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"strconv"
+
+	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
+	"hetesim/internal/sparse"
+)
+
+// Physical operators. Every query plan is assembled from four chain
+// propagation operators — sparse vector propagate, full matrix
+// materialization, subset-selector propagation, and the transposed
+// materialization used by top-k scans — all driven by one step walker, so
+// the transition resolution, middle-relation handling, context polling and
+// per-step tracing live exactly once. The operators preserve the PR4
+// bit-identity invariant: vector, subset and full-matrix propagation all
+// accumulate each output entry's contributions in the same ascending-index
+// order, so at pruning epsilon 0 every exact plan produces bit-identical
+// scores.
+
+// chain identifies one reachable-probability chain: the steps to walk, the
+// optional odd-path middle half-step, and which side of the decomposition
+// it is ('L', 'R', or 'P' for a full path).
+type chain struct {
+	steps  []metapath.Step
+	middle *metapath.Step
+	side   byte
+}
+
+func (h halves) left() chain  { return chain{steps: h.leftSteps, middle: h.middle, side: 'L'} }
+func (h halves) right() chain { return chain{steps: h.rightSteps, middle: h.middle, side: 'R'} }
+
+// pathChain is the undecomposed full-path chain (the PCRW matrix of
+// Definition 9).
+func pathChain(p *metapath.Path) chain { return chain{steps: p.Steps(), side: 'P'} }
+
+// chainCacheKey identifies a chain's materialized matrix in the cache.
+func (e *Engine) chainCacheKey(c chain) string {
+	return e.chainFullKey(c.steps, c.middle, c.side)
+}
+
+// chainStart returns the node type a chain starts from.
+func (e *Engine) chainStart(c chain) string {
+	return e.chainStartType(c.steps, c.middle, c.side)
+}
+
+// propagate drives one chain walk: for every step — and the odd-path middle
+// half-step — it polls ctx, resolves the transition matrix, and hands it to
+// apply together with a step label (for tracing) and the cache key of the
+// chain prefix completed by that step ("" for the middle half-step, which
+// is never cached on its own). All four operators share this walker.
+func (e *Engine) propagate(ctx context.Context, c chain, apply func(u *sparse.Matrix, label, prefixKey string) error) error {
+	for i, s := range c.steps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		u, err := e.transition(s)
+		if err != nil {
+			return err
+		}
+		if err := apply(u, stepKey(s), e.chainFullKey(c.steps[:i+1], nil, c.side)); err != nil {
+			return err
+		}
+	}
+	if c.middle != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		use, ute, err := e.middleEdgeTransitions(*c.middle)
+		if err != nil {
+			return err
+		}
+		u := use
+		if c.side != 'L' {
+			u = ute
+		}
+		if err := apply(u, "edge("+stepKey(*c.middle)+")", ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// opVectorChain propagates a single-source distribution along a chain
+// without materializing matrices — the cheap operator for one-off pair
+// queries and the left side of single-vs-matrix plans.
+func (e *Engine) opVectorChain(ctx context.Context, start int, c chain) (*sparse.Vector, error) {
+	tr := obs.FromContext(ctx)
+	v := sparse.Unit(e.g.NodeCount(e.chainStart(c)), start)
+	err := e.propagate(ctx, c, func(u *sparse.Matrix, label, _ string) error {
+		sp := tr.Start("chain_multiply")
+		v = v.MulMat(u)
+		if sp != nil {
+			spanVectorAttrs(sp, c.side, label, u, v).End()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// opMatrixChain materializes the reachable probability matrix of a chain,
+// caching every prefix so paths sharing prefixes reuse work (the
+// concatenation speedup of Section 4.6). It is the only operator that
+// applies WithPruning per step and the only one that reads or writes the
+// chain cache.
+func (e *Engine) opMatrixChain(ctx context.Context, c chain) (*sparse.Matrix, error) {
+	tr := obs.FromContext(ctx)
+	fullKey := e.chainCacheKey(c)
+	if e.caching {
+		if m, ok := e.cacheGet(fullKey); ok {
+			metCacheHits.Inc()
+			if tr != nil {
+				tr.Event("cache_hit", map[string]string{"key": fullKey, "side": string(c.side)})
+			}
+			return m, nil
+		}
+		metCacheMisses.Inc()
+		if tr != nil {
+			tr.Event("cache_miss", map[string]string{"key": fullKey, "side": string(c.side)})
+		}
+	}
+	pm := sparse.Identity(e.g.NodeCount(e.chainStart(c)))
+	err := e.propagate(ctx, c, func(u *sparse.Matrix, label, prefixKey string) error {
+		sp := tr.Start("chain_multiply")
+		pm = pm.MulAuto(u)
+		if e.pruneEps > 0 {
+			pm = pm.Prune(e.pruneEps)
+		}
+		if sp != nil {
+			spanMatrixAttrs(sp, c.side, label, pm).End()
+		}
+		if e.caching && prefixKey != "" {
+			e.cachePut(prefixKey, pm)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.caching {
+		e.cachePut(fullKey, pm)
+	}
+	return pm, nil
+}
+
+// opSubsetChain propagates the identity rows of the given node indices
+// through a chain without caching — the shared-subset operator of the batch
+// scheduler and the subset-chain plan. Row r of the result is the reaching
+// distribution of rows[r], bit-identical to the matching row of the fully
+// materialized chain and to opVectorChain's sparse propagation. Like
+// opVectorChain (and unlike opMatrixChain) it never prunes, so subset plans
+// match the vector plan exactly even under WithPruning.
+func (e *Engine) opSubsetChain(ctx context.Context, rows []int, c chain) (*sparse.Matrix, error) {
+	tr := obs.FromContext(ctx)
+	// Seed with the selector matrix directly — one unit entry per requested
+	// row — rather than slicing a full n×n identity, so subset preparation
+	// costs O(|rows|) regardless of the node count.
+	seed := make([]sparse.Triplet, len(rows))
+	for r, node := range rows {
+		seed[r] = sparse.Triplet{Row: r, Col: node, Val: 1}
+	}
+	pm := sparse.New(len(rows), e.g.NodeCount(e.chainStart(c)), seed)
+	err := e.propagate(ctx, c, func(u *sparse.Matrix, label, _ string) error {
+		sp := tr.Start("chain_multiply")
+		pm = pm.MulAuto(u)
+		if sp != nil {
+			spanMatrixAttrs(sp, c.side, label, pm).End()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pm, nil
+}
+
+// opTransposedChain caches the transposed chain matrix under "T:"+key,
+// giving middle-object → target access for candidate-restricted top-k
+// scans.
+func (e *Engine) opTransposedChain(ctx context.Context, c chain) (*sparse.Matrix, error) {
+	key := "T:" + e.chainCacheKey(c)
+	if m, ok := e.cacheGet(key); ok {
+		return m, nil
+	}
+	pm, err := e.opMatrixChain(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	t := pm.Transpose()
+	e.cachePut(key, t)
+	return t, nil
+}
+
+// chainTransitions resolves the transition matrix of every step of a chain
+// in order (middle half-step last) — the Monte Carlo sampler walks rows of
+// these instead of multiplying them.
+func (e *Engine) chainTransitions(ctx context.Context, c chain) ([]*sparse.Matrix, error) {
+	us := make([]*sparse.Matrix, 0, len(c.steps)+1)
+	err := e.propagate(ctx, c, func(u *sparse.Matrix, _, _ string) error {
+		us = append(us, u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return us, nil
+}
+
+// spanMatrixAttrs annotates a chain-multiply span with the result's
+// shape and sparsity — the per-step cost accounting that makes a trace
+// explain where a `PM_PL · PM'_{PR⁻¹}` query spent its time.
+func spanMatrixAttrs(sp *obs.SpanHandle, side byte, step string, pm *sparse.Matrix) *obs.SpanHandle {
+	if sp == nil {
+		return nil
+	}
+	rows, cols := pm.Dims()
+	return sp.SetAttr("side", string(side)).
+		SetAttr("step", step).
+		SetAttr("kind", "matrix").
+		SetAttr("rows", strconv.Itoa(rows)).
+		SetAttr("cols", strconv.Itoa(cols)).
+		SetAttr("nnz", strconv.Itoa(pm.NNZ()))
+}
+
+// spanVectorAttrs annotates a vector propagation step with the transition
+// matrix shape and the propagated distribution's support size.
+func spanVectorAttrs(sp *obs.SpanHandle, side byte, step string, u *sparse.Matrix, v *sparse.Vector) *obs.SpanHandle {
+	if sp == nil {
+		return nil
+	}
+	sp.SetAttr("side", string(side)).
+		SetAttr("step", step).
+		SetAttr("kind", "vector").
+		SetAttr("nnz", strconv.Itoa(v.NNZ()))
+	if u != nil {
+		rows, cols := u.Dims()
+		sp.SetAttr("rows", strconv.Itoa(rows)).SetAttr("cols", strconv.Itoa(cols))
+	}
+	return sp
+}

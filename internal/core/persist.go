@@ -35,11 +35,11 @@ var (
 // matrices of p and writes them to w.
 func (e *Engine) SaveMaterialized(ctx context.Context, w io.Writer, p *metapath.Path) error {
 	h := splitPath(p)
-	pml, err := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
+	pml, err := e.opMatrixChain(ctx, h.left())
 	if err != nil {
 		return err
 	}
-	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
+	pmr, err := e.opMatrixChain(ctx, h.right())
 	if err != nil {
 		return err
 	}
@@ -119,8 +119,8 @@ func (e *Engine) LoadMaterialized(r io.Reader, p *metapath.Path) error {
 			ErrBadSnapshot, pml.Cols(), pmr.Cols())
 	}
 	h := splitPath(p)
-	leftKey := e.chainFullKey(h.leftSteps, h.middle, 'L')
-	rightKey := e.chainFullKey(h.rightSteps, h.middle, 'R')
+	leftKey := e.chainCacheKey(h.left())
+	rightKey := e.chainCacheKey(h.right())
 	e.cachePut(leftKey, pml)
 	e.cachePut(rightKey, pmr)
 	e.chainRowNorms(leftKey, pml)

@@ -1,0 +1,778 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
+	"hetesim/internal/sparse"
+)
+
+// The compile → optimize → execute pipeline. Every public entry point
+// lowers its request into one LogicalPlan (compile), the cost model picks a
+// physical PlanKind from live signals — chain-cache warmth, the pruning
+// epsilon, the amortization hint, the remaining deadline (optimize) — and a
+// small set of shared physical operators runs it (execute). Section 4.6 of
+// the paper frames HeteSim computation as a trade-off between online vector
+// propagation and offline materialization of the reachable-probability
+// chains of Definition 9; this pipeline makes that trade-off a per-query
+// runtime decision instead of a property of which API method the caller
+// happened to pick.
+//
+// Auto-selected exact plans are bit-identical: vector, subset, and
+// materialized-row propagation accumulate each entry's contributions in the
+// same ascending-index order (see operators.go), so switching plans never
+// changes a score at pruning epsilon 0. Only the explicitly approximate
+// Monte Carlo plan trades accuracy for latency.
+
+// The plan kinds beyond the three exact plans of planner.go.
+const (
+	// PlanAuto asks the optimizer to choose; it is the zero-value
+	// behavior of PlanOptions.Force.
+	PlanAuto PlanKind = "auto"
+	// PlanSubsetChain propagates selector matrices for just the requested
+	// rows — the uncached subset plan of PairsSubset and the batch
+	// scheduler.
+	PlanSubsetChain PlanKind = "subset-chain"
+	// PlanMonteCarlo samples random walks instead of propagating
+	// distributions; approximate, chosen only when forced or when the
+	// remaining deadline cannot fit the cheapest exact plan.
+	PlanMonteCarlo PlanKind = "monte-carlo"
+)
+
+// ErrPlanNotApplicable marks a forced plan that cannot execute the query's
+// shape (e.g. pair-vectors for an all-pairs query, or monte-carlo without a
+// walk budget).
+var ErrPlanNotApplicable = errors.New("core: plan not applicable")
+
+// ParsePlanKind validates a user-supplied plan name. The empty string means
+// auto.
+func ParsePlanKind(s string) (PlanKind, error) {
+	switch k := PlanKind(s); k {
+	case "", PlanAuto:
+		return PlanAuto, nil
+	case PlanPairVectors, PlanSingleVsMatrix, PlanAllPairs, PlanSubsetChain, PlanMonteCarlo:
+		return k, nil
+	}
+	return "", fmt.Errorf("%w: unknown plan %q", ErrPlanNotApplicable, s)
+}
+
+// ResultShape is the result form a logical plan must produce.
+type ResultShape string
+
+// The query shapes the optimizer plans for.
+const (
+	ShapePair         ResultShape = "pair"
+	ShapeSingleSource ResultShape = "single_source"
+	ShapeTopK         ResultShape = "topk"
+	ShapeAllPairs     ResultShape = "all_pairs"
+	ShapeSubset       ResultShape = "subset"
+)
+
+// PlanOptions carries the caller's planning hints into the optimizer.
+type PlanOptions struct {
+	// Force pins the physical plan ("" or PlanAuto lets the cost model
+	// choose). A forced plan that cannot produce the query's shape fails
+	// with ErrPlanNotApplicable.
+	Force PlanKind
+	// Queries is the anticipated number of queries on this path; one-time
+	// materialization costs amortize over it. < 1 means 1.
+	Queries int
+	// Walks is the Monte Carlo walk budget. 0 removes the approximate
+	// plan from consideration entirely.
+	Walks int
+	// Seed seeds the Monte Carlo plan (0 draws a per-query engine seed).
+	Seed int64
+}
+
+// LogicalPlan is the compiled form of one query: what to compute,
+// independent of how. Every public entry point lowers into this struct.
+type LogicalPlan struct {
+	Path  *metapath.Path
+	Shape ResultShape
+	Src   int   // ShapePair, ShapeSingleSource, ShapeTopK
+	Dst   int   // ShapePair
+	Srcs  []int // ShapeSubset
+	Dsts  []int // ShapeSubset
+	K     int   // ShapeTopK
+	Eps   float64
+	Opts  PlanOptions
+
+	h halves
+}
+
+// PlanDecision records what the optimizer chose and why — returned to
+// callers so the server can surface it in responses, stats, and traces.
+type PlanDecision struct {
+	Kind   PlanKind
+	Est    PlanEstimate
+	Forced bool
+	// Approximate is true for the Monte Carlo plan (forced or
+	// deadline-driven).
+	Approximate bool
+	WarmLeft    bool // left half-chain was already materialized
+	WarmRight   bool // right half-chain was already materialized
+	Reason      string
+	// Candidates is every applicable plan, cheapest first.
+	Candidates []PlanEstimate
+}
+
+// planFlopsPerSecond converts a plan's flops estimate into wall time for
+// the deadline check. Deliberately conservative (sparse kernels sustain far
+// more), so only a clearly hopeless deadline forces the approximate plan.
+// Overridable in tests.
+var planFlopsPerSecond = 100e6
+
+// costModel is the optimizer's view of one path's two half-chains: their
+// estimated shapes plus the live cache-warmth signals.
+type costModel struct {
+	left, right ChainEstimate
+	warmLeft    bool
+	warmRight   bool
+	warmRightT  bool // transposed right half (top-k scans) cached
+}
+
+// chainWarm reports whether a chain key is already materialized. A
+// non-caching engine never reads the cache during execution, so it reports
+// cold regardless of imports.
+func (e *Engine) chainWarm(key string) bool {
+	if !e.caching {
+		return false
+	}
+	_, ok := e.cacheGet(key)
+	return ok
+}
+
+// estimateChainCached memoizes estimateChain per chain key: estimates
+// depend only on the transition matrices (static per graph and pruning
+// epsilon), so the optimizer's per-query overhead is two map lookups, not a
+// re-walk of the path.
+func (e *Engine) estimateChainCached(c chain) (ChainEstimate, error) {
+	key := e.chainCacheKey(c)
+	e.estMu.Lock()
+	if est, ok := e.estCache[key]; ok {
+		e.estMu.Unlock()
+		return est, nil
+	}
+	e.estMu.Unlock()
+	est, err := e.estimateChain(c.steps, c.middle, c.side)
+	if err != nil {
+		return ChainEstimate{}, err
+	}
+	e.estMu.Lock()
+	e.estCache[key] = est
+	e.estMu.Unlock()
+	return est, nil
+}
+
+func (e *Engine) costModelFor(h halves) (costModel, error) {
+	var cm costModel
+	var err error
+	if cm.left, err = e.estimateChainCached(h.left()); err != nil {
+		return cm, err
+	}
+	if cm.right, err = e.estimateChainCached(h.right()); err != nil {
+		return cm, err
+	}
+	rightKey := e.chainCacheKey(h.right())
+	cm.warmLeft = e.chainWarm(e.chainCacheKey(h.left()))
+	cm.warmRight = e.chainWarm(rightKey)
+	cm.warmRightT = e.chainWarm("T:" + rightKey)
+	return cm, nil
+}
+
+// planCandidates estimates every physical plan applicable to the query's
+// shape, cheapest first (stable for ties, so the legacy default plan wins a
+// tie). Materialization costs are zeroed for warm chains — the live signal
+// that makes matrix plans near-free once the cache holds their inputs.
+func (e *Engine) planCandidates(cm costModel, lp LogicalPlan) []PlanEstimate {
+	q := float64(lp.Opts.Queries)
+	if q < 1 {
+		q = 1
+	}
+	lRows := float64(maxInt(cm.left.Rows, 1))
+	rRows := float64(maxInt(cm.right.Rows, 1))
+	lpr := cm.left.Flops / lRows  // propagate one source vector through the left chain
+	rpr := cm.right.Flops / rRows // propagate one target vector through the right chain
+	lrow := cm.left.NNZ / lRows   // read one materialized left row
+	rrow := cm.right.NNZ / rRows  // read one materialized right row
+	matL, matR := cm.left.Flops, cm.right.Flops
+	if cm.warmLeft {
+		matL = 0
+	}
+	if cm.warmRight {
+		matR = 0
+	}
+	matRT := matR + cm.right.NNZ // materialize + transpose for top-k scans
+	if cm.warmRightT {
+		matRT = 0
+	}
+
+	var out []PlanEstimate
+	add := func(kind PlanKind, flops, mat float64, desc string) {
+		out = append(out, PlanEstimate{Kind: kind, Flops: flops, Materialize: mat, Description: desc})
+	}
+
+	switch lp.Shape {
+	case ShapePair:
+		add(PlanPairVectors, q*(lpr+rpr), 0,
+			"propagate sparse vectors from both endpoints, combine at the meeting type")
+		add(PlanSingleVsMatrix, matR+q*(lpr+lrow+rrow), matR,
+			"materialize the right half; per query, one vector chain and one row dot")
+		add(PlanAllPairs, matL+matR+q*(lrow+rrow), matL+matR,
+			"materialize both halves; queries are row-vs-row dots")
+	case ShapeSingleSource:
+		add(PlanSingleVsMatrix, matR+q*(lpr+cm.right.NNZ), matR,
+			"materialize the right half; per query, one vector chain and one SpMV")
+		add(PlanAllPairs, matL+matR+q*(lrow+cm.right.NNZ), matL+matR,
+			"materialize both halves; per query, one row lookup and one SpMV")
+	case ShapeTopK:
+		scan := cm.right.NNZ // candidate-restricted scan upper bound
+		add(PlanSingleVsMatrix, matRT+q*(lpr+scan), matRT,
+			"transpose the right half; per query, one vector chain and a candidate scan")
+		add(PlanAllPairs, matL+matRT+q*(lrow+scan), matL+matRT,
+			"materialize the left half too; per query, one row lookup and a candidate scan")
+	case ShapeAllPairs:
+		product := cm.left.NNZ * cm.right.NNZ / float64(maxInt(cm.left.Cols, 1))
+		add(PlanAllPairs, matL+matR+product, matL+matR+product,
+			"materialize the full relevance matrix; queries are lookups")
+	case ShapeSubset:
+		fracL := rowFraction(len(lp.Srcs), cm.left.Rows)
+		fracR := rowFraction(len(lp.Dsts), cm.right.Rows)
+		subProd := fracL * cm.left.NNZ * fracR * cm.right.NNZ / float64(maxInt(cm.left.Cols, 1))
+		add(PlanAllPairs, matL+matR+subProd, matL+matR,
+			"materialize both halves, multiply only the selected rows")
+		add(PlanSubsetChain, fracL*cm.left.Flops+fracR*cm.right.Flops+subProd, 0,
+			"propagate selector matrices for the selected rows only; nothing cached")
+	}
+	if lp.Opts.Walks > 0 && mcShape(lp.Shape) {
+		steps := len(lp.h.leftSteps) + len(lp.h.rightSteps)
+		if lp.h.middle != nil {
+			steps += 2
+		}
+		if lp.Shape != ShapePair {
+			steps = len(lp.Path.Steps()) // full-path walks for single-source shapes
+		}
+		add(PlanMonteCarlo, q*float64(lp.Opts.Walks)*float64(maxInt(steps, 1)), 0,
+			"sample random walks; approximate, error O(1/sqrt(walks))")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Flops < out[j].Flops })
+	return out
+}
+
+// mcShape reports whether the Monte Carlo estimator can produce a shape.
+func mcShape(s ResultShape) bool {
+	return s == ShapePair || s == ShapeSingleSource || s == ShapeTopK
+}
+
+func rowFraction(n, rows int) float64 {
+	if rows <= 0 {
+		return 1
+	}
+	f := float64(n) / float64(rows)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// legacyKind is the physical plan each shape's entry point hardcoded before
+// the optimizer existed. Auto selection pins it whenever plan switching
+// could change scores (pruning makes matrix and vector plans diverge) or
+// the amortization assumption fails (caching disabled: materialized chains
+// are thrown away, so matrix plans never pay off across queries).
+func legacyKind(s ResultShape) PlanKind {
+	switch s {
+	case ShapePair:
+		return PlanPairVectors
+	case ShapeSingleSource, ShapeTopK:
+		return PlanSingleVsMatrix
+	default:
+		return PlanAllPairs
+	}
+}
+
+func findCandidate(cands []PlanEstimate, k PlanKind) (PlanEstimate, bool) {
+	for _, c := range cands {
+		if c.Kind == k {
+			return c, true
+		}
+	}
+	return PlanEstimate{}, false
+}
+
+// pickPlan turns the candidate list into a decision: forced plans are
+// validated against the shape, auto selection takes the cheapest exact
+// candidate (subject to the pruning/caching pinning rules), and a walk
+// budget plus a hopeless remaining deadline downgrade the choice to the
+// approximate Monte Carlo plan.
+func (e *Engine) pickPlan(ctx context.Context, lp LogicalPlan, cm costModel, cands []PlanEstimate) (PlanDecision, error) {
+	d := PlanDecision{WarmLeft: cm.warmLeft, WarmRight: cm.warmRight, Candidates: cands}
+	if f := lp.Opts.Force; f != "" && f != PlanAuto {
+		est, ok := findCandidate(cands, f)
+		if !ok {
+			return d, fmt.Errorf("%w: %s cannot answer a %s query", ErrPlanNotApplicable, f, lp.Shape)
+		}
+		d.Kind, d.Est, d.Forced, d.Reason = f, est, true, "forced"
+		d.Approximate = f == PlanMonteCarlo
+		return d, nil
+	}
+	if len(cands) == 0 {
+		return d, fmt.Errorf("%w: no plan for shape %s", ErrPlanNotApplicable, lp.Shape)
+	}
+
+	var chosen PlanEstimate
+	switch {
+	case e.pruneEps > 0:
+		// Materialized chains prune per step, vector and subset chains do
+		// not; switching plans would change scores within the pruning
+		// bound, so a pruned engine keeps each entry point's legacy plan.
+		chosen, _ = findCandidate(cands, legacyKind(lp.Shape))
+		d.Reason = "pruning pins the legacy plan"
+	case !e.caching:
+		chosen, _ = findCandidate(cands, legacyKind(lp.Shape))
+		d.Reason = "caching disabled"
+	default:
+		for _, c := range cands {
+			if c.Kind != PlanMonteCarlo { // never approximate on cost alone
+				chosen = c
+				break
+			}
+		}
+		d.Reason = "cheapest"
+		if lp.Shape == ShapeSubset && chosen.Kind == PlanSubsetChain {
+			// Cache-value rule (mirrors the batch scheduler): when subset
+			// propagation costs at least half of full materialization,
+			// materialize instead — nearly the same work now, and the
+			// cached chains serve every later query on the path.
+			fullProp := 0.0
+			if !cm.warmLeft {
+				fullProp += cm.left.Flops
+			}
+			if !cm.warmRight {
+				fullProp += cm.right.Flops
+			}
+			subProp := rowFraction(len(lp.Srcs), cm.left.Rows)*cm.left.Flops +
+				rowFraction(len(lp.Dsts), cm.right.Rows)*cm.right.Flops
+			if 2*subProp >= fullProp {
+				if ap, ok := findCandidate(cands, PlanAllPairs); ok {
+					chosen = ap
+					d.Reason = "subset large enough to amortize materialization"
+				}
+			}
+		}
+	}
+	if chosen.Kind == "" {
+		chosen = cands[0]
+		d.Reason = "cheapest"
+	}
+
+	// Deadline rule: with a walk budget available, an exact plan whose
+	// estimated work cannot fit the remaining deadline is downgraded to
+	// Monte Carlo up front, instead of burning the whole budget to fail.
+	if lp.Opts.Walks > 0 {
+		if mc, ok := findCandidate(cands, PlanMonteCarlo); ok {
+			if deadline, has := ctx.Deadline(); has {
+				remaining := time.Until(deadline).Seconds()
+				if remaining <= 0 || chosen.Flops > remaining*planFlopsPerSecond {
+					chosen = mc
+					d.Approximate = true
+					d.Reason = "remaining deadline cannot fit the exact plan"
+				}
+			}
+		}
+	}
+	d.Kind, d.Est = chosen.Kind, chosen
+	return d, nil
+}
+
+// optimize runs the cost model over a compiled query, records the selection
+// in the plan counters, and emits the plan_select trace span carrying the
+// chosen kind and its estimated flops.
+func (e *Engine) optimize(ctx context.Context, lp LogicalPlan) (PlanDecision, error) {
+	cm, err := e.costModelFor(lp.h)
+	if err != nil {
+		return PlanDecision{}, err
+	}
+	d, err := e.pickPlan(ctx, lp, cm, e.planCandidates(cm, lp))
+	if err != nil {
+		return d, err
+	}
+	e.notePlan(d.Kind)
+	if sp := obs.FromContext(ctx).Start("plan_select"); sp != nil {
+		sp.SetAttr("path", lp.Path.String()).
+			SetAttr("shape", string(lp.Shape)).
+			SetAttr("kind", string(d.Kind)).
+			SetAttr("est_flops", strconv.FormatFloat(d.Est.Flops, 'f', 0, 64)).
+			SetAttr("forced", strconv.FormatBool(d.Forced)).
+			SetAttr("warm_left", strconv.FormatBool(d.WarmLeft)).
+			SetAttr("warm_right", strconv.FormatBool(d.WarmRight)).
+			SetAttr("reason", d.Reason).
+			End()
+	}
+	return d, nil
+}
+
+// notePlan bumps the per-kind selection counters (registry and engine).
+func (e *Engine) notePlan(k PlanKind) {
+	metPlanSelected.With(string(k)).Inc()
+	e.planMu.Lock()
+	e.planCounts[k]++
+	e.planMu.Unlock()
+}
+
+// PlanSelections returns how many times the optimizer has chosen each plan
+// kind on this engine, keyed by kind name — surfaced in /v1/stats.
+func (e *Engine) PlanSelections() map[string]uint64 {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	out := make(map[string]uint64, len(e.planCounts))
+	for k, n := range e.planCounts {
+		out[string(k)] = n
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Executors: one per result shape, each dispatching on the chosen physical
+// plan. Exact plans differ only in where the two reaching distributions
+// come from (propagated vector, materialized row, or subset row), so they
+// share the combine/normalize tails and stay bit-identical.
+
+// pairVectors resolves the two reaching distributions of a pair query under
+// the chosen plan.
+func (e *Engine) pairVectors(ctx context.Context, lp LogicalPlan, kind PlanKind) (left, right *sparse.Vector, err error) {
+	h := lp.h
+	switch kind {
+	case PlanPairVectors:
+		if left, err = e.opVectorChain(ctx, lp.Src, h.left()); err != nil {
+			return nil, nil, err
+		}
+		right, err = e.opVectorChain(ctx, lp.Dst, h.right())
+	case PlanSingleVsMatrix:
+		if left, err = e.opVectorChain(ctx, lp.Src, h.left()); err != nil {
+			return nil, nil, err
+		}
+		var pmr *sparse.Matrix
+		if pmr, err = e.opMatrixChain(ctx, h.right()); err == nil {
+			right = pmr.Row(lp.Dst)
+		}
+	case PlanAllPairs:
+		var pml, pmr *sparse.Matrix
+		if pml, err = e.opMatrixChain(ctx, h.left()); err != nil {
+			return nil, nil, err
+		}
+		if pmr, err = e.opMatrixChain(ctx, h.right()); err == nil {
+			left, right = pml.Row(lp.Src), pmr.Row(lp.Dst)
+		}
+	default:
+		err = fmt.Errorf("%w: %s cannot answer a pair query", ErrPlanNotApplicable, kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+func (e *Engine) execPair(ctx context.Context, lp LogicalPlan, d PlanDecision) (float64, error) {
+	if d.Kind == PlanMonteCarlo {
+		res, err := e.pairMC(ctx, lp.Path, lp.Src, lp.Dst, lp.Opts.Walks, lp.Opts.Seed)
+		return res.Score, err
+	}
+	left, right, err := e.pairVectors(ctx, lp, d.Kind)
+	if err != nil {
+		return 0, err
+	}
+	sp := obs.FromContext(ctx).Start("normalize")
+	defer sp.End()
+	if e.normalized {
+		return left.Cosine(right), nil
+	}
+	return left.Dot(right), nil
+}
+
+// leftVector resolves a single-source query's left reaching distribution:
+// propagated for single-vs-matrix, a materialized row for all-pairs.
+func (e *Engine) leftVector(ctx context.Context, lp LogicalPlan, kind PlanKind) (*sparse.Vector, error) {
+	switch kind {
+	case PlanSingleVsMatrix:
+		return e.opVectorChain(ctx, lp.Src, lp.h.left())
+	case PlanAllPairs:
+		pml, err := e.opMatrixChain(ctx, lp.h.left())
+		if err != nil {
+			return nil, err
+		}
+		return pml.Row(lp.Src), nil
+	}
+	return nil, fmt.Errorf("%w: %s cannot answer a %s query", ErrPlanNotApplicable, kind, lp.Shape)
+}
+
+func (e *Engine) execSingleSource(ctx context.Context, lp LogicalPlan, d PlanDecision) ([]float64, error) {
+	if d.Kind == PlanMonteCarlo {
+		return e.singleSourceMC(ctx, lp.Path, lp.Src, lp.Opts.Walks, lp.Opts.Seed)
+	}
+	tr := obs.FromContext(ctx)
+	left, err := e.leftVector(ctx, lp, d.Kind)
+	if err != nil {
+		return nil, err
+	}
+	pmr, err := e.opMatrixChain(ctx, lp.h.right())
+	if err != nil {
+		return nil, err
+	}
+	sp := tr.Start("combine")
+	scores := pmr.MulVec(left.Dense())
+	if sp != nil {
+		sp.SetAttr("targets", strconv.Itoa(len(scores))).End()
+	}
+	sp = tr.Start("normalize")
+	if e.normalized {
+		rns := e.chainRowNorms(e.chainCacheKey(lp.h.right()), pmr)
+		normalizeSingleSource(scores, left.Norm(), rns)
+	}
+	sp.End()
+	return scores, nil
+}
+
+func (e *Engine) execTopK(ctx context.Context, lp LogicalPlan, d PlanDecision) ([]Scored, error) {
+	if d.Kind == PlanMonteCarlo {
+		scores, err := e.singleSourceMC(ctx, lp.Path, lp.Src, lp.Opts.Walks, lp.Opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return rankScores(scores, lp.K), nil
+	}
+	left, err := e.leftVector(ctx, lp, d.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return e.topKFrom(ctx, lp.Path, lp.h, left, lp.K, lp.Eps)
+}
+
+// rankScores ranks a dense score vector exactly the way topKFrom ranks:
+// descending by score, ties by ascending index, zeros dropped.
+func rankScores(scores []float64, k int) []Scored {
+	out := make([]Scored, 0, k)
+	for i, s := range scores {
+		if s != 0 {
+			out = append(out, Scored{Index: i, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+func (e *Engine) execAllPairs(ctx context.Context, lp LogicalPlan, d PlanDecision) (*sparse.Matrix, error) {
+	if d.Kind != PlanAllPairs {
+		return nil, fmt.Errorf("%w: %s cannot answer an all-pairs query", ErrPlanNotApplicable, d.Kind)
+	}
+	tr := obs.FromContext(ctx)
+	h := lp.h
+	pml, err := e.opMatrixChain(ctx, h.left())
+	if err != nil {
+		return nil, err
+	}
+	pmr, err := e.opMatrixChain(ctx, h.right())
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp := tr.Start("combine")
+	rel := pml.MulAuto(pmr.Transpose())
+	if sp != nil {
+		spanMatrixAttrs(sp, 'B', "combine", rel).End()
+	}
+	if !e.normalized {
+		return rel, nil
+	}
+	sp = tr.Start("normalize")
+	defer sp.End()
+	ln := e.chainRowNorms(e.chainCacheKey(h.left()), pml)
+	rn := e.chainRowNorms(e.chainCacheKey(h.right()), pmr)
+	li := make([]float64, len(ln))
+	for i, x := range ln {
+		li[i] = invNorm(x)
+	}
+	ri := make([]float64, len(rn))
+	for i, x := range rn {
+		ri[i] = invNorm(x)
+	}
+	return rel.ScaleRows(li).ScaleCols(ri), nil
+}
+
+func invNorm(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+func (e *Engine) execSubset(ctx context.Context, lp LogicalPlan, d PlanDecision) (*sparse.Matrix, error) {
+	h := lp.h
+	var subL, subR *sparse.Matrix
+	switch d.Kind {
+	case PlanAllPairs:
+		pml, err := e.opMatrixChain(ctx, h.left())
+		if err != nil {
+			return nil, err
+		}
+		pmr, err := e.opMatrixChain(ctx, h.right())
+		if err != nil {
+			return nil, err
+		}
+		subL, subR = pml.SelectRows(lp.Srcs), pmr.SelectRows(lp.Dsts)
+	case PlanSubsetChain:
+		var err error
+		if subL, err = e.opSubsetChain(ctx, lp.Srcs, h.left()); err != nil {
+			return nil, err
+		}
+		if subR, err = e.opSubsetChain(ctx, lp.Dsts, h.right()); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: %s cannot answer a subset query", ErrPlanNotApplicable, d.Kind)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rel, err := mulBlockedCtx(ctx, subL, subR.Transpose())
+	if err != nil {
+		return nil, err
+	}
+	if !e.normalized {
+		return rel, nil
+	}
+	ln := subL.RowNorms()
+	rn := subR.RowNorms()
+	for i := range ln {
+		ln[i] = invNorm(ln[i])
+	}
+	for i := range rn {
+		rn[i] = invNorm(rn[i])
+	}
+	return rel.ScaleRows(ln).ScaleCols(rn), nil
+}
+
+// ---------------------------------------------------------------------------
+// Plan-aware public entry points. The legacy methods (PairByIndex,
+// SingleSourceByIndex, TopKSearch, AllPairs, PairsSubset) are thin wrappers
+// over these with zero PlanOptions.
+
+// PairWithPlan computes HeteSim(src, dst | p) through the optimizer,
+// returning the score and the plan decision that produced it.
+func (e *Engine) PairWithPlan(ctx context.Context, p *metapath.Path, src, dst int, o PlanOptions) (float64, PlanDecision, error) {
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return 0, PlanDecision{}, err
+	}
+	if err := e.checkIndex(p.Target(), dst); err != nil {
+		return 0, PlanDecision{}, err
+	}
+	lp := LogicalPlan{Path: p, Shape: ShapePair, Src: src, Dst: dst, Opts: o, h: splitPath(p)}
+	d, err := e.optimize(ctx, lp)
+	if err != nil {
+		return 0, d, err
+	}
+	kind := "pair"
+	if d.Kind == PlanMonteCarlo {
+		kind = "mc_pair"
+	}
+	start := time.Now()
+	defer func() { observeQuery(kind, time.Since(start).Seconds()) }()
+	score, err := e.execPair(ctx, lp, d)
+	return score, d, err
+}
+
+// SingleSourceWithPlan computes the scores of one source against every
+// target through the optimizer.
+func (e *Engine) SingleSourceWithPlan(ctx context.Context, p *metapath.Path, src int, o PlanOptions) ([]float64, PlanDecision, error) {
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return nil, PlanDecision{}, err
+	}
+	lp := LogicalPlan{Path: p, Shape: ShapeSingleSource, Src: src, Opts: o, h: splitPath(p)}
+	d, err := e.optimize(ctx, lp)
+	if err != nil {
+		return nil, d, err
+	}
+	kind := "single_source"
+	if d.Kind == PlanMonteCarlo {
+		kind = "mc_single_source"
+	}
+	start := time.Now()
+	defer func() { observeQuery(kind, time.Since(start).Seconds()) }()
+	scores, err := e.execSingleSource(ctx, lp, d)
+	return scores, d, err
+}
+
+// TopKSearchWithPlan runs a top-k search through the optimizer. The Monte
+// Carlo plan ranks walk frequencies and ignores eps.
+func (e *Engine) TopKSearchWithPlan(ctx context.Context, p *metapath.Path, src, k int, eps float64, o PlanOptions) ([]Scored, PlanDecision, error) {
+	if k <= 0 {
+		return nil, PlanDecision{}, fmt.Errorf("core: TopKSearch k=%d must be positive", k)
+	}
+	if eps < 0 || eps >= 1 {
+		return nil, PlanDecision{}, fmt.Errorf("core: TopKSearch eps=%v outside [0,1)", eps)
+	}
+	if err := e.checkIndex(p.Source(), src); err != nil {
+		return nil, PlanDecision{}, err
+	}
+	lp := LogicalPlan{Path: p, Shape: ShapeTopK, Src: src, K: k, Eps: eps, Opts: o, h: splitPath(p)}
+	d, err := e.optimize(ctx, lp)
+	if err != nil {
+		return nil, d, err
+	}
+	out, err := e.execTopK(ctx, lp, d)
+	return out, d, err
+}
+
+// AllPairsWithPlan computes the full relevance matrix through the
+// optimizer (which has exactly one exact plan for this shape; forcing any
+// other fails with ErrPlanNotApplicable).
+func (e *Engine) AllPairsWithPlan(ctx context.Context, p *metapath.Path, o PlanOptions) (*sparse.Matrix, PlanDecision, error) {
+	lp := LogicalPlan{Path: p, Shape: ShapeAllPairs, Opts: o, h: splitPath(p)}
+	d, err := e.optimize(ctx, lp)
+	if err != nil {
+		return nil, d, err
+	}
+	start := time.Now()
+	defer func() { observeQuery("all_pairs", time.Since(start).Seconds()) }()
+	m, err := e.execAllPairs(ctx, lp, d)
+	return m, d, err
+}
+
+// PairsSubsetWithPlan computes the relevance matrix restricted to the given
+// source and target subsets through the optimizer, choosing between
+// materializing the halves and the uncached selector-subset propagation.
+func (e *Engine) PairsSubsetWithPlan(ctx context.Context, p *metapath.Path, srcs, dsts []int, o PlanOptions) (*sparse.Matrix, PlanDecision, error) {
+	for _, i := range srcs {
+		if err := e.checkIndex(p.Source(), i); err != nil {
+			return nil, PlanDecision{}, err
+		}
+	}
+	for _, j := range dsts {
+		if err := e.checkIndex(p.Target(), j); err != nil {
+			return nil, PlanDecision{}, err
+		}
+	}
+	lp := LogicalPlan{Path: p, Shape: ShapeSubset, Srcs: srcs, Dsts: dsts, Opts: o, h: splitPath(p)}
+	d, err := e.optimize(ctx, lp)
+	if err != nil {
+		return nil, d, err
+	}
+	m, err := e.execSubset(ctx, lp, d)
+	return m, d, err
+}

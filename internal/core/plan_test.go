@@ -1,0 +1,368 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hetesim/internal/metapath"
+)
+
+// Forcing any exact physical plan must return bit-identical scores: the
+// operators accumulate contributions in the same ascending-index order
+// regardless of whether distributions are propagated, materialized, or
+// selected, so `==` holds — not just approximate equality.
+func TestForcedPlansBitIdentical(t *testing.T) {
+	exactPlans := []PlanKind{PlanPairVectors, PlanSingleVsMatrix, PlanAllPairs}
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomBibGraph(seed)
+		rng := rand.New(rand.NewSource(seed))
+		for _, spec := range []string{"APVCVPA", "APTPA", "APT", "APVC"} { // even and odd paths
+			p := metapath.MustParse(g.Schema(), spec)
+			nSrc := g.NodeCount(p.Source())
+			nDst := g.NodeCount(p.Target())
+			src, dst := rng.Intn(nSrc), rng.Intn(nDst)
+
+			// Pair: every exact plan on a fresh engine, compared exactly.
+			var base float64
+			for i, kind := range exactPlans {
+				e := NewEngine(g)
+				score, d, err := e.PairWithPlan(context.Background(), p, src, dst, PlanOptions{Force: kind})
+				if err != nil {
+					t.Fatalf("seed %d %s plan %s: %v", seed, spec, kind, err)
+				}
+				if d.Kind != kind || !d.Forced {
+					t.Fatalf("decision = %+v, want forced %s", d, kind)
+				}
+				if i == 0 {
+					base = score
+				} else if score != base {
+					t.Errorf("seed %d %s: plan %s score %v != pair-vectors %v",
+						seed, spec, kind, score, base)
+				}
+			}
+
+			// Single-source: the two applicable exact plans, element-exact.
+			var baseScores []float64
+			for i, kind := range []PlanKind{PlanSingleVsMatrix, PlanAllPairs} {
+				e := NewEngine(g)
+				scores, _, err := e.SingleSourceWithPlan(context.Background(), p, src, PlanOptions{Force: kind})
+				if err != nil {
+					t.Fatalf("seed %d %s single-source %s: %v", seed, spec, kind, err)
+				}
+				if i == 0 {
+					baseScores = scores
+					continue
+				}
+				for j := range scores {
+					if scores[j] != baseScores[j] {
+						t.Errorf("seed %d %s: single-source %s[%d] = %v, want %v",
+							seed, spec, kind, j, scores[j], baseScores[j])
+					}
+				}
+			}
+
+			// Top-k: identical ranked lists under both plans.
+			var baseTop []Scored
+			for i, kind := range []PlanKind{PlanSingleVsMatrix, PlanAllPairs} {
+				e := NewEngine(g)
+				top, _, err := e.TopKSearchWithPlan(context.Background(), p, src, 5, 0, PlanOptions{Force: kind})
+				if err != nil {
+					t.Fatalf("seed %d %s topk %s: %v", seed, spec, kind, err)
+				}
+				if i == 0 {
+					baseTop = top
+					continue
+				}
+				if len(top) != len(baseTop) {
+					t.Fatalf("seed %d %s: topk %s returned %d results, want %d",
+						seed, spec, kind, len(top), len(baseTop))
+				}
+				for j := range top {
+					if top[j] != baseTop[j] {
+						t.Errorf("seed %d %s: topk %s[%d] = %+v, want %+v",
+							seed, spec, kind, j, top[j], baseTop[j])
+					}
+				}
+			}
+
+			// Subset: materialized selection vs selector-chain propagation.
+			srcs := []int{src, (src + 1) % nSrc}
+			dsts := []int{dst, (dst + 1) % nDst}
+			eA := NewEngine(g)
+			mA, _, err := eA.PairsSubsetWithPlan(context.Background(), p, srcs, dsts, PlanOptions{Force: PlanAllPairs})
+			if err != nil {
+				t.Fatalf("subset all-pairs: %v", err)
+			}
+			eB := NewEngine(g)
+			mB, dB, err := eB.PairsSubsetWithPlan(context.Background(), p, srcs, dsts, PlanOptions{Force: PlanSubsetChain})
+			if err != nil {
+				t.Fatalf("subset subset-chain: %v", err)
+			}
+			if dB.Kind != PlanSubsetChain {
+				t.Fatalf("subset decision = %+v", dB)
+			}
+			for i := range srcs {
+				for j := range dsts {
+					if mA.At(i, j) != mB.At(i, j) {
+						t.Errorf("seed %d %s subset (%d,%d): all-pairs %v != subset-chain %v",
+							seed, spec, i, j, mA.At(i, j), mB.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// The Monte Carlo plan is the one plan allowed to deviate — within sampling
+// error (O(1/sqrt(walks)); 20k walks keeps a [0,1] score within 0.08 in
+// practice, mirroring the montecarlo_test tolerances).
+func TestForcedMonteCarloWithinTolerance(t *testing.T) {
+	g := randomBibGraph(17)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+	e := NewEngine(g)
+	exact, _, err := e.PairWithPlan(context.Background(), p, 0, 1, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, d, err := e.PairWithPlan(context.Background(), p, 0, 1,
+		PlanOptions{Force: PlanMonteCarlo, Walks: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanMonteCarlo || !d.Approximate || !d.Forced {
+		t.Fatalf("decision = %+v", d)
+	}
+	if math.Abs(score-exact) > 0.08 {
+		t.Errorf("monte-carlo = %v, exact = %v", score, exact)
+	}
+}
+
+// Auto selection must respond to the live signals: cold single queries
+// propagate vectors, warm caches flip to materialized-row plans, and an
+// amortization hint flips to materialization even when cold.
+func TestPlanChoiceFlips(t *testing.T) {
+	g := randomBibGraph(29)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+	ctx := context.Background()
+
+	e := NewEngine(g)
+	_, d, err := e.PairWithPlan(ctx, p, 0, 1, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanPairVectors {
+		t.Errorf("cold single pair chose %s, want %s", d.Kind, PlanPairVectors)
+	}
+	if d.WarmLeft || d.WarmRight {
+		t.Errorf("cold engine reported warm halves: %+v", d)
+	}
+
+	// Warm both half-chains: materialization is now free, so row lookups
+	// beat re-propagating vectors.
+	if err := e.Precompute(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	_, d, err = e.PairWithPlan(ctx, p, 0, 1, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanAllPairs {
+		t.Errorf("warm pair chose %s, want %s", d.Kind, PlanAllPairs)
+	}
+	if !d.WarmLeft || !d.WarmRight {
+		t.Errorf("warm engine did not report warmth: %+v", d)
+	}
+	if d.Est.Materialize != 0 {
+		t.Errorf("warm plan estimates materialization cost %v, want 0", d.Est.Materialize)
+	}
+
+	// A cold engine with a huge amortization hint also flips to
+	// materialization: the one-time cost divides away.
+	e2 := NewEngine(g)
+	_, d, err = e2.PairWithPlan(ctx, p, 0, 1, PlanOptions{Queries: 1_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind == PlanPairVectors {
+		t.Errorf("10^9-query hint still chose %s", d.Kind)
+	}
+
+	// Pruning pins the legacy plan regardless of warmth: matrix chains
+	// prune per step, vector chains do not, so switching would move scores.
+	ep := NewEngine(g, WithPruning(0.01))
+	if err := ep.Precompute(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	_, d, err = ep.PairWithPlan(ctx, p, 0, 1, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanPairVectors {
+		t.Errorf("pruned engine chose %s, want pinned %s", d.Kind, PlanPairVectors)
+	}
+}
+
+// Explain shares the optimizer's cost model, so a precomputed path reports
+// free materialization and flags the warm halves.
+func TestExplainReportsCacheWarmth(t *testing.T) {
+	g := randomBibGraph(31)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+	e := NewEngine(g)
+	_, cold, err := e.Explain(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range cold {
+		if pe.Kind != PlanPairVectors && pe.Materialize == 0 {
+			t.Errorf("cold %s reports free materialization", pe.Kind)
+		}
+	}
+	if err := e.Precompute(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	out, warm, err := e.Explain(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range warm {
+		if pe.Materialize != 0 {
+			t.Errorf("warm %s reports materialization cost %v, want 0", pe.Kind, pe.Materialize)
+		}
+	}
+	if !strings.Contains(out, "warm") {
+		t.Errorf("warm Explain output does not mention cache warmth:\n%s", out)
+	}
+}
+
+// With a walk budget and a deadline too short for the exact plan, the
+// optimizer proactively downgrades to Monte Carlo instead of letting the
+// exact plan burn the deadline and fail.
+func TestDeadlineForcesMonteCarlo(t *testing.T) {
+	old := planFlopsPerSecond
+	planFlopsPerSecond = 1e-6 // any exact plan now looks hopeless
+	defer func() { planFlopsPerSecond = old }()
+
+	g := randomBibGraph(37)
+	p := metapath.MustParse(g.Schema(), "APVCVPA")
+	e := NewEngine(g)
+	ctx, cancel := context.WithTimeout(context.Background(), 5e9) // 5s: generous for the walks
+	defer cancel()
+	_, d, err := e.SingleSourceWithPlan(ctx, p, 0, PlanOptions{Walks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanMonteCarlo || !d.Approximate {
+		t.Fatalf("decision = %+v, want deadline-driven monte-carlo", d)
+	}
+	if d.Forced {
+		t.Error("deadline downgrade should not report forced")
+	}
+
+	// Without a walk budget the same deadline keeps the exact plan: there
+	// is no approximate fallback to downgrade to.
+	_, d, err = e.SingleSourceWithPlan(ctx, p, 0, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind == PlanMonteCarlo {
+		t.Error("downgraded to monte-carlo without a walk budget")
+	}
+}
+
+func TestForcedPlanNotApplicable(t *testing.T) {
+	g := randomBibGraph(41)
+	p := metapath.MustParse(g.Schema(), "APVC")
+	e := NewEngine(g)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"pair-vectors for single-source", func() error {
+			_, _, err := e.SingleSourceWithPlan(ctx, p, 0, PlanOptions{Force: PlanPairVectors})
+			return err
+		}()},
+		{"subset-chain for pair", func() error {
+			_, _, err := e.PairWithPlan(ctx, p, 0, 0, PlanOptions{Force: PlanSubsetChain})
+			return err
+		}()},
+		{"monte-carlo without walks", func() error {
+			_, _, err := e.PairWithPlan(ctx, p, 0, 0, PlanOptions{Force: PlanMonteCarlo})
+			return err
+		}()},
+		{"pair-vectors for all-pairs", func() error {
+			_, _, err := e.AllPairsWithPlan(ctx, p, PlanOptions{Force: PlanPairVectors})
+			return err
+		}()},
+		{"monte-carlo for subset", func() error {
+			_, _, err := e.PairsSubsetWithPlan(ctx, p, []int{0}, []int{0}, PlanOptions{Force: PlanMonteCarlo, Walks: 100})
+			return err
+		}()},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, ErrPlanNotApplicable) {
+			t.Errorf("%s: err = %v, want ErrPlanNotApplicable", c.name, c.err)
+		}
+	}
+}
+
+func TestParsePlanKind(t *testing.T) {
+	for _, s := range []string{"", "auto", "pair-vectors", "single-vs-matrix", "all-pairs", "subset-chain", "monte-carlo"} {
+		if _, err := ParsePlanKind(s); err != nil {
+			t.Errorf("ParsePlanKind(%q) = %v", s, err)
+		}
+	}
+	if _, err := ParsePlanKind("bogus"); !errors.Is(err, ErrPlanNotApplicable) {
+		t.Errorf("bogus plan err = %v", err)
+	}
+}
+
+func TestPlanSelectionCounters(t *testing.T) {
+	g := randomBibGraph(43)
+	p := metapath.MustParse(g.Schema(), "APVC")
+	e := NewEngine(g)
+	ctx := context.Background()
+	if _, _, err := e.PairWithPlan(ctx, p, 0, 0, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.PairWithPlan(ctx, p, 0, 0, PlanOptions{Force: PlanAllPairs}); err != nil {
+		t.Fatal(err)
+	}
+	counts := e.PlanSelections()
+	if counts[string(PlanPairVectors)] != 1 {
+		t.Errorf("pair-vectors count = %d, want 1 (counts %v)", counts[string(PlanPairVectors)], counts)
+	}
+	if counts[string(PlanAllPairs)] != 1 {
+		t.Errorf("all-pairs count = %d, want 1 (counts %v)", counts[string(PlanAllPairs)], counts)
+	}
+}
+
+// The legacy entry points are wrappers over the planner; their scores must
+// not have moved. (The broader regression suite covers values; this pins the
+// wrapper wiring itself.)
+func TestLegacyEntryPointsDelegate(t *testing.T) {
+	g := randomBibGraph(47)
+	p := metapath.MustParse(g.Schema(), "APVC")
+	e := NewEngine(g)
+	ctx := context.Background()
+	legacy, err := e.PairByIndex(ctx, p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, d, err := e.PairWithPlan(ctx, p, 0, 0, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != planned {
+		t.Errorf("PairByIndex = %v, PairWithPlan = %v", legacy, planned)
+	}
+	if len(e.PlanSelections()) == 0 {
+		t.Error("legacy entry point did not go through the optimizer")
+	}
+	_ = d
+}

@@ -51,67 +51,37 @@ type PlanEstimate struct {
 	Description string
 }
 
-// Explain estimates the cost of every applicable plan for a query on path
-// p, cheapest first, and renders a report. queries is the anticipated
+// Explain estimates the cost of every applicable pair plan for a query on
+// path p, cheapest first, and renders a report. queries is the anticipated
 // number of queries on this path: materialization costs amortize over it
-// (Section 4.6's offline materialization trade-off made explicit).
+// (Section 4.6's offline materialization trade-off made explicit). It runs
+// the same candidate generator the optimizer executes with, including the
+// live cache-warmth signal: a half-chain already materialized reports
+// Materialize: 0 and is flagged warm in the report.
 func (e *Engine) Explain(p *metapath.Path, queries int) (string, []PlanEstimate, error) {
 	if queries < 1 {
 		queries = 1
 	}
 	h := splitPath(p)
-	left, err := e.estimateChain(h.leftSteps, h.middle, 'L')
+	cm, err := e.costModelFor(h)
 	if err != nil {
 		return "", nil, err
 	}
-	right, err := e.estimateChain(h.rightSteps, h.middle, 'R')
-	if err != nil {
-		return "", nil, err
-	}
-	q := float64(queries)
+	lp := LogicalPlan{Path: p, Shape: ShapePair, Opts: PlanOptions{Queries: queries}, h: h}
+	plans := e.planCandidates(cm, lp)
 
-	// pair-vectors: one sparse row through each chain per query.
-	pairPer := left.Flops/float64(maxInt(left.Rows, 1)) +
-		right.Flops/float64(maxInt(right.Rows, 1))
-	plans := []PlanEstimate{{
-		Kind:        PlanPairVectors,
-		Flops:       pairPer * q,
-		Description: "propagate sparse vectors from both endpoints, combine at the meeting type",
-	}}
-
-	// single-vs-matrix: materialize the right half once, then one left
-	// vector + one matrix-vector product per query.
-	svPer := left.Flops/float64(maxInt(left.Rows, 1)) + right.NNZ
-	plans = append(plans, PlanEstimate{
-		Kind:        PlanSingleVsMatrix,
-		Flops:       right.Flops + svPer*q,
-		Materialize: right.Flops,
-		Description: "materialize the right half; per query, one vector chain and one SpMV",
-	})
-
-	// all-pairs: materialize both halves and their product once; queries
-	// are lookups.
-	product := left.NNZ * right.NNZ / float64(maxInt(left.Cols, 1))
-	plans = append(plans, PlanEstimate{
-		Kind:        PlanAllPairs,
-		Flops:       left.Flops + right.Flops + product,
-		Materialize: left.Flops + right.Flops + product,
-		Description: "materialize the full relevance matrix; queries are lookups",
-	})
-
-	// Order cheapest first (stable for ties).
-	for i := 1; i < len(plans); i++ {
-		for j := i; j > 0 && plans[j].Flops < plans[j-1].Flops; j-- {
-			plans[j], plans[j-1] = plans[j-1], plans[j]
+	warm := func(w bool) string {
+		if w {
+			return " (warm: cached, materialization free)"
 		}
+		return ""
 	}
-
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXPLAIN %s (%d queries)\n", p, queries)
-	fmt.Fprintf(&b, "  left half : %d x %d, ~%.0f nnz, ~%.0f flops to materialize\n",
-		left.Rows, left.Cols, left.NNZ, left.Flops)
-	fmt.Fprintf(&b, "  right half: %d x %d, ~%.0f nnz, ~%.0f flops to materialize\n",
-		right.Rows, right.Cols, right.NNZ, right.Flops)
+	fmt.Fprintf(&b, "  left half : %d x %d, ~%.0f nnz, ~%.0f flops to materialize%s\n",
+		cm.left.Rows, cm.left.Cols, cm.left.NNZ, cm.left.Flops, warm(cm.warmLeft))
+	fmt.Fprintf(&b, "  right half: %d x %d, ~%.0f nnz, ~%.0f flops to materialize%s\n",
+		cm.right.Rows, cm.right.Cols, cm.right.NNZ, cm.right.Flops, warm(cm.warmRight))
 	for i, pl := range plans {
 		marker := "  "
 		if i == 0 {
@@ -132,6 +102,12 @@ func (e *Engine) estimateChain(steps []metapath.Step, middle *metapath.Step, sid
 	rows := e.g.NodeCount(startType)
 	est := ChainEstimate{Rows: rows, Cols: rows, NNZ: float64(rows)} // identity
 	support := 1.0                                                   // expected nnz per row
+	// Per-step pruning drops entries below eps; a sub-stochastic row keeps
+	// at most 1/eps of them, capping the support growth of pruned chains.
+	pruneCap := 0.0
+	if e.pruneEps > 0 {
+		pruneCap = 1 / e.pruneEps
+	}
 	advance := func(stepRows, stepCols int, stepNNZ float64) {
 		if stepRows == 0 {
 			support = 0
@@ -144,6 +120,9 @@ func (e *Engine) estimateChain(steps []metapath.Step, middle *metapath.Step, sid
 		support *= avg
 		if support > float64(stepCols) {
 			support = float64(stepCols)
+		}
+		if pruneCap > 0 && support > pruneCap {
+			support = pruneCap
 		}
 		est.Cols = stepCols
 		est.NNZ = float64(rows) * support
@@ -197,12 +176,12 @@ func (e *Engine) ChainStats(ctx context.Context, p *metapath.Path, materialize b
 	if !materialize {
 		return
 	}
-	pml, err2 := e.chainMatrix(ctx, h.leftSteps, h.middle, 'L')
+	pml, err2 := e.opMatrixChain(ctx, h.left())
 	if err2 != nil {
 		err = err2
 		return
 	}
-	pmr, err2 := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
+	pmr, err2 := e.opMatrixChain(ctx, h.right())
 	if err2 != nil {
 		err = err2
 		return

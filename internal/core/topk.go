@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sort"
 
 	"hetesim/internal/metapath"
@@ -25,21 +24,8 @@ type Scored struct {
 // exact answer; small eps (e.g. 1e-3) trades a bounded score error for a
 // sparser scan.
 func (e *Engine) TopKSearch(ctx context.Context, p *metapath.Path, src, k int, eps float64) ([]Scored, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: TopKSearch k=%d must be positive", k)
-	}
-	if eps < 0 || eps >= 1 {
-		return nil, fmt.Errorf("core: TopKSearch eps=%v outside [0,1)", eps)
-	}
-	if err := e.checkIndex(p.Source(), src); err != nil {
-		return nil, err
-	}
-	h := splitPath(p)
-	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
-	if err != nil {
-		return nil, err
-	}
-	return e.topKFrom(ctx, p, h, left, k, eps)
+	out, _, err := e.TopKSearchWithPlan(ctx, p, src, k, eps, PlanOptions{})
+	return out, err
 }
 
 // topKFrom runs the candidate-restricted top-k scan from an already
@@ -66,7 +52,7 @@ func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left 
 		})
 		left = sparse.NewVector(left.Len(), idx, val)
 	}
-	pmrT, err := e.rightTranspose(ctx, h)
+	pmrT, err := e.opTransposedChain(ctx, h.right())
 	if err != nil {
 		return nil, err
 	}
@@ -91,11 +77,11 @@ func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left 
 	var ln float64
 	if e.normalized {
 		ln = left.Norm()
-		pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
+		pmr, err := e.opMatrixChain(ctx, h.right())
 		if err != nil {
 			return nil, err
 		}
-		rns = e.chainRowNorms(e.chainFullKey(h.rightSteps, h.middle, 'R'), pmr)
+		rns = e.chainRowNorms(e.chainCacheKey(h.right()), pmr)
 	}
 	out := make([]Scored, 0, len(touched))
 	for _, b := range touched {
@@ -120,20 +106,4 @@ func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left 
 		k = len(out)
 	}
 	return out[:k], nil
-}
-
-// rightTranspose caches the transposed right-half matrix, giving
-// middle-object → target access for candidate-restricted scans.
-func (e *Engine) rightTranspose(ctx context.Context, h halves) (*sparse.Matrix, error) {
-	key := "T:" + e.chainFullKey(h.rightSteps, h.middle, 'R')
-	if m, ok := e.cacheGet(key); ok {
-		return m, nil
-	}
-	pmr, err := e.chainMatrix(ctx, h.rightSteps, h.middle, 'R')
-	if err != nil {
-		return nil, err
-	}
-	t := pmr.Transpose()
-	e.cachePut(key, t)
-	return t, nil
 }

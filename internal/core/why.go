@@ -41,11 +41,11 @@ func (e *Engine) PairContributions(ctx context.Context, p *metapath.Path, src, d
 		return 0, nil, err
 	}
 	h := splitPath(p)
-	left, err := e.chainVector(ctx, src, h.leftSteps, h.middle, 'L')
+	left, err := e.opVectorChain(ctx, src, h.left())
 	if err != nil {
 		return 0, nil, err
 	}
-	right, err := e.chainVector(ctx, dst, h.rightSteps, h.middle, 'R')
+	right, err := e.opVectorChain(ctx, dst, h.right())
 	if err != nil {
 		return 0, nil, err
 	}

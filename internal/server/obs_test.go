@@ -215,7 +215,7 @@ func TestTraceInlinePair(t *testing.T) {
 	for _, sp := range body.Trace.Spans {
 		names[sp.Name]++
 	}
-	for _, want := range []string{"decode", "plan", "chain_multiply", "normalize"} {
+	for _, want := range []string{"decode", "plan_select", "chain_multiply", "normalize"} {
 		if names[want] == 0 {
 			t.Errorf("trace missing %q span; got %v", want, names)
 		}
@@ -262,7 +262,7 @@ func TestTraceInlineTopK(t *testing.T) {
 	for _, sp := range body.Trace.Spans {
 		names[sp.Name]++
 	}
-	for _, want := range []string{"decode", "plan", "combine", "normalize", "rank"} {
+	for _, want := range []string{"decode", "plan_select", "combine", "normalize", "rank"} {
 		if names[want] == 0 {
 			t.Errorf("trace missing %q span; got %v", want, names)
 		}

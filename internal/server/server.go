@@ -74,6 +74,7 @@ type Server struct {
 	maxPathSteps int           // longest accepted relevance path
 	degradeWalks int           // Monte Carlo walks for degraded answers; 0 = disabled
 	degradeGrace time.Duration // extra budget granted to the degraded plan
+	defaultPlan  core.PlanKind // forced physical plan when a request has no ?plan=; "" = auto
 
 	slowThreshold time.Duration // slow-query log admission bar; 0 = disabled
 	slowCapacity  int           // slow-query log ring size
@@ -133,6 +134,11 @@ func WithBatchLimits(maxQueries, workers int) Option {
 // from `walks` Monte Carlo walks instead, marking the response
 // "approximate": true. 0 (the default) disables the fallback.
 func WithDegradedTopK(walks int) Option { return func(s *Server) { s.degradeWalks = walks } }
+
+// WithDefaultPlan pins the physical plan of hetesim queries that carry no
+// explicit ?plan= override (the -force-plan daemon flag). Empty or
+// core.PlanAuto (the default) lets the cost-based optimizer choose.
+func WithDefaultPlan(kind core.PlanKind) Option { return func(s *Server) { s.defaultPlan = kind } }
 
 // WithEngineOptions forwards options (e.g. core.WithCacheLimit) to the
 // server's HeteSim engines.
@@ -523,6 +529,7 @@ func errorStatusCode(err error) (int, string) {
 		errors.Is(err, metapath.ErrEmptyPath),
 		errors.Is(err, metapath.ErrNotChained),
 		errors.Is(err, baseline.ErrAsymmetricPath),
+		errors.Is(err, core.ErrPlanNotApplicable),
 		errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, "bad_request"
 	}
@@ -609,12 +616,19 @@ func addCacheInfo(a, b core.CacheInfo) core.CacheInfo {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.current()
 	cache := addCacheInfo(es.engine.CacheStats(), es.raw.CacheStats())
+	// Optimizer selections per plan kind, merged over the normalized and
+	// raw engines (both serve hetesim queries).
+	plans := es.engine.PlanSelections()
+	for k, v := range es.raw.PlanSelections() {
+		plans[k] += v
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":           es.g.TotalNodes(),
 		"edges":           es.g.TotalEdges(),
 		"fingerprint":     fmt.Sprintf("%016x", es.fingerprint),
 		"cached_matrices": es.engine.CacheSize() + es.raw.CacheSize(),
 		"cache":           cache,
+		"plans":           plans,
 		// The configuration that produced the numbers above, so a stats
 		// snapshot is interpretable on its own.
 		"options": map[string]any{
@@ -656,6 +670,7 @@ type query struct {
 	source  string
 	measure string
 	raw     bool
+	plan    core.PlanKind // forced physical plan; PlanAuto lets the optimizer choose
 }
 
 func (s *Server) decodeQuery(es *engineSet, r *http.Request) (query, error) {
@@ -694,7 +709,19 @@ func (s *Server) decodeQuery(es *engineSet, r *http.Request) (query, error) {
 			return query{}, fmt.Errorf("%w: raw applies only to hetesim", errBadRequest)
 		}
 	}
-	return query{path: p, source: source, measure: measure, raw: raw}, nil
+	plan := core.PlanAuto
+	if v := q.Get("plan"); v != "" {
+		plan, err = core.ParsePlanKind(v)
+		if err != nil {
+			return query{}, err
+		}
+		if measure != "hetesim" && plan != core.PlanAuto {
+			return query{}, fmt.Errorf("%w: plan applies only to hetesim", errBadRequest)
+		}
+	} else if s.defaultPlan != "" {
+		plan = s.defaultPlan
+	}
+	return query{path: p, source: source, measure: measure, raw: raw, plan: plan}, nil
 }
 
 // degradeCtx returns a fresh context for the degraded plan of a request
@@ -713,13 +740,33 @@ func (s *Server) shouldDegrade(q query, err error) bool {
 }
 
 type pairBody struct {
-	Path        string      `json:"path"`
-	Source      string      `json:"source"`
-	Target      string      `json:"target"`
-	Measure     string      `json:"measure"`
-	Score       float64     `json:"score"`
-	Approximate bool        `json:"approximate,omitempty"`
-	Trace       *obs.Report `json:"trace,omitempty"`
+	Path        string        `json:"path"`
+	Source      string        `json:"source"`
+	Target      string        `json:"target"`
+	Measure     string        `json:"measure"`
+	Score       float64       `json:"score"`
+	Approximate bool          `json:"approximate,omitempty"`
+	Plan        *planInfoBody `json:"plan,omitempty"`
+	Trace       *obs.Report   `json:"trace,omitempty"`
+}
+
+// planInfoBody reports which physical plan answered a hetesim query and
+// what the optimizer estimated it would cost.
+type planInfoBody struct {
+	Kind     string  `json:"kind"`
+	EstFlops float64 `json:"est_flops"`
+	Forced   bool    `json:"forced,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+func planInfo(d core.PlanDecision) *planInfoBody {
+	return &planInfoBody{Kind: string(d.Kind), EstFlops: d.Est.Flops, Forced: d.Forced, Reason: d.Reason}
+}
+
+// reactivePlanInfo describes the Monte Carlo fallback taken after an exact
+// plan already blew its deadline mid-execution.
+func reactivePlanInfo() *planInfoBody {
+	return &planInfoBody{Kind: string(core.PlanMonteCarlo), Reason: "degraded after exact plan exceeded deadline"}
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -740,21 +787,41 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var score float64
+	var plan *planInfoBody
+	approximate := false
 	switch q.measure {
 	case "hetesim":
-		score, err = es.hetesim(q.raw).Pair(ctx, q.path, q.source, target)
+		var src, dst int
+		src, err = es.g.NodeIndex(q.path.Source(), q.source)
+		if err == nil {
+			dst, err = es.g.NodeIndex(q.path.Target(), target)
+		}
+		if err == nil {
+			var d core.PlanDecision
+			score, d, err = es.hetesim(q.raw).PairWithPlan(ctx, q.path, src, dst,
+				core.PlanOptions{Force: q.plan, Walks: s.degradeWalks})
+			if d.Kind != "" {
+				plan = planInfo(d)
+			}
+			if err == nil && d.Approximate {
+				approximate = true
+				if !d.Forced {
+					metDegraded.Inc() // proactive deadline-driven degrade
+				}
+			}
+		}
 	case "pcrw":
 		score, err = es.pcrw.Pair(ctx, q.path, q.source, target)
 	case "pathsim":
 		score, err = es.pathsim.Pair(ctx, q.path, q.source, target)
 	}
-	approximate := false
 	if err != nil && s.shouldDegrade(q, err) {
 		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
 		score, err = s.degradedPair(es, r, q, target)
 		approximate = err == nil
 		if approximate {
 			metDegraded.Inc()
+			plan = reactivePlanInfo()
 		}
 	}
 	if err != nil {
@@ -763,7 +830,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	}
 	body := pairBody{
 		Path: q.path.String(), Source: q.source, Target: target,
-		Measure: q.measure, Score: score, Approximate: approximate,
+		Measure: q.measure, Score: score, Approximate: approximate, Plan: plan,
 	}
 	if wantTrace(r) {
 		body.Trace = tr.Report(tr.Elapsed())
@@ -792,12 +859,13 @@ func (s *Server) degradedPair(es *engineSet, r *http.Request, q query, target st
 }
 
 type topKBody struct {
-	Path        string      `json:"path"`
-	Source      string      `json:"source"`
-	Measure     string      `json:"measure"`
-	Approximate bool        `json:"approximate,omitempty"`
-	Results     []hitBody   `json:"results"`
-	Trace       *obs.Report `json:"trace,omitempty"`
+	Path        string        `json:"path"`
+	Source      string        `json:"source"`
+	Measure     string        `json:"measure"`
+	Approximate bool          `json:"approximate,omitempty"`
+	Plan        *planInfoBody `json:"plan,omitempty"`
+	Results     []hitBody     `json:"results"`
+	Trace       *obs.Report   `json:"trace,omitempty"`
 }
 
 type hitBody struct {
@@ -941,21 +1009,38 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var scores []float64
+	var plan *planInfoBody
+	approximate := false
 	switch q.measure {
 	case "hetesim":
-		scores, err = es.hetesim(q.raw).SingleSource(ctx, q.path, q.source)
+		var src int
+		src, err = es.g.NodeIndex(q.path.Source(), q.source)
+		if err == nil {
+			var d core.PlanDecision
+			scores, d, err = es.hetesim(q.raw).SingleSourceWithPlan(ctx, q.path, src,
+				core.PlanOptions{Force: q.plan, Walks: s.degradeWalks})
+			if d.Kind != "" {
+				plan = planInfo(d)
+			}
+			if err == nil && d.Approximate {
+				approximate = true
+				if !d.Forced {
+					metDegraded.Inc() // proactive deadline-driven degrade
+				}
+			}
+		}
 	case "pcrw":
 		scores, err = es.pcrw.SingleSource(ctx, q.path, q.source)
 	case "pathsim":
 		scores, err = es.pathsim.SingleSource(ctx, q.path, q.source)
 	}
-	approximate := false
 	if err != nil && s.shouldDegrade(q, err) {
 		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
 		scores, err = s.degradedTopK(es, r, q)
 		approximate = err == nil
 		if approximate {
 			metDegraded.Inc()
+			plan = reactivePlanInfo()
 		}
 	}
 	if err != nil {
@@ -969,7 +1054,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure, Approximate: approximate}
+	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure, Approximate: approximate, Plan: plan}
 	for _, it := range items {
 		body.Results = append(body.Results, hitBody{ID: it.ID, Score: it.Score})
 	}
