@@ -40,11 +40,12 @@ obs-selftest:
 
 # Fault-injection recovery matrix under the race detector: kill-mid-write
 # at every byte offset, ENOSPC, torn renames, failed fsyncs, at-rest
-# corruption sweeps, and hot-reload under concurrent query load. Short
+# corruption sweeps, WAL torn-tail / duplicate-replay / crash-window
+# recovery, and hot-reload with concurrent queries and mutations. Short
 # mode keeps the corruption sweeps seeded-sample-sized; part of `make check`.
 chaos:
-	go test -race -short ./internal/snapshot ./internal/chaos
-	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart' ./internal/server
+	go test -race -short ./internal/snapshot ./internal/chaos ./internal/wal
+	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart|TestMutate' ./internal/server
 
 # Paper-property suite under the race detector: randomized symmetry /
 # self-maximum / semi-metric / indiscernibles checks (Properties 3-5)
@@ -58,9 +59,10 @@ check: vet staticcheck build test race obs-selftest chaos properties
 
 # Regenerate the committed benchmark baseline: every paper-table and
 # figure benchmark, the snapshot warm-vs-cold boot comparison, the
-# batch scheduler's sequential-vs-batched amortization run, and the
-# query-optimizer auto-vs-forced plan comparison, with allocation
-# stats, as JSON.
+# batch scheduler's sequential-vs-batched amortization run, the
+# query-optimizer auto-vs-forced plan comparison, and the incremental
+# mutation apply-vs-rematerialize comparison, with allocation stats,
+# as JSON.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan|BenchmarkIncremental' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

@@ -7,6 +7,7 @@
 //	        [-measure hetesim|pcrw|pathsim] [-raw] [-montecarlo walks]
 //	hetesim -graph g.json -enumerate author,conference [-maxlen 4]
 //	hetesim -graph g.json -batch queries.json
+//	hetesim -graph g.json -apply deltas.json [-out g2.json]
 //
 // With -target it prints the pair's relevance; without, the top-k most
 // related objects of the path's target type. -montecarlo estimates a pair
@@ -25,10 +26,17 @@
 // "source": "...", "target": "...", "k": 10, "eps": 0, "raw": false}]}.
 // Results (one per query, each with its own error) and the amortization
 // stats are printed as JSON.
+//
+// -apply is the offline counterpart of the daemon's POST /v1/admin/edges:
+// it applies a batch of mutation ops from a JSON file ("-" reads stdin;
+// {"ops": [{"op": "upsert_edge"|"delete_edge"|"add_node", ...}]}) to the
+// graph all-or-nothing and writes the mutated graph to -out ("-" = stdout,
+// the default). The batch's dirty summary is reported on stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +61,8 @@ func main() {
 		raw        = flag.Bool("raw", false, "report unnormalized HeteSim (meeting probability)")
 		montecarlo = flag.Int("montecarlo", 0, "approximate a pair with this many sampled walks")
 		batchFile  = flag.String("batch", "", "run the JSON batch request in this file (\"-\" = stdin) through the batch scheduler")
+		applyFile  = flag.String("apply", "", "apply the JSON mutation batch in this file (\"-\" = stdin) and write the mutated graph")
+		outFile    = flag.String("out", "-", "output file for -apply (\"-\" = stdout)")
 		enumerate  = flag.String("enumerate", "", "list relevance paths between two comma-separated types")
 		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate")
 		explain    = flag.Int("explain", 0, "print the query plans for -path amortized over this many queries")
@@ -67,6 +77,8 @@ func main() {
 	}
 	var err error
 	switch {
+	case *applyFile != "":
+		err = runApply(*graphPath, *applyFile, *outFile)
 	case *batchFile != "":
 		err = runBatch(*graphPath, *batchFile)
 	case *enumerate != "":
@@ -172,6 +184,52 @@ func reportPlan(d core.PlanDecision, err error) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "plan: %s (est %.3g flops, %s)\n", d.Kind, d.Est.Flops, d.Reason)
+}
+
+// runApply applies a mutation batch to the graph offline and writes the
+// result — the bulk-edit path for operators who stage graph changes in
+// files rather than through the daemon's mutation endpoint.
+func runApply(graphPath, applyFile, outFile string) error {
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	in := os.Stdin
+	if applyFile != "-" {
+		if in, err = os.Open(applyFile); err != nil {
+			return err
+		}
+		defer in.Close()
+	}
+	var batch struct {
+		Ops []hin.Op `json:"ops"`
+	}
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		return fmt.Errorf("decoding mutation batch: %w", err)
+	}
+	ng, dirty, err := g.Apply(batch.Ops)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outFile != "-" {
+		if out, err = os.Create(outFile); err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+	if err := hin.Write(out, ng); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "applied %d ops: %s -> %s (fingerprint %016x)\n",
+		len(batch.Ops), g.Stats(), ng.Stats(), ng.Fingerprint())
+	for rel := range dirty.EdgesChanged {
+		fmt.Fprintf(os.Stderr, "  %s: %d source rows, %d target rows perturbed\n",
+			rel, len(dirty.Rows[rel]), len(dirty.Cols[rel]))
+	}
+	return nil
 }
 
 func loadGraph(graphPath string) (*hin.Graph, error) {

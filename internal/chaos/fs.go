@@ -107,6 +107,25 @@ func (f *FS) CreateTemp(dir, pattern string) (snapshot.File, error) {
 
 func (f *FS) Open(name string) (snapshot.File, error) { return f.real.Open(name) }
 
+// OpenAppend meters appended bytes against the armed write fault, so
+// kill-at-every-byte-offset sweeps cover WAL appends exactly as they cover
+// snapshot saves.
+func (f *FS) OpenAppend(name string) (snapshot.File, error) {
+	f.mu.Lock()
+	err := f.createErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	file, ferr := f.real.OpenAppend(name)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &chaosFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Truncate(name string, size int64) error { return f.real.Truncate(name, size) }
+
 func (f *FS) Rename(oldpath, newpath string) error {
 	f.mu.Lock()
 	err := f.renameErr

@@ -52,7 +52,17 @@ func (e *Engine) chainStart(c chain) string {
 // chain prefix completed by that step ("" for the middle half-step, which
 // is never cached on its own). All four operators share this walker.
 func (e *Engine) propagate(ctx context.Context, c chain, apply func(u *sparse.Matrix, label, prefixKey string) error) error {
-	for i, s := range c.steps {
+	return e.propagateFrom(ctx, c, 0, apply)
+}
+
+// propagateFrom is propagate resuming after the first `from` steps — the
+// walker behind warm-prefix reuse, where a cached prefix matrix supplies the
+// state of the chain up to `from` and only the cold suffix is multiplied.
+// Prefix cache keys stay absolute (c.steps[:i+1] of the full chain), so a
+// resumed walk caches the same prefixes a cold walk would.
+func (e *Engine) propagateFrom(ctx context.Context, c chain, from int, apply func(u *sparse.Matrix, label, prefixKey string) error) error {
+	for i := from; i < len(c.steps); i++ {
+		s := c.steps[i]
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -124,8 +134,27 @@ func (e *Engine) opMatrixChain(ctx context.Context, c chain) (*sparse.Matrix, er
 			tr.Event("cache_miss", map[string]string{"key": fullKey, "side": string(c.side)})
 		}
 	}
+	// Resume from the longest cached prefix — the partial-path concatenation
+	// speedup of Section 4.6, and what makes a partially-warm chain cost
+	// only its cold suffix (the planner's chainColdFlops prices exactly
+	// this resumption).
 	pm := sparse.Identity(e.g.NodeCount(e.chainStart(c)))
-	err := e.propagate(ctx, c, func(u *sparse.Matrix, label, prefixKey string) error {
+	from := 0
+	if e.caching {
+		for i := len(c.steps) - 1; i >= 1; i-- {
+			if m, ok := e.cacheGet(e.chainFullKey(c.steps[:i], nil, c.side)); ok {
+				pm, from = m, i
+				if tr != nil {
+					tr.Event("prefix_hit", map[string]string{
+						"key":   e.chainFullKey(c.steps[:i], nil, c.side),
+						"steps": strconv.Itoa(i),
+					})
+				}
+				break
+			}
+		}
+	}
+	err := e.propagateFrom(ctx, c, from, func(u *sparse.Matrix, label, prefixKey string) error {
 		sp := tr.Start("chain_multiply")
 		pm = pm.MulAuto(u)
 		if e.pruneEps > 0 {

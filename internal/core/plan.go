@@ -129,12 +129,47 @@ type PlanDecision struct {
 var planFlopsPerSecond = 100e6
 
 // costModel is the optimizer's view of one path's two half-chains: their
-// estimated shapes plus the live cache-warmth signals.
+// estimated shapes plus the live cache-warmth signals. The cold* fields
+// price what materialization would actually cost given the cache: zero for
+// a warm chain, the cold-suffix flops for a partially warm one (the
+// executor resumes from the longest cached prefix), the full chain flops
+// when nothing is cached.
 type costModel struct {
 	left, right ChainEstimate
 	warmLeft    bool
 	warmRight   bool
-	warmRightT  bool // transposed right half (top-k scans) cached
+	warmRightT  bool    // transposed right half (top-k scans) cached
+	coldLeft    float64 // remaining flops to materialize the left half
+	coldRight   float64 // remaining flops to materialize the right half
+	coldRightT  float64 // remaining flops to materialize + transpose the right half
+}
+
+// chainColdFlops estimates the flops still needed to materialize a chain:
+// zero when it is already cached, otherwise the full-chain estimate minus
+// the estimate of the longest cached prefix — mirroring opMatrixChain's
+// prefix resumption, so a chain whose prefix was kept warm (or row-patched
+// by an incremental rewarm) is priced at its cold remainder only.
+func (e *Engine) chainColdFlops(c chain, est ChainEstimate) float64 {
+	if !e.caching {
+		return est.Flops
+	}
+	if e.chainWarm(e.chainCacheKey(c)) {
+		return 0
+	}
+	for i := len(c.steps) - 1; i >= 1; i-- {
+		if !e.chainWarm(e.chainFullKey(c.steps[:i], nil, c.side)) {
+			continue
+		}
+		pEst, err := e.estimateChainCached(chain{steps: c.steps[:i], side: c.side})
+		if err != nil {
+			break
+		}
+		if cold := est.Flops - pEst.Flops; cold > 0 {
+			return cold
+		}
+		return 0
+	}
+	return est.Flops
 }
 
 // chainWarm reports whether a chain key is already materialized. A
@@ -183,6 +218,13 @@ func (e *Engine) costModelFor(h halves) (costModel, error) {
 	cm.warmLeft = e.chainWarm(e.chainCacheKey(h.left()))
 	cm.warmRight = e.chainWarm(rightKey)
 	cm.warmRightT = e.chainWarm("T:" + rightKey)
+	cm.coldLeft = e.chainColdFlops(h.left(), cm.left)
+	cm.coldRight = e.chainColdFlops(h.right(), cm.right)
+	if cm.warmRightT {
+		cm.coldRightT = 0
+	} else {
+		cm.coldRightT = cm.coldRight + cm.right.NNZ // materialize + transpose
+	}
 	return cm, nil
 }
 
@@ -201,17 +243,7 @@ func (e *Engine) planCandidates(cm costModel, lp LogicalPlan) []PlanEstimate {
 	rpr := cm.right.Flops / rRows // propagate one target vector through the right chain
 	lrow := cm.left.NNZ / lRows   // read one materialized left row
 	rrow := cm.right.NNZ / rRows  // read one materialized right row
-	matL, matR := cm.left.Flops, cm.right.Flops
-	if cm.warmLeft {
-		matL = 0
-	}
-	if cm.warmRight {
-		matR = 0
-	}
-	matRT := matR + cm.right.NNZ // materialize + transpose for top-k scans
-	if cm.warmRightT {
-		matRT = 0
-	}
+	matL, matR, matRT := cm.coldLeft, cm.coldRight, cm.coldRightT
 
 	var out []PlanEstimate
 	add := func(kind PlanKind, flops, mat float64, desc string) {
@@ -350,13 +382,7 @@ func (e *Engine) pickPlan(ctx context.Context, lp LogicalPlan, cm costModel, can
 			// propagation costs at least half of full materialization,
 			// materialize instead — nearly the same work now, and the
 			// cached chains serve every later query on the path.
-			fullProp := 0.0
-			if !cm.warmLeft {
-				fullProp += cm.left.Flops
-			}
-			if !cm.warmRight {
-				fullProp += cm.right.Flops
-			}
+			fullProp := cm.coldLeft + cm.coldRight
 			subProp := rowFraction(len(lp.Srcs), cm.left.Rows)*cm.left.Flops +
 				rowFraction(len(lp.Dsts), cm.right.Rows)*cm.right.Flops
 			if 2*subProp >= fullProp {

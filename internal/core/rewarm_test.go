@@ -1,0 +1,322 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/sparse"
+)
+
+// rewarmPaths covers the chain-shape zoo: an even path (pure step chains),
+// an odd path whose middle is the mutated relation, and an odd path whose
+// middle is a different relation (middle untouched, steps touched).
+var rewarmSpecs = []string{"APC", "AP", "APCP"}
+
+func rewarmWarm(t *testing.T, e *Engine, g *hin.Graph) {
+	t.Helper()
+	ctx := context.Background()
+	for _, spec := range rewarmSpecs {
+		p := metapath.MustParse(g.Schema(), spec)
+		if err := e.Precompute(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+		// Populate a transposed entry too (what top-k scans cache).
+		h := splitPath(p)
+		if _, err := e.opTransposedChain(ctx, h.right()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// compareCaches asserts the rewarmed engine's chain cache is bit-identical
+// to the cold engine's, key by key, for every key the rewarmed engine holds.
+func compareCaches(t *testing.T, cold, warm *Engine) {
+	t.Helper()
+	cc, wc := cold.ExportChains(), warm.ExportChains()
+	if len(wc) == 0 {
+		t.Fatal("rewarmed engine has an empty cache")
+	}
+	for k, wm := range wc {
+		cm, ok := cc[k]
+		if !ok {
+			t.Errorf("rewarmed cache has %q, cold cache does not", k)
+			continue
+		}
+		if !cm.Equal(wm) {
+			t.Errorf("chain %q diverges from the cold rebuild", k)
+		}
+	}
+}
+
+func applyOps(t *testing.T, g *hin.Graph, ops []hin.Op) (*hin.Graph, *hin.Dirty) {
+	t.Helper()
+	ng, d, err := g.Apply(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng, d
+}
+
+func TestRewarmBitIdentity(t *testing.T) {
+	g := fig4Graph(t)
+	old := NewEngine(g)
+	rewarmWarm(t, old, g)
+
+	ng, d := applyOps(t, g, []hin.Op{
+		{Kind: hin.OpUpsertEdge, Relation: "writes", Src: "Carl", Dst: "p5", Weight: 1},
+		{Kind: hin.OpUpsertEdge, Relation: "published_in", Src: "p5", Dst: "KDD", Weight: 1},
+		{Kind: hin.OpDeleteEdge, Relation: "writes", Src: "Bob", Dst: "p4"},
+		{Kind: hin.OpAddNode, Type: "author", ID: "Dan"},
+	})
+
+	warm := NewEngine(ng)
+	stats, err := warm.RewarmFrom(context.Background(), old, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 0 {
+		t.Errorf("dropped %d chains: %s", stats.Dropped, stats)
+	}
+
+	cold := NewEngine(ng)
+	rewarmWarm(t, cold, ng)
+	compareCaches(t, cold, warm)
+
+	// Every key the old engine held must still be present (nothing lost).
+	for k := range old.ExportChains() {
+		if _, ok := warm.cacheGet(k); !ok {
+			t.Errorf("chain %q lost in rewarm", k)
+		}
+	}
+
+	// The rewarmed engine answers queries identically to the cold engine.
+	for _, spec := range rewarmSpecs {
+		p := metapath.MustParse(ng.Schema(), spec)
+		a, err := cold.AllPairs(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := warm.AllPairs(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("AllPairs(%s) diverges after rewarm", spec)
+		}
+	}
+}
+
+// A delta touching one relation must row-patch the untouched-relation
+// chains' rows only — the Property-2 locality the subsystem exists for.
+func TestRewarmPatchesOnlyDirtyRows(t *testing.T) {
+	g := fig4Graph(t)
+	old := NewEngine(g)
+	ctx := context.Background()
+	p := metapath.MustParse(g.Schema(), "APC")
+	if err := old.Precompute(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// One new publication venue for p1: only published_in row p1 (forward)
+	// and column VLDB (inverse) are perturbed.
+	ng, d := applyOps(t, g, []hin.Op{
+		{Kind: hin.OpUpsertEdge, Relation: "published_in", Src: "p1", Dst: "VLDB", Weight: 1},
+	})
+
+	warm := NewEngine(ng)
+	stats, err := warm.RewarmFrom(ctx, old, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left chain "C:writes" never walks published_in: carried untouched.
+	// Right chain "C:published_in~" starts at conferences; VLDB is its only
+	// dirty row. Nothing needs a full rebuild.
+	if stats.Rebuilt != 0 || stats.Dropped != 0 {
+		t.Fatalf("stats = %s, want no rebuilds/drops", stats)
+	}
+	if stats.Carried != 1 || stats.RowPatched != 1 || stats.Rows != 1 {
+		t.Fatalf("stats = %s, want 1 carried + 1 chain patched with 1 row", stats)
+	}
+
+	cold := NewEngine(ng)
+	if err := cold.Precompute(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	compareCaches(t, cold, warm)
+
+	// Norms were patched, not dropped: present and bit-identical to cold.
+	for _, key := range []string{"C:writes", "C:published_in~"} {
+		cold.mu.Lock()
+		cn, cok := cold.norms[key]
+		cold.mu.Unlock()
+		warm.mu.Lock()
+		wn, wok := warm.norms[key]
+		warm.mu.Unlock()
+		if !cok || !wok {
+			t.Fatalf("norms for %q missing (cold %v, warm %v)", key, cok, wok)
+		}
+		if !reflect.DeepEqual(cn, wn) {
+			t.Errorf("norms for %q diverge", key)
+		}
+	}
+}
+
+// Node-only growth pads cached chains with zero rows/columns — no
+// recomputation at all — and stays bit-identical to a cold build.
+func TestRewarmNodeGrowthOnly(t *testing.T) {
+	g := fig4Graph(t)
+	old := NewEngine(g)
+	rewarmWarm(t, old, g)
+	ng, d := applyOps(t, g, []hin.Op{
+		{Kind: hin.OpAddNode, Type: "author", ID: "Dan"},
+		{Kind: hin.OpAddNode, Type: "conference", ID: "VLDB"},
+	})
+	warm := NewEngine(ng)
+	stats, err := warm.RewarmFrom(context.Background(), old, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowPatched != 0 || stats.Rebuilt != 0 || stats.Dropped != 0 {
+		t.Fatalf("stats = %s, want carried only", stats)
+	}
+	cold := NewEngine(ng)
+	rewarmWarm(t, cold, ng)
+	compareCaches(t, cold, warm)
+}
+
+// Pruning makes row-masked recompute unsound (materialized chains prune per
+// step, subset recompute does not), so touched chains are rebuilt instead —
+// and still match the cold pruned engine exactly.
+func TestRewarmWithPruningRebuilds(t *testing.T) {
+	g := fig4Graph(t)
+	old := NewEngine(g, WithPruning(0.05))
+	ctx := context.Background()
+	p := metapath.MustParse(g.Schema(), "APC")
+	if err := old.Precompute(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	ng, d := applyOps(t, g, []hin.Op{
+		{Kind: hin.OpUpsertEdge, Relation: "writes", Src: "Tom", Dst: "p3", Weight: 1},
+	})
+	warm := NewEngine(ng, WithPruning(0.05))
+	stats, err := warm.RewarmFrom(ctx, old, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowPatched != 0 {
+		t.Fatalf("stats = %s: pruned engine must not row-patch", stats)
+	}
+	if stats.Rebuilt == 0 {
+		t.Fatalf("stats = %s: touched chain not rebuilt", stats)
+	}
+	cold := NewEngine(ng, WithPruning(0.05))
+	if err := cold.Precompute(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	compareCaches(t, cold, warm)
+
+	// Mismatched pruning eps across engines is refused outright.
+	if _, err := NewEngine(ng).RewarmFrom(ctx, old, d); err == nil {
+		t.Error("RewarmFrom across pruning eps succeeded")
+	}
+}
+
+func TestParseChainKeyRoundTrip(t *testing.T) {
+	g := fig4Graph(t)
+	e := NewEngine(g)
+	for _, spec := range []string{"APC", "AP", "APCP", "CPA"} {
+		p := metapath.MustParse(g.Schema(), spec)
+		h := splitPath(p)
+		for _, c := range []chain{h.left(), h.right(), pathChain(p)} {
+			if len(c.steps) == 0 && c.middle == nil {
+				continue
+			}
+			key := e.chainCacheKey(c)
+			got, transposed, err := parseChainKey(g.Schema(), key)
+			if err != nil {
+				t.Fatalf("parse(%q): %v", key, err)
+			}
+			if transposed {
+				t.Errorf("parse(%q): spurious transpose", key)
+			}
+			if e.chainCacheKey(got) != key {
+				t.Errorf("parse(%q) re-keys to %q", key, e.chainCacheKey(got))
+			}
+			gotT, transposed, err := parseChainKey(g.Schema(), "T:"+key)
+			if err != nil || !transposed {
+				t.Errorf("parse(T:%q): transposed=%v err=%v", key, transposed, err)
+			}
+			if e.chainCacheKey(gotT) != key {
+				t.Errorf("parse(T:%q) re-keys to %q", key, e.chainCacheKey(gotT))
+			}
+		}
+	}
+	for _, bad := range []string{"", "C:", "C:unknown_rel", "norms:writes", "C:writes|writes"} {
+		if _, _, err := parseChainKey(g.Schema(), bad); err == nil {
+			t.Errorf("parse(%q) succeeded", bad)
+		}
+	}
+}
+
+// White-box proof that opMatrixChain actually resumes from a cached prefix:
+// poison the one-step prefix and watch the full chain inherit the poison.
+func TestMatrixChainResumesFromPrefix(t *testing.T) {
+	g := fig4Graph(t)
+	e := NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "APC")
+	c := pathChain(p)
+	poison := sparse.Zeros(g.NodeCount("author"), g.NodeCount("paper"))
+	e.cachePut(e.chainFullKey(c.steps[:1], nil, c.side), poison)
+	pm, err := e.opMatrixChain(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NNZ() != 0 {
+		t.Fatalf("full chain has %d nonzeros; prefix was not reused", pm.NNZ())
+	}
+}
+
+// A partially warm chain must be priced at its cold suffix only.
+func TestChainColdFlopsPartialWarmth(t *testing.T) {
+	g := fig4Graph(t)
+	e := NewEngine(g)
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	h := splitPath(p)
+	cm, err := e.costModelFor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.coldLeft != cm.left.Flops {
+		t.Fatalf("cold engine: coldLeft = %v, want full %v", cm.coldLeft, cm.left.Flops)
+	}
+
+	// Warm the one-step prefix of the left half ("C:writes").
+	if _, err := e.ReachableMatrix(context.Background(), metapath.MustParse(g.Schema(), "AP")); err != nil {
+		t.Fatal(err)
+	}
+	cm, err = e.costModelFor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.warmLeft {
+		t.Fatal("left half unexpectedly fully warm")
+	}
+	if cm.coldLeft >= cm.left.Flops || cm.coldLeft <= 0 {
+		t.Fatalf("partially warm: coldLeft = %v, want in (0, %v)", cm.coldLeft, cm.left.Flops)
+	}
+
+	// Fully warm: priced at zero.
+	if err := e.Precompute(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	cm, err = e.costModelFor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.coldLeft != 0 || cm.coldRight != 0 {
+		t.Fatalf("warm engine: cold = %v/%v, want 0/0", cm.coldLeft, cm.coldRight)
+	}
+}

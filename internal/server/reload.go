@@ -46,6 +46,9 @@ const (
 	// StateReloading: serving from the old graph while a replacement is
 	// validated off to the side; still ready for traffic.
 	StateReloading
+	// StateReplaying: boot-time write-ahead-log replay running; the graph
+	// is still catching up to its last acked mutation, so not ready.
+	StateReplaying
 )
 
 func (s ReadyState) String() string {
@@ -58,6 +61,8 @@ func (s ReadyState) String() string {
 		return "ready"
 	case StateReloading:
 		return "reloading"
+	case StateReplaying:
+		return "replaying"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -198,8 +203,9 @@ func (s *Server) SaveSnapshot() error {
 
 // RunSnapshotSaver persists the chain cache every interval until ctx is
 // canceled, so a crash costs at most one interval of materialization work.
-// Save failures are logged and retried next tick — the previous snapshot
-// stays intact throughout.
+// Each tick's save gets a few bounded, jitter-backed retries (counted in
+// hetesim_snapshot_save_retries_total); a tick that still fails is logged
+// and retried next tick — the previous snapshot stays intact throughout.
 func (s *Server) RunSnapshotSaver(ctx context.Context, interval time.Duration, logf func(string, ...any)) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -214,7 +220,7 @@ func (s *Server) RunSnapshotSaver(ctx context.Context, interval time.Duration, l
 			if !s.Ready() {
 				continue
 			}
-			if err := s.SaveSnapshot(); err != nil {
+			if err := s.saveSnapshotRetry(ctx, 3, 100*time.Millisecond, logf); err != nil {
 				logf("server: periodic snapshot save: %v", err)
 			}
 		}
@@ -244,6 +250,9 @@ func (s *Server) Reload(ctx context.Context) (*ReloadResult, error) {
 	if s.graphPath == "" {
 		return nil, errors.New("server: no reload graph source configured")
 	}
+	if s.Draining() {
+		return nil, errDraining
+	}
 	if !s.reloadMu.TryLock() {
 		return nil, errReloadBusy
 	}
@@ -268,6 +277,18 @@ func (s *Server) Reload(ctx context.Context) (*ReloadResult, error) {
 }
 
 func (s *Server) reloadLocked(ctx context.Context) (*ReloadResult, error) {
+	// With mutations enabled, the graph file on disk may trail the served
+	// graph by the write-ahead log's batches. Fold the log into a fresh
+	// base first, so the re-read below starts from the acked state instead
+	// of silently dropping logged mutations.
+	if s.walPath != "" {
+		s.walMu.Lock()
+		err := s.compactLocked()
+		s.walMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.Open(s.graphPath)
 	if err != nil {
 		return nil, fmt.Errorf("server: reload: %w", err)
@@ -333,6 +354,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, errReloadBusy) {
 			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "reload_in_progress"})
+			return
+		}
+		if errors.Is(err, errDraining) {
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "draining"})
 			return
 		}
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Code: "reload_failed"})

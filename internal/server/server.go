@@ -33,6 +33,7 @@ import (
 	"hetesim/internal/obs"
 	"hetesim/internal/rank"
 	"hetesim/internal/snapshot"
+	"hetesim/internal/wal"
 )
 
 // HTTP-layer observability, reported into the process-wide registry next
@@ -88,9 +89,21 @@ type Server struct {
 	fsys         snapshot.FS // injectable for fault-injection tests
 	logf         func(string, ...any)
 
+	walPath         string // edge-delta write-ahead log; "" disables mutations
+	walCompactBytes int64  // log size that triggers compaction; 0 = never
+
 	saveMu   sync.Mutex // serializes SaveSnapshot
 	reloadMu sync.Mutex // serializes Reload
 	specMu   sync.Mutex // guards precomputeSpecs
+
+	// walMu is the single-writer lock of the mutation path: WAL append,
+	// engine-set swap, applied-key table and compaction all happen under
+	// it. Handlers use TryLock, shedding concurrent writers with 503.
+	walMu      sync.Mutex
+	wal        *wal.Log
+	applied    map[string]uint64 // idempotency key -> acked sequence number
+	walBatches int               // batches in the log since its base graph
+	draining   atomic.Bool       // shutdown drain: refuse mutations and reloads
 	// precomputeSpecs are the boot-time materialization paths, kept so a
 	// hot-reload can re-warm the replacement graph.
 	precomputeSpecs []string
@@ -163,6 +176,18 @@ func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapshotP
 // the daemon) re-reads. Empty (the default) disables hot-reload.
 func WithReloadFrom(graphPath string) Option { return func(s *Server) { s.graphPath = graphPath } }
 
+// WithWALPath points the server at its edge-delta write-ahead log:
+// OpenWAL replays it at boot and POST /v1/admin/edges appends to it, so
+// acked mutations survive a crash. Empty (the default) disables the
+// mutation endpoint.
+func WithWALPath(path string) Option { return func(s *Server) { s.walPath = path } }
+
+// WithWALCompactBytes folds the write-ahead log into a freshly written
+// base graph file whenever the log outgrows n bytes, bounding replay time.
+// Compaction needs WithReloadFrom (the base graph location). 0 (the
+// default) never compacts on size; reloads still compact.
+func WithWALCompactBytes(n int64) Option { return func(s *Server) { s.walCompactBytes = n } }
+
 // WithSnapshotFS substitutes the filesystem used for snapshot I/O —
 // the hook the fault-injection tests use. Defaults to the real filesystem.
 func WithSnapshotFS(fsys snapshot.FS) Option { return func(s *Server) { s.fsys = fsys } }
@@ -186,6 +211,7 @@ func New(g *hin.Graph, opts ...Option) *Server {
 		slowCapacity:    128,
 		fsys:            snapshot.OS{},
 		logf:            log.Printf,
+		applied:         make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(s)
@@ -210,6 +236,7 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/admin/edges", s.handleMutate)
 	s.handler = s.buildHandler()
 	return s
 }
@@ -248,7 +275,7 @@ func routeLabel(path string) string {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/schema", "/v1/stats", "/v1/slowlog",
 		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/explain", "/v1/why",
-		"/v1/admin/reload":
+		"/v1/admin/reload", "/v1/admin/edges":
 		return path
 	}
 	return "other"
@@ -480,7 +507,7 @@ func (s *Server) PrecomputeBackground(specs []string, logf func(format string, a
 		}
 		s.MarkReady()
 		if s.snapshotPath != "" {
-			if err := s.SaveSnapshot(); err != nil {
+			if err := s.saveSnapshotRetry(context.Background(), 3, 100*time.Millisecond, logf); err != nil {
 				logf("server: post-warmup snapshot save: %v", err)
 			}
 		}
@@ -530,6 +557,7 @@ func errorStatusCode(err error) (int, string) {
 		errors.Is(err, metapath.ErrNotChained),
 		errors.Is(err, baseline.ErrAsymmetricPath),
 		errors.Is(err, core.ErrPlanNotApplicable),
+		errors.Is(err, hin.ErrBadOp),
 		errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, "bad_request"
 	}

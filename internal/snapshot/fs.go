@@ -15,8 +15,14 @@ import (
 type FS interface {
 	CreateTemp(dir, pattern string) (File, error)
 	Open(name string) (File, error)
+	// OpenAppend opens name for append-only writing, creating it empty when
+	// absent — the write-ahead log's durability primitive.
+	OpenAppend(name string) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
+	// Truncate shortens the file at name to size bytes, discarding a torn
+	// tail detected during log replay.
+	Truncate(name string, size int64) error
 	// SyncDir flushes the directory entry metadata, making a completed
 	// rename durable.
 	SyncDir(dir string) error
@@ -37,6 +43,12 @@ type OS struct{}
 func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
 
 func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 

@@ -524,6 +524,65 @@ func (m *Matrix) SelectRows(rows []int) *Matrix {
 	return out
 }
 
+// Resize returns a copy of the matrix padded to the given (never smaller)
+// dimensions. Existing entries keep their positions and values bit for bit;
+// the new rows and columns are empty — exactly what a freshly materialized
+// chain over a graph that only gained (edge-less) nodes would contain, which
+// is why incremental maintenance can pad a cached chain instead of
+// rebuilding it.
+func (m *Matrix) Resize(rows, cols int) *Matrix {
+	if rows < m.rows || cols < m.cols {
+		panic(fmt.Sprintf("sparse: Resize to %dx%d would shrink a %dx%d matrix",
+			rows, cols, m.rows, m.cols))
+	}
+	if rows == m.rows && cols == m.cols {
+		return m
+	}
+	out := m.clone()
+	out.cols = cols
+	out.rows = rows
+	for r := m.rows; r < rows; r++ {
+		out.rowPtr = append(out.rowPtr, len(out.val))
+	}
+	return out
+}
+
+// ReplaceRows returns a copy of the matrix with row rows[i] replaced by row
+// i of src, all other rows kept bit for bit. src must have the same column
+// count; row indices may not repeat. This is the row-masked update of
+// incremental chain maintenance: recompute only the dirty rows, splice them
+// into the cached matrix.
+func (m *Matrix) ReplaceRows(rows []int, src *Matrix) *Matrix {
+	if src.cols != m.cols {
+		panic(fmt.Sprintf("sparse: ReplaceRows column mismatch %d vs %d", src.cols, m.cols))
+	}
+	if len(rows) != src.rows {
+		panic(fmt.Sprintf("sparse: ReplaceRows got %d row indices for %d source rows", len(rows), src.rows))
+	}
+	from := make(map[int]int, len(rows))
+	for i, r := range rows {
+		if r < 0 || r >= m.rows {
+			panic(fmt.Sprintf("sparse: ReplaceRows row %d out of range for %d rows", r, m.rows))
+		}
+		if _, dup := from[r]; dup {
+			panic(fmt.Sprintf("sparse: ReplaceRows row %d repeated", r))
+		}
+		from[r] = i
+	}
+	out := &Matrix{rows: m.rows, cols: m.cols, rowPtr: make([]int, 1, m.rows+1)}
+	for r := 0; r < m.rows; r++ {
+		if i, ok := from[r]; ok {
+			out.colIdx = append(out.colIdx, src.colIdx[src.rowPtr[i]:src.rowPtr[i+1]]...)
+			out.val = append(out.val, src.val[src.rowPtr[i]:src.rowPtr[i+1]]...)
+		} else {
+			out.colIdx = append(out.colIdx, m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]]...)
+			out.val = append(out.val, m.val[m.rowPtr[r]:m.rowPtr[r+1]]...)
+		}
+		out.rowPtr = append(out.rowPtr, len(out.val))
+	}
+	return out
+}
+
 // VStack concatenates matrices vertically, preserving values and per-row
 // entry order exactly — stacking row blocks of a product reproduces the
 // unblocked product bit for bit. All blocks must share one column count;

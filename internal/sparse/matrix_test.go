@@ -410,3 +410,48 @@ func TestStringSummarizesLargeMatrices(t *testing.T) {
 		t.Errorf("big String = %q", s)
 	}
 }
+
+func TestResize(t *testing.T) {
+	m := New(2, 3, []Triplet{{0, 1, 2}, {1, 2, 3}})
+	grown := m.Resize(4, 5)
+	if r, c := grown.Dims(); r != 4 || c != 5 {
+		t.Fatalf("Resize dims = %dx%d, want 4x5", r, c)
+	}
+	if grown.At(0, 1) != 2 || grown.At(1, 2) != 3 || grown.NNZ() != 2 {
+		t.Fatalf("Resize lost entries: %v", grown)
+	}
+	for r := 2; r < 4; r++ {
+		if grown.RowNNZ(r) != 0 {
+			t.Fatalf("padded row %d is not empty", r)
+		}
+	}
+	if same := m.Resize(2, 3); same != m {
+		t.Error("no-op Resize should return the receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shrinking Resize did not panic")
+		}
+	}()
+	m.Resize(1, 3)
+}
+
+func TestReplaceRows(t *testing.T) {
+	m := New(3, 3, []Triplet{{0, 0, 1}, {1, 1, 2}, {2, 2, 3}})
+	repl := New(2, 3, []Triplet{{0, 2, 9}, {1, 0, 8}, {1, 1, 7}})
+	out := m.ReplaceRows([]int{0, 2}, repl)
+	want := FromDense([][]float64{{0, 0, 9}, {0, 2, 0}, {8, 7, 0}})
+	if !out.Equal(want) {
+		t.Fatalf("ReplaceRows = %v, want %v", out, want)
+	}
+	// Untouched rows must be bit-identical, with entries in the same order.
+	if !m.Row(1).ApproxEqual(out.Row(1), 0) {
+		t.Fatal("untouched row changed")
+	}
+	// Replacing every row with the rows of an identical matrix reproduces
+	// the original bit for bit.
+	all := m.ReplaceRows([]int{0, 1, 2}, m.SelectRows([]int{0, 1, 2}))
+	if !all.Equal(m) {
+		t.Fatal("identity ReplaceRows diverged")
+	}
+}

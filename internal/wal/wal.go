@@ -1,0 +1,607 @@
+// Package wal is the durability half of the mutation subsystem: a
+// CRC-framed, length-prefixed append-only log of graph deltas. Every
+// acknowledged mutation batch is fsynced to the log before the engine
+// applies it, so warm restart is base graph + log replay — the delta
+// snapshot story — and a crash at any byte leaves a log whose valid prefix
+// is exactly the set of acknowledged batches.
+//
+// Layout (little-endian):
+//
+//	header  magic "HWAL" | version u32 | baseFingerprint u64 |
+//	        headerCRC u32 (CRC-32/IEEE of the 16 bytes above)
+//	record  payloadLen u32 | payload | payloadCRC u32 (CRC-32/IEEE of payload)
+//
+// A record payload begins with a kind byte: a mutation batch (sequence
+// number, idempotency key, ops) or an idempotency-key checkpoint written
+// when compaction resets the log, so key dedup survives the base graph
+// absorbing the batches that carried the keys. Decode mirrors
+// internal/snapshot's defensiveness — strict caps on every length prefix,
+// allocation bounded by bytes actually present — and replay truncates the
+// log at the first torn or corrupt record rather than guessing past it.
+//
+// The log is bound to the graph file it deltas by fingerprint. A log whose
+// header names a different base is set aside (renamed, never deleted:
+// it may hold acknowledged mutations that an operator swap of the graph
+// file orphaned) and a fresh log is started.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/snapshot"
+)
+
+// ErrCorrupt marks log bytes that failed structural validation. During
+// replay it is handled internally (torn-tail truncation); Append and Reset
+// surface it only for programmer errors such as oversized batches.
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// ErrClosed marks use of a log whose append handle is gone — closed, or
+// poisoned by an append failure that could not be rolled back.
+var ErrClosed = errors.New("wal: log closed")
+
+var headerMagic = [4]byte{'H', 'W', 'A', 'L'}
+
+// Version is the current log format version.
+const Version = 1
+
+const (
+	headerSize = 20
+	frameSize  = 8 // payloadLen u32 + payloadCRC u32
+
+	maxPayload = 1 << 24 // cap on a record's length prefix (16 MiB)
+	maxOps     = 1 << 20 // cap on a batch's op count
+	maxKeys    = 1 << 20 // cap on a checkpoint's key count
+	maxString  = 1<<16 - 1
+)
+
+// Record kinds (first payload byte).
+const (
+	recBatch      = 0x00
+	recCheckpoint = 0x01
+)
+
+// Batch is one acknowledged mutation: a monotonic sequence number, the
+// client's idempotency key, and the graph deltas.
+type Batch struct {
+	Seq uint64
+	Key string
+	Ops []hin.Op
+}
+
+// Replay is what Open recovered from an existing log.
+type Replay struct {
+	// Batches holds every durable batch in append order. Duplicated
+	// idempotency keys are preserved — dedup is the applier's job.
+	Batches []Batch
+	// CheckpointKeys holds idempotency keys carried over from before the
+	// last compaction; they seed the applier's dedup set.
+	CheckpointKeys []string
+	// TruncatedBytes counts torn-tail bytes discarded from the log, for
+	// loud logging. Zero on a clean log.
+	TruncatedBytes int64
+	// SetAside is non-empty when an unusable log (corrupt header or wrong
+	// base fingerprint) was renamed out of the way; it names the preserved
+	// file.
+	SetAside string
+	// SetAsideReason says why, when SetAside is non-empty.
+	SetAsideReason string
+}
+
+// Log is an open write-ahead log positioned for appending.
+type Log struct {
+	fsys        snapshot.FS
+	path        string
+	fingerprint uint64
+
+	f       snapshot.File // append handle; nil when closed/poisoned
+	size    int64         // bytes of valid, synced log
+	nextSeq uint64
+}
+
+// Open binds (creating if absent) the log at path to the graph identified
+// by baseFingerprint and replays it. Torn tails are truncated in place; a
+// log for a different base or with an unreadable header is renamed to
+// path+".stale" and a fresh log is started — see Replay for what happened.
+func Open(fsys snapshot.FS, path string, baseFingerprint uint64) (*Log, *Replay, error) {
+	rep := &Replay{}
+	l := &Log{fsys: fsys, path: path, fingerprint: baseFingerprint, nextSeq: 1}
+
+	data, err := readFile(fsys, path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		data = nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+
+	if data != nil {
+		fp, herr := ParseHeader(data)
+		if herr != nil || fp != baseFingerprint {
+			reason := "corrupt header"
+			if herr == nil {
+				reason = fmt.Sprintf("base fingerprint %016x, want %016x", fp, baseFingerprint)
+			}
+			aside := path + ".stale"
+			if rerr := fsys.Rename(path, aside); rerr != nil {
+				return nil, nil, fmt.Errorf("wal: setting aside unusable log (%s): %w", reason, rerr)
+			}
+			if serr := fsys.SyncDir(filepath.Dir(path)); serr != nil {
+				return nil, nil, fmt.Errorf("wal: syncing directory after set-aside: %w", serr)
+			}
+			rep.SetAside, rep.SetAsideReason = aside, reason
+			data = nil
+		}
+	}
+
+	if data == nil {
+		if err := l.create(); err != nil {
+			return nil, nil, err
+		}
+		return l, rep, nil
+	}
+
+	valid := int64(headerSize)
+	off := headerSize
+	for off < len(data) {
+		payload, n, rerr := nextRecord(data[off:])
+		if rerr != nil {
+			break // torn or corrupt tail: truncate from here
+		}
+		batch, keys, derr := DecodePayload(payload)
+		if derr != nil {
+			break
+		}
+		if batch != nil {
+			rep.Batches = append(rep.Batches, *batch)
+			if batch.Seq >= l.nextSeq {
+				l.nextSeq = batch.Seq + 1
+			}
+		} else {
+			rep.CheckpointKeys = append(rep.CheckpointKeys, keys...)
+		}
+		off += n
+		valid = int64(off)
+	}
+	if valid < int64(len(data)) {
+		rep.TruncatedBytes = int64(len(data)) - valid
+		if err := fsys.Truncate(path, valid); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	l.size = valid
+
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s for append: %w", path, err)
+	}
+	l.f = f
+	return l, rep, nil
+}
+
+// create writes a fresh header-only log durably at l.path.
+func (l *Log) create() error {
+	f, err := l.fsys.OpenAppend(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: creating %s: %w", l.path, err)
+	}
+	hdr := encodeHeader(l.fingerprint)
+	if err := writeSync(f, hdr); err != nil {
+		f.Close()
+		l.fsys.Remove(l.path)
+		return fmt.Errorf("wal: writing header of %s: %w", l.path, err)
+	}
+	if err := l.fsys.SyncDir(filepath.Dir(l.path)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing directory of %s: %w", l.path, err)
+	}
+	l.f, l.size = f, int64(len(hdr))
+	return nil
+}
+
+// Append logs a mutation batch durably: the record is written and fsynced
+// before Append returns, so a nil error means the batch survives any crash.
+// The assigned sequence number is returned. On a failed or torn write the
+// log file is rolled back to its last good length; if even that fails the
+// log is poisoned and every later Append returns ErrClosed.
+func (l *Log) Append(key string, ops []hin.Op) (uint64, error) {
+	if l.f == nil {
+		return 0, ErrClosed
+	}
+	seq := l.nextSeq
+	payload, err := encodeBatch(Batch{Seq: seq, Key: key, Ops: ops})
+	if err != nil {
+		return 0, err
+	}
+	return seq, l.appendRecord(payload, func() { l.nextSeq = seq + 1 })
+}
+
+// AppendCheckpoint logs an idempotency-key checkpoint with the same
+// durability contract as Append.
+func (l *Log) AppendCheckpoint(keys []string) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	payload, err := encodeCheckpoint(keys)
+	if err != nil {
+		return err
+	}
+	return l.appendRecord(payload, func() {})
+}
+
+func (l *Log) appendRecord(payload []byte, commit func()) error {
+	rec := frameRecord(payload)
+	if err := writeSync(l.f, rec); err != nil {
+		// Roll the file back to its last good length so the torn record
+		// cannot precede a later, healthy one.
+		if terr := l.fsys.Truncate(l.path, l.size); terr != nil {
+			l.f.Close()
+			l.f = nil
+			return fmt.Errorf("wal: append failed (%v) and rollback failed, log closed: %w", err, terr)
+		}
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	l.size += int64(len(rec))
+	commit()
+	return nil
+}
+
+// Reset atomically replaces the log with a fresh one bound to
+// newFingerprint, carrying keys as a checkpoint record — the log half of
+// compaction, called after the mutated graph has durably become the new
+// base. The swap is temp + fsync + rename + dir sync, so a crash leaves
+// either the old log (stale fingerprint, set aside at next boot after the
+// base already absorbed it) or the new one.
+func (l *Log) Reset(newFingerprint uint64, keys []string) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	payload, err := encodeCheckpoint(keys)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, encodeHeader(newFingerprint)...)
+	buf = append(buf, frameRecord(payload)...)
+
+	dir := filepath.Dir(l.path)
+	tmp, err := l.fsys.CreateTemp(dir, filepath.Base(l.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: creating temp log: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := writeSync(tmp, buf); err != nil {
+		tmp.Close()
+		l.fsys.Remove(tmpName)
+		return fmt.Errorf("wal: writing temp log: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		l.fsys.Remove(tmpName)
+		return fmt.Errorf("wal: closing temp log: %w", err)
+	}
+	if err := l.fsys.Rename(tmpName, l.path); err != nil {
+		l.fsys.Remove(tmpName)
+		return fmt.Errorf("wal: renaming new log into place: %w", err)
+	}
+	if err := l.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: syncing directory: %w", err)
+	}
+
+	old := l.f
+	l.f = nil
+	old.Close()
+	f, err := l.fsys.OpenAppend(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: reopening %s after reset: %w", l.path, err)
+	}
+	l.f = f
+	l.size = int64(len(buf))
+	l.fingerprint = newFingerprint
+	l.nextSeq = 1
+	return nil
+}
+
+// Size reports the current durable log length in bytes — the compaction
+// trigger input.
+func (l *Log) Size() int64 { return l.size }
+
+// Fingerprint reports the base-graph fingerprint the log is bound to.
+func (l *Log) Fingerprint() uint64 { return l.fingerprint }
+
+// Close releases the append handle. Further appends return ErrClosed.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}
+
+func writeSync(f snapshot.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func readFile(fsys snapshot.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func encodeHeader(fingerprint uint64) []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr, headerMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	return hdr
+}
+
+// ParseHeader validates a log header and returns the base fingerprint it
+// names. Exposed (with DecodePayload) as a pure function over bytes so the
+// fuzzer can drive the whole decode surface without a filesystem.
+func ParseHeader(b []byte) (uint64, error) {
+	if len(b) < headerSize {
+		return 0, fmt.Errorf("%w: %d header bytes, want %d", ErrCorrupt, len(b), headerSize)
+	}
+	if [4]byte(b[:4]) != headerMagic {
+		return 0, fmt.Errorf("%w: header magic %q", ErrCorrupt, b[:4])
+	}
+	if got := crc32.ChecksumIEEE(b[:16]); got != binary.LittleEndian.Uint32(b[16:20]) {
+		return 0, fmt.Errorf("%w: header CRC mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != Version {
+		return 0, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, v, Version)
+	}
+	return binary.LittleEndian.Uint64(b[8:16]), nil
+}
+
+// nextRecord frames one record off the front of b, returning its payload
+// and total framed length. Any shortfall or CRC mismatch is ErrCorrupt —
+// the replay loop treats it as the torn tail.
+func nextRecord(b []byte) ([]byte, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("%w: short length prefix", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxPayload {
+		return nil, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
+	}
+	total := 4 + int(n) + 4
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: truncated record", ErrCorrupt)
+	}
+	payload := b[4 : 4+n]
+	want := binary.LittleEndian.Uint32(b[4+n:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, 0, fmt.Errorf("%w: record CRC mismatch", ErrCorrupt)
+	}
+	return payload, total, nil
+}
+
+func frameRecord(payload []byte) []byte {
+	rec := make([]byte, 0, len(payload)+frameSize)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	return binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+}
+
+func encodeBatch(b Batch) ([]byte, error) {
+	if len(b.Key) > maxString {
+		return nil, fmt.Errorf("%w: idempotency key longer than %d bytes", ErrCorrupt, maxString)
+	}
+	if len(b.Ops) == 0 || len(b.Ops) > maxOps {
+		return nil, fmt.Errorf("%w: batch of %d ops (want 1..%d)", ErrCorrupt, len(b.Ops), maxOps)
+	}
+	out := []byte{recBatch}
+	out = binary.LittleEndian.AppendUint64(out, b.Seq)
+	out, err := appendString(out, b.Key)
+	if err != nil {
+		return nil, err
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Ops)))
+	for _, op := range b.Ops {
+		out = append(out, byte(op.Kind))
+		switch op.Kind {
+		case hin.OpAddNode:
+			if out, err = appendStrings(out, op.Type, op.ID); err != nil {
+				return nil, err
+			}
+		case hin.OpUpsertEdge:
+			if out, err = appendStrings(out, op.Relation, op.Src, op.Dst); err != nil {
+				return nil, err
+			}
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(op.Weight))
+		case hin.OpDeleteEdge:
+			if out, err = appendStrings(out, op.Relation, op.Src, op.Dst); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: op kind %d", ErrCorrupt, op.Kind)
+		}
+	}
+	if len(out) > maxPayload {
+		return nil, fmt.Errorf("%w: batch payload %d bytes exceeds cap %d", ErrCorrupt, len(out), maxPayload)
+	}
+	return out, nil
+}
+
+func encodeCheckpoint(keys []string) ([]byte, error) {
+	if len(keys) > maxKeys {
+		return nil, fmt.Errorf("%w: checkpoint of %d keys exceeds cap %d", ErrCorrupt, len(keys), maxKeys)
+	}
+	out := []byte{recCheckpoint}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(keys)))
+	var err error
+	for _, k := range keys {
+		if out, err = appendString(out, k); err != nil {
+			return nil, err
+		}
+	}
+	if len(out) > maxPayload {
+		return nil, fmt.Errorf("%w: checkpoint payload %d bytes exceeds cap %d", ErrCorrupt, len(out), maxPayload)
+	}
+	return out, nil
+}
+
+// DecodePayload parses a record payload into either a mutation batch or a
+// checkpoint key list (exactly one return is non-nil on success). It is
+// strict: unknown kinds, over-cap counts, and trailing bytes are all
+// ErrCorrupt, and allocation is bounded by the bytes actually present.
+func DecodePayload(p []byte) (*Batch, []string, error) {
+	if len(p) == 0 || len(p) > maxPayload {
+		return nil, nil, fmt.Errorf("%w: payload of %d bytes", ErrCorrupt, len(p))
+	}
+	kind, p := p[0], p[1:]
+	switch kind {
+	case recBatch:
+		b, err := decodeBatch(p)
+		return b, nil, err
+	case recCheckpoint:
+		keys, err := decodeCheckpoint(p)
+		return nil, keys, err
+	}
+	return nil, nil, fmt.Errorf("%w: record kind %#x", ErrCorrupt, kind)
+}
+
+func decodeBatch(p []byte) (*Batch, error) {
+	if len(p) < 8 {
+		return nil, fmt.Errorf("%w: short batch header", ErrCorrupt)
+	}
+	b := &Batch{Seq: binary.LittleEndian.Uint64(p)}
+	p = p[8:]
+	var err error
+	if b.Key, p, err = takeString(p); err != nil {
+		return nil, fmt.Errorf("%w: batch key: %v", ErrCorrupt, err)
+	}
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: short op count", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if count == 0 || count > maxOps {
+		return nil, fmt.Errorf("%w: implausible op count %d", ErrCorrupt, count)
+	}
+	// Each op is at least 3 bytes; reject counts the payload cannot hold
+	// before allocating for them.
+	if uint64(count)*3 > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: %d ops cannot fit in %d bytes", ErrCorrupt, count, len(p))
+	}
+	b.Ops = make([]hin.Op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: short op %d", ErrCorrupt, i)
+		}
+		op := hin.Op{Kind: hin.OpKind(p[0])}
+		p = p[1:]
+		switch op.Kind {
+		case hin.OpAddNode:
+			if op.Type, p, err = takeString(p); err == nil {
+				op.ID, p, err = takeString(p)
+			}
+		case hin.OpUpsertEdge:
+			if op.Relation, op.Src, op.Dst, p, err = takeStrings3(p); err == nil {
+				if len(p) < 8 {
+					err = errors.New("short weight")
+				} else {
+					op.Weight = math.Float64frombits(binary.LittleEndian.Uint64(p))
+					p = p[8:]
+				}
+			}
+		case hin.OpDeleteEdge:
+			op.Relation, op.Src, op.Dst, p, err = takeStrings3(p)
+		default:
+			err = fmt.Errorf("unknown kind %d", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: op %d: %v", ErrCorrupt, i, err)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(p))
+	}
+	return b, nil
+}
+
+func decodeCheckpoint(p []byte) ([]string, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: short checkpoint header", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if count > maxKeys {
+		return nil, fmt.Errorf("%w: implausible key count %d", ErrCorrupt, count)
+	}
+	if uint64(count)*2 > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: %d keys cannot fit in %d bytes", ErrCorrupt, count, len(p))
+	}
+	keys := make([]string, 0, count)
+	var err error
+	for i := uint32(0); i < count; i++ {
+		var k string
+		if k, p, err = takeString(p); err != nil {
+			return nil, fmt.Errorf("%w: key %d: %v", ErrCorrupt, i, err)
+		}
+		keys = append(keys, k)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after checkpoint", ErrCorrupt, len(p))
+	}
+	return keys, nil
+}
+
+func appendString(out []byte, s string) ([]byte, error) {
+	if len(s) > maxString {
+		return nil, fmt.Errorf("%w: string of %d bytes exceeds cap %d", ErrCorrupt, len(s), maxString)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...), nil
+}
+
+func appendStrings(out []byte, ss ...string) ([]byte, error) {
+	var err error
+	for _, s := range ss {
+		if out, err = appendString(out, s); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func takeString(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, errors.New("short string length")
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return "", nil, errors.New("short string")
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+func takeStrings3(p []byte) (a, b, c string, rest []byte, err error) {
+	if a, p, err = takeString(p); err != nil {
+		return
+	}
+	if b, p, err = takeString(p); err != nil {
+		return
+	}
+	c, rest, err = takeString(p)
+	return
+}
