@@ -45,7 +45,7 @@ obs-selftest:
 # mode keeps the corruption sweeps seeded-sample-sized; part of `make check`.
 chaos:
 	go test -race -short ./internal/snapshot ./internal/chaos ./internal/wal
-	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart|TestMutate' ./internal/server
+	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart|TestMutate|TestCompaction|TestAppliedKey' ./internal/server
 
 # Paper-property suite under the race detector: randomized symmetry /
 # self-maximum / semi-metric / indiscernibles checks (Properties 3-5)

@@ -7,8 +7,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"os"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"hetesim/internal/core"
@@ -47,6 +47,40 @@ var (
 
 // errDraining marks mutations and reloads refused during shutdown drain.
 var errDraining = errors.New("server: draining, mutating requests refused")
+
+// maxAppliedKeys bounds the idempotency table: beyond it the oldest acked
+// keys are evicted FIFO, so neither the in-memory table nor the checkpoint
+// written at compaction can grow without bound. Retrying a batch acked
+// more than 64Ki keyed batches ago re-applies it — idempotency is a
+// crash-retry window, not an unbounded ledger.
+const maxAppliedKeys = 1 << 16
+
+// rememberKeyLocked records an acked idempotency key and its sequence,
+// evicting the oldest keys beyond maxAppliedKeys. Callers hold walMu.
+func (s *Server) rememberKeyLocked(key string, seq uint64) {
+	if key == "" {
+		return
+	}
+	if _, ok := s.applied[key]; !ok {
+		s.appliedOrder = append(s.appliedOrder, key)
+	}
+	s.applied[key] = seq
+	for len(s.appliedOrder) > maxAppliedKeys {
+		delete(s.applied, s.appliedOrder[0])
+		s.appliedOrder = s.appliedOrder[1:]
+	}
+}
+
+// checkpointEntriesLocked snapshots the idempotency table for a WAL reset,
+// oldest ack first (insertion order is ack order — sequences are monotonic
+// across compactions). Callers hold walMu.
+func (s *Server) checkpointEntriesLocked() []wal.CheckpointEntry {
+	entries := make([]wal.CheckpointEntry, 0, len(s.appliedOrder))
+	for _, k := range s.appliedOrder {
+		entries = append(entries, wal.CheckpointEntry{Key: k, Seq: s.applied[k]})
+	}
+	return entries
+}
 
 // errMutationBusy marks a mutation shed because a write was in flight.
 var errMutationBusy = errors.New("server: a mutation is already in flight")
@@ -91,12 +125,12 @@ func (s *Server) OpenWAL() (*WALStatus, error) {
 	s.wal = l
 	metWALBytes.Set(float64(l.Size()))
 	st := &WALStatus{
-		Checkpointed:   len(rep.CheckpointKeys),
+		Checkpointed:   len(rep.Checkpoint),
 		TruncatedBytes: rep.TruncatedBytes,
 		SetAside:       rep.SetAside,
 	}
-	for _, k := range rep.CheckpointKeys {
-		s.applied[k] = 0
+	for _, e := range rep.Checkpoint {
+		s.rememberKeyLocked(e.Key, e.Seq)
 	}
 	if len(rep.Batches) == 0 {
 		return st, nil
@@ -169,9 +203,7 @@ func (s *Server) applyLocked(ctx context.Context, key string, ops []hin.Op, seq 
 		s.logf("server: incremental rewarm (raw): %v", err)
 	}
 	s.cur.Store(next)
-	if key != "" {
-		s.applied[key] = seq
-	}
+	s.rememberKeyLocked(key, seq)
 	s.walBatches++
 	return stats, nil
 }
@@ -179,11 +211,14 @@ func (s *Server) applyLocked(ctx context.Context, key string, ops []hin.Op, seq 
 // compactLocked folds the write-ahead log into its base: the current
 // (post-mutation) graph is written crash-safely to the configured graph
 // path, then the log is reset against the new base fingerprint with the
-// idempotency keys carried as a checkpoint record. Crash-safe in both
+// idempotency table carried as checkpoint records. Crash-safe in both
 // orders: before the graph rename the old base + old log still replay to
 // the same graph; between rename and reset the log names the old
 // fingerprint and is set aside at boot — its batches are already folded
-// into the base. Callers hold walMu.
+// into the base. A graph file this process did not write — an operator
+// dropping in a replacement generation — is never overwritten: compaction
+// refuses with an error naming both fingerprints instead of silently
+// destroying the replacement. Callers hold walMu.
 func (s *Server) compactLocked() error {
 	if s.wal == nil || s.walBatches == 0 {
 		return nil
@@ -192,21 +227,43 @@ func (s *Server) compactLocked() error {
 		return errors.New("server: wal compaction needs a base graph path (WithReloadFrom)")
 	}
 	es := s.current()
+	// The file is ours to overwrite only if it holds the log's base, the
+	// graph we are about to write anyway, or the half of a previous
+	// compaction that crashed between its graph write and log reset.
+	if fp, err := s.diskGraphFingerprint(); err == nil &&
+		fp != s.wal.Fingerprint() && fp != es.fingerprint && fp != s.lastSavedFP {
+		return fmt.Errorf("server: refusing to compact over a replaced graph file: %s holds fingerprint %016x, the log's base is %016x — restart (the log is set aside at boot) or remove the replacement before mutating further",
+			s.graphPath, fp, s.wal.Fingerprint())
+	}
 	if err := s.saveGraph(es.g); err != nil {
 		return fmt.Errorf("server: writing compacted base graph: %w", err)
 	}
-	keys := make([]string, 0, len(s.applied))
-	for k := range s.applied {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	if err := s.wal.Reset(es.fingerprint, keys); err != nil {
+	s.lastSavedFP = es.fingerprint
+	if err := s.wal.Reset(es.fingerprint, s.checkpointEntriesLocked()); err != nil {
 		return fmt.Errorf("server: resetting wal: %w", err)
 	}
 	s.walBatches = 0
 	metWALCompactions.Inc()
 	metWALBytes.Set(float64(s.wal.Size()))
 	return nil
+}
+
+// diskGraphFingerprint reads the graph file at graphPath and reports the
+// fingerprint of the graph it holds — the compaction guard's evidence of
+// an operator-placed replacement. Unreadable or corrupt files report an
+// error; the guard then lets compaction proceed, since overwriting a
+// broken base with a coherent one is a repair, not a loss.
+func (s *Server) diskGraphFingerprint() (uint64, error) {
+	f, err := os.Open(s.graphPath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	g, err := hin.Read(f)
+	if err != nil {
+		return 0, err
+	}
+	return g.Fingerprint(), nil
 }
 
 // saveGraph writes g to the configured graph path with the same temp +

@@ -396,6 +396,10 @@ func TestMutateCompaction(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("batch %d = %d %+v", i, resp.StatusCode, mb)
 		}
+		// Sequences stay monotonic across the compaction after each batch.
+		if mb.Seq != uint64(i)+1 {
+			t.Fatalf("batch %d acked with seq %d, want %d", i, mb.Seq, i+1)
+		}
 	}
 	mutatedFP := srv.current().fingerprint
 
@@ -429,6 +433,177 @@ func TestMutateCompaction(t *testing.T) {
 	resp, mb := postMutation(t, ts2.URL, "batch-0", mutationBatches()[0])
 	if resp.StatusCode != http.StatusOK || mb.Status != "duplicate" {
 		t.Fatalf("checkpointed key not honored: %d %+v", resp.StatusCode, mb)
+	}
+	// The checkpoint carried the original ack sequence across the
+	// compaction and the restart — not a placeholder.
+	if mb.Seq != 1 {
+		t.Fatalf("checkpointed duplicate reports seq %d, want original ack seq 1", mb.Seq)
+	}
+	// And a fresh batch continues the sequence past every checkpointed ack.
+	resp, mb = postMutation(t, ts2.URL, "batch-new", mutationBatches()[0])
+	if resp.StatusCode != http.StatusOK || mb.Seq != uint64(len(mutationBatches()))+1 {
+		t.Fatalf("post-checkpoint batch = %d seq %d, want seq %d",
+			resp.StatusCode, mb.Seq, len(mutationBatches())+1)
+	}
+}
+
+// TestReloadRebindsWAL is the lost-generation regression test: an operator
+// replaces the graph file while the log is empty, reloads, and then
+// mutates. The reload must rebind the open log to the new base
+// fingerprint — otherwise the post-reload acks land in a log that the
+// next boot sets aside, silently losing them.
+func TestReloadRebindsWAL(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "edges.wal")
+	graphPath := filepath.Join(dir, "graph.json")
+	base := reloadGraph(t, 0)
+	writeGraphFile(t, graphPath, base)
+
+	first := New(base, WithWALPath(walPath), WithReloadFrom(graphPath), WithLogf(t.Logf))
+	first.MarkReady()
+	if _, err := first.OpenWAL(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(first.Handler())
+	// One acked batch before the swap, so the rebind must also carry the
+	// idempotency table into the new generation.
+	resp, mb := postMutation(t, ts.URL, "pre-swap", mutationBatches()[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-swap batch = %d %+v", resp.StatusCode, mb)
+	}
+	preSwapSeq := mb.Seq
+
+	// Fold the pending batch into the base (a swap over pending batches is
+	// refused — TestCompactionRefusesReplacedBase), then the operator swap:
+	// a different generation lands at the graph path and a reload adopts it.
+	if _, err := first.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	replacement := reloadGraph(t, 2)
+	writeGraphFile(t, graphPath, replacement)
+	if _, err := first.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if first.current().fingerprint != replacement.Fingerprint() {
+		t.Fatal("reload did not adopt the replacement graph")
+	}
+
+	// Mutate the new generation, then crash without closing the WAL.
+	resp, mb = postMutation(t, ts.URL, "post-swap", mutationBatches()[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap batch = %d %+v", resp.StatusCode, mb)
+	}
+	if mb.Seq <= preSwapSeq {
+		t.Fatalf("post-swap seq %d did not advance past pre-swap seq %d", mb.Seq, preSwapSeq)
+	}
+	ts.Close() // crash
+
+	// Boot from the replacement base: the log must replay, not be set aside.
+	second := New(replacement, WithWALPath(walPath), WithLogf(t.Logf))
+	st, err := second.OpenWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SetAside != "" {
+		t.Fatalf("post-reload log set aside (%s): acked batch lost", st.SetAside)
+	}
+	if st.Replayed != 1 {
+		t.Fatalf("replayed %d batches, want 1", st.Replayed)
+	}
+	want := applyAll(t, replacement, [][]hin.Op{mutationBatches()[0]})
+	if second.current().fingerprint != want.Fingerprint() {
+		t.Fatal("replayed generation diverges from the mutated replacement")
+	}
+	// The pre-swap key crossed both the compaction and the rebind.
+	second.MarkReady()
+	ts2 := httptest.NewServer(second.Handler())
+	defer ts2.Close()
+	resp, mb = postMutation(t, ts2.URL, "pre-swap", mutationBatches()[0])
+	if resp.StatusCode != http.StatusOK || mb.Status != "duplicate" || mb.Seq != preSwapSeq {
+		t.Fatalf("pre-swap retry after rebind = %d %+v, want duplicate seq %d", resp.StatusCode, mb, preSwapSeq)
+	}
+}
+
+// TestCompactionRefusesReplacedBase: with batches pending in the log, an
+// operator drops a replacement graph at the base path. Compaction (and
+// the reload that triggers it) must refuse to overwrite the replacement
+// with the in-memory graph rather than silently destroying it.
+func TestCompactionRefusesReplacedBase(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "edges.wal")
+	graphPath := filepath.Join(dir, "graph.json")
+	base := reloadGraph(t, 0)
+	writeGraphFile(t, graphPath, base)
+
+	srv := New(base, WithWALPath(walPath), WithReloadFrom(graphPath), WithLogf(t.Logf))
+	srv.MarkReady()
+	if _, err := srv.OpenWAL(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, _ := postMutation(t, ts.URL, "pending", mutationBatches()[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d", resp.StatusCode)
+	}
+	servingFP := srv.current().fingerprint
+
+	replacement := reloadGraph(t, 2)
+	writeGraphFile(t, graphPath, replacement)
+
+	if _, err := srv.Reload(context.Background()); err == nil {
+		t.Fatal("reload over a replaced base with pending batches succeeded")
+	}
+	// The replacement file is untouched and the serving graph unchanged.
+	f, err := os.Open(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := hin.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Fingerprint() != replacement.Fingerprint() {
+		t.Fatal("failed reload still overwrote the operator's replacement file")
+	}
+	if srv.current().fingerprint != servingFP {
+		t.Fatal("failed reload changed the serving graph")
+	}
+	// The write path keeps working against the old generation.
+	resp, _ = postMutation(t, ts.URL, "still-works", mutationBatches()[1])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation after refused compaction = %d", resp.StatusCode)
+	}
+}
+
+// TestAppliedKeyTableBounded: the idempotency table evicts FIFO beyond
+// maxAppliedKeys, so compaction checkpoints stay writable no matter how
+// many keyed batches a client sends.
+func TestAppliedKeyTableBounded(t *testing.T) {
+	srv := New(reloadGraph(t, 0), WithLogf(t.Logf))
+	srv.walMu.Lock()
+	defer srv.walMu.Unlock()
+	for i := 0; i < maxAppliedKeys+100; i++ {
+		srv.rememberKeyLocked(fmt.Sprintf("key-%d", i), uint64(i)+1)
+	}
+	if len(srv.applied) != maxAppliedKeys || len(srv.appliedOrder) != maxAppliedKeys {
+		t.Fatalf("table holds %d/%d keys, want bounded at %d",
+			len(srv.applied), len(srv.appliedOrder), maxAppliedKeys)
+	}
+	if _, ok := srv.applied["key-0"]; ok {
+		t.Fatal("oldest key survived eviction")
+	}
+	if seq, ok := srv.applied[fmt.Sprintf("key-%d", maxAppliedKeys+99)]; !ok || seq != maxAppliedKeys+100 {
+		t.Fatalf("newest key = %d, %v", seq, ok)
+	}
+	entries := srv.checkpointEntriesLocked()
+	if len(entries) != maxAppliedKeys {
+		t.Fatalf("checkpoint snapshot holds %d entries", len(entries))
+	}
+	// Oldest-first, sequences monotone — the order replay restores.
+	if entries[0].Seq != 101 || entries[len(entries)-1].Seq != maxAppliedKeys+100 {
+		t.Fatalf("checkpoint order: first seq %d, last seq %d", entries[0].Seq, entries[len(entries)-1].Seq)
 	}
 }
 

@@ -277,15 +277,19 @@ func (s *Server) Reload(ctx context.Context) (*ReloadResult, error) {
 }
 
 func (s *Server) reloadLocked(ctx context.Context) (*ReloadResult, error) {
-	// With mutations enabled, the graph file on disk may trail the served
-	// graph by the write-ahead log's batches. Fold the log into a fresh
-	// base first, so the re-read below starts from the acked state instead
-	// of silently dropping logged mutations.
+	// Mutations append to the log and swap s.cur under walMu; the reload
+	// holds the same lock across its whole read-build-swap window so a
+	// batch acked mid-reload can neither be clobbered from the serving
+	// graph nor silently undo the reload. Concurrent mutation batches are
+	// shed with 503 + Retry-After for the duration. With mutations
+	// enabled, the graph file on disk may trail the served graph by the
+	// log's batches: fold the log into a fresh base first, so the re-read
+	// below starts from the acked state instead of dropping logged
+	// mutations.
 	if s.walPath != "" {
 		s.walMu.Lock()
-		err := s.compactLocked()
-		s.walMu.Unlock()
-		if err != nil {
+		defer s.walMu.Unlock()
+		if err := s.compactLocked(); err != nil {
 			return nil, err
 		}
 	}
@@ -315,6 +319,21 @@ func (s *Server) reloadLocked(ctx context.Context) (*ReloadResult, error) {
 		metWarmStart.Set(1)
 	} else {
 		metWarmStart.Set(0)
+	}
+
+	// Rebind the open log before serving the new generation: a reload that
+	// adopts a different graph (an operator-placed replacement) would
+	// otherwise leave the log's header naming the old base, and every
+	// batch acked afterwards would be set aside — never replayed — at the
+	// next boot. Reset rebinding fails the reload whole, leaving old
+	// graph and old log consistent; the idempotency table rides along as
+	// checkpoint records.
+	if s.wal != nil && next.fingerprint != s.wal.Fingerprint() {
+		if err := s.wal.Reset(next.fingerprint, s.checkpointEntriesLocked()); err != nil {
+			return nil, fmt.Errorf("server: rebinding wal to reloaded graph: %w", err)
+		}
+		s.walBatches = 0
+		metWALBytes.Set(float64(s.wal.Size()))
 	}
 
 	s.cur.Store(next)

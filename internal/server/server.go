@@ -98,12 +98,16 @@ type Server struct {
 
 	// walMu is the single-writer lock of the mutation path: WAL append,
 	// engine-set swap, applied-key table and compaction all happen under
-	// it. Handlers use TryLock, shedding concurrent writers with 503.
-	walMu      sync.Mutex
-	wal        *wal.Log
-	applied    map[string]uint64 // idempotency key -> acked sequence number
-	walBatches int               // batches in the log since its base graph
-	draining   atomic.Bool       // shutdown drain: refuse mutations and reloads
+	// it — and the reload's read-build-swap window, so a reload can never
+	// clobber a concurrently acked batch. Handlers use TryLock, shedding
+	// concurrent writers with 503.
+	walMu        sync.Mutex
+	wal          *wal.Log
+	applied      map[string]uint64 // idempotency key -> acked sequence number
+	appliedOrder []string          // applied keys, oldest ack first (FIFO eviction)
+	walBatches   int               // batches in the log since its base graph
+	lastSavedFP  uint64            // fingerprint of the graph compaction last wrote to graphPath
+	draining     atomic.Bool       // shutdown drain: refuse mutations and reloads
 	// precomputeSpecs are the boot-time materialization paths, kept so a
 	// hot-reload can re-warm the replacement graph.
 	precomputeSpecs []string

@@ -17,7 +17,7 @@ func FuzzWALDecode(f *testing.F) {
 	if p, err := encodeBatch(Batch{Seq: 7, Key: "idem-1", Ops: testOpsF()}); err == nil {
 		f.Add(p)
 	}
-	if p, err := encodeCheckpoint([]string{"a", "b", "c"}); err == nil {
+	if p, err := encodeCheckpoint([]CheckpointEntry{{Key: "a", Seq: 1}, {Key: "b", Seq: 2}, {Key: "c", Seq: 9}}); err == nil {
 		f.Add(p)
 	}
 	f.Add([]byte{recBatch, 0, 0})
@@ -26,19 +26,19 @@ func FuzzWALDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ParseHeader(data) // must not panic on anything
 
-		batch, keys, err := DecodePayload(data)
+		batch, entries, err := DecodePayload(data)
 		if err != nil {
 			return
 		}
-		if (batch != nil) == (keys != nil) && !(batch == nil && len(keys) == 0) {
-			t.Fatalf("decode returned both or neither: batch=%v keys=%v", batch, keys)
+		if (batch != nil) == (entries != nil) && !(batch == nil && len(entries) == 0) {
+			t.Fatalf("decode returned both or neither: batch=%v entries=%v", batch, entries)
 		}
 		var reenc []byte
 		var eerr error
 		if batch != nil {
 			reenc, eerr = encodeBatch(*batch)
 		} else {
-			reenc, eerr = encodeCheckpoint(keys)
+			reenc, eerr = encodeCheckpoint(entries)
 		}
 		if eerr != nil {
 			t.Fatalf("decoded value does not re-encode: %v", eerr)

@@ -12,9 +12,11 @@
 //	record  payloadLen u32 | payload | payloadCRC u32 (CRC-32/IEEE of payload)
 //
 // A record payload begins with a kind byte: a mutation batch (sequence
-// number, idempotency key, ops) or an idempotency-key checkpoint written
-// when compaction resets the log, so key dedup survives the base graph
-// absorbing the batches that carried the keys. Decode mirrors
+// number, idempotency key, ops) or an idempotency checkpoint — (key,
+// acked sequence) pairs written when compaction resets the log, so key
+// dedup and the original ack sequences survive the base graph absorbing
+// the batches that carried them. A checkpoint larger than one record's
+// budget is split across consecutive records. Decode mirrors
 // internal/snapshot's defensiveness — strict caps on every length prefix,
 // allocation bounded by bytes actually present — and replay truncates the
 // log at the first torn or corrupt record rather than guessing past it.
@@ -59,8 +61,13 @@ const (
 
 	maxPayload = 1 << 24 // cap on a record's length prefix (16 MiB)
 	maxOps     = 1 << 20 // cap on a batch's op count
-	maxKeys    = 1 << 20 // cap on a checkpoint's key count
+	maxKeys    = 1 << 20 // cap on one checkpoint record's entry count
 	maxString  = 1<<16 - 1
+
+	// checkpointChunkBytes bounds one checkpoint record's payload; a
+	// larger entry set is split across consecutive records so no key-table
+	// size can make a checkpoint unwritable.
+	checkpointChunkBytes = 1 << 22
 )
 
 // Record kinds (first payload byte).
@@ -77,14 +84,23 @@ type Batch struct {
 	Ops []hin.Op
 }
 
+// CheckpointEntry carries one idempotency key and the sequence number its
+// batch was originally acked with across a compaction, so a post-compaction
+// duplicate answers with the real ack sequence, not a placeholder.
+type CheckpointEntry struct {
+	Key string
+	Seq uint64
+}
+
 // Replay is what Open recovered from an existing log.
 type Replay struct {
 	// Batches holds every durable batch in append order. Duplicated
 	// idempotency keys are preserved — dedup is the applier's job.
 	Batches []Batch
-	// CheckpointKeys holds idempotency keys carried over from before the
-	// last compaction; they seed the applier's dedup set.
-	CheckpointKeys []string
+	// Checkpoint holds idempotency keys (with their original ack
+	// sequences) carried over from before the last compaction; they seed
+	// the applier's dedup set.
+	Checkpoint []CheckpointEntry
 	// TruncatedBytes counts torn-tail bytes discarded from the log, for
 	// loud logging. Zero on a clean log.
 	TruncatedBytes int64
@@ -156,7 +172,7 @@ func Open(fsys snapshot.FS, path string, baseFingerprint uint64) (*Log, *Replay,
 		if rerr != nil {
 			break // torn or corrupt tail: truncate from here
 		}
-		batch, keys, derr := DecodePayload(payload)
+		batch, entries, derr := DecodePayload(payload)
 		if derr != nil {
 			break
 		}
@@ -166,7 +182,14 @@ func Open(fsys snapshot.FS, path string, baseFingerprint uint64) (*Log, *Replay,
 				l.nextSeq = batch.Seq + 1
 			}
 		} else {
-			rep.CheckpointKeys = append(rep.CheckpointKeys, keys...)
+			rep.Checkpoint = append(rep.Checkpoint, entries...)
+			// Sequences are monotonic across compactions; a checkpointed
+			// ack must never be reissued to a new batch.
+			for _, e := range entries {
+				if e.Seq >= l.nextSeq {
+					l.nextSeq = e.Seq + 1
+				}
+			}
 		}
 		off += n
 		valid = int64(off)
@@ -224,17 +247,23 @@ func (l *Log) Append(key string, ops []hin.Op) (uint64, error) {
 	return seq, l.appendRecord(payload, func() { l.nextSeq = seq + 1 })
 }
 
-// AppendCheckpoint logs an idempotency-key checkpoint with the same
-// durability contract as Append.
-func (l *Log) AppendCheckpoint(keys []string) error {
+// AppendCheckpoint logs an idempotency checkpoint with the same
+// durability contract as Append. Oversized entry sets are split across
+// consecutive records; replay concatenates them back.
+func (l *Log) AppendCheckpoint(entries []CheckpointEntry) error {
 	if l.f == nil {
 		return ErrClosed
 	}
-	payload, err := encodeCheckpoint(keys)
+	payloads, err := encodeCheckpoints(entries)
 	if err != nil {
 		return err
 	}
-	return l.appendRecord(payload, func() {})
+	for _, payload := range payloads {
+		if err := l.appendRecord(payload, func() {}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (l *Log) appendRecord(payload []byte, commit func()) error {
@@ -255,22 +284,25 @@ func (l *Log) appendRecord(payload []byte, commit func()) error {
 }
 
 // Reset atomically replaces the log with a fresh one bound to
-// newFingerprint, carrying keys as a checkpoint record — the log half of
-// compaction, called after the mutated graph has durably become the new
-// base. The swap is temp + fsync + rename + dir sync, so a crash leaves
-// either the old log (stale fingerprint, set aside at next boot after the
-// base already absorbed it) or the new one.
-func (l *Log) Reset(newFingerprint uint64, keys []string) error {
+// newFingerprint, carrying entries as checkpoint records (split across
+// several when oversized) — the log half of compaction, called after the
+// mutated graph has durably become the new base. The swap is temp + fsync
+// + rename + dir sync, so a crash leaves either the old log (stale
+// fingerprint, set aside at next boot after the base already absorbed it)
+// or the new one. Sequence numbering continues: an ack sequence issued
+// before the reset is never reused after it.
+func (l *Log) Reset(newFingerprint uint64, entries []CheckpointEntry) error {
 	if l.f == nil {
 		return ErrClosed
 	}
-	payload, err := encodeCheckpoint(keys)
+	payloads, err := encodeCheckpoints(entries)
 	if err != nil {
 		return err
 	}
-	var buf []byte
-	buf = append(buf, encodeHeader(newFingerprint)...)
-	buf = append(buf, frameRecord(payload)...)
+	buf := append([]byte(nil), encodeHeader(newFingerprint)...)
+	for _, payload := range payloads {
+		buf = append(buf, frameRecord(payload)...)
+	}
 
 	dir := filepath.Dir(l.path)
 	tmp, err := l.fsys.CreateTemp(dir, filepath.Base(l.path)+".tmp-*")
@@ -305,7 +337,6 @@ func (l *Log) Reset(newFingerprint uint64, keys []string) error {
 	l.f = f
 	l.size = int64(len(buf))
 	l.fingerprint = newFingerprint
-	l.nextSeq = 1
 	return nil
 }
 
@@ -440,15 +471,16 @@ func encodeBatch(b Batch) ([]byte, error) {
 	return out, nil
 }
 
-func encodeCheckpoint(keys []string) ([]byte, error) {
-	if len(keys) > maxKeys {
-		return nil, fmt.Errorf("%w: checkpoint of %d keys exceeds cap %d", ErrCorrupt, len(keys), maxKeys)
+func encodeCheckpoint(entries []CheckpointEntry) ([]byte, error) {
+	if len(entries) > maxKeys {
+		return nil, fmt.Errorf("%w: checkpoint of %d entries exceeds cap %d", ErrCorrupt, len(entries), maxKeys)
 	}
 	out := []byte{recCheckpoint}
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(keys)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
 	var err error
-	for _, k := range keys {
-		if out, err = appendString(out, k); err != nil {
+	for _, e := range entries {
+		out = binary.LittleEndian.AppendUint64(out, e.Seq)
+		if out, err = appendString(out, e.Key); err != nil {
 			return nil, err
 		}
 	}
@@ -458,11 +490,42 @@ func encodeCheckpoint(keys []string) ([]byte, error) {
 	return out, nil
 }
 
+// encodeCheckpoints splits entries into records, each within the chunk
+// budget and entry cap, and encodes them. An empty entry set encodes to a
+// single empty checkpoint record, so a reset log still proves on replay
+// that its key table is intentionally empty.
+func encodeCheckpoints(entries []CheckpointEntry) ([][]byte, error) {
+	var payloads [][]byte
+	for {
+		chunk := entries
+		bytes := 0
+		for i, e := range entries {
+			if len(e.Key) > maxString {
+				return nil, fmt.Errorf("%w: idempotency key of %d bytes exceeds cap %d", ErrCorrupt, len(e.Key), maxString)
+			}
+			bytes += 8 + 2 + len(e.Key)
+			if (bytes > checkpointChunkBytes || i >= maxKeys) && i > 0 {
+				chunk = entries[:i]
+				break
+			}
+		}
+		payload, err := encodeCheckpoint(chunk)
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, payload)
+		entries = entries[len(chunk):]
+		if len(entries) == 0 {
+			return payloads, nil
+		}
+	}
+}
+
 // DecodePayload parses a record payload into either a mutation batch or a
-// checkpoint key list (exactly one return is non-nil on success). It is
+// checkpoint entry list (exactly one return is non-nil on success). It is
 // strict: unknown kinds, over-cap counts, and trailing bytes are all
 // ErrCorrupt, and allocation is bounded by the bytes actually present.
-func DecodePayload(p []byte) (*Batch, []string, error) {
+func DecodePayload(p []byte) (*Batch, []CheckpointEntry, error) {
 	if len(p) == 0 || len(p) > maxPayload {
 		return nil, nil, fmt.Errorf("%w: payload of %d bytes", ErrCorrupt, len(p))
 	}
@@ -472,8 +535,8 @@ func DecodePayload(p []byte) (*Batch, []string, error) {
 		b, err := decodeBatch(p)
 		return b, nil, err
 	case recCheckpoint:
-		keys, err := decodeCheckpoint(p)
-		return nil, keys, err
+		entries, err := decodeCheckpoint(p)
+		return nil, entries, err
 	}
 	return nil, nil, fmt.Errorf("%w: record kind %#x", ErrCorrupt, kind)
 }
@@ -538,31 +601,36 @@ func decodeBatch(p []byte) (*Batch, error) {
 	return b, nil
 }
 
-func decodeCheckpoint(p []byte) ([]string, error) {
+func decodeCheckpoint(p []byte) ([]CheckpointEntry, error) {
 	if len(p) < 4 {
 		return nil, fmt.Errorf("%w: short checkpoint header", ErrCorrupt)
 	}
 	count := binary.LittleEndian.Uint32(p)
 	p = p[4:]
 	if count > maxKeys {
-		return nil, fmt.Errorf("%w: implausible key count %d", ErrCorrupt, count)
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrCorrupt, count)
 	}
-	if uint64(count)*2 > uint64(len(p)) {
-		return nil, fmt.Errorf("%w: %d keys cannot fit in %d bytes", ErrCorrupt, count, len(p))
+	// Each entry is at least 10 bytes (seq u64 + key length prefix).
+	if uint64(count)*10 > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: %d entries cannot fit in %d bytes", ErrCorrupt, count, len(p))
 	}
-	keys := make([]string, 0, count)
+	entries := make([]CheckpointEntry, 0, count)
 	var err error
 	for i := uint32(0); i < count; i++ {
-		var k string
-		if k, p, err = takeString(p); err != nil {
-			return nil, fmt.Errorf("%w: key %d: %v", ErrCorrupt, i, err)
+		if len(p) < 8 {
+			return nil, fmt.Errorf("%w: short entry %d", ErrCorrupt, i)
 		}
-		keys = append(keys, k)
+		e := CheckpointEntry{Seq: binary.LittleEndian.Uint64(p)}
+		p = p[8:]
+		if e.Key, p, err = takeString(p); err != nil {
+			return nil, fmt.Errorf("%w: entry %d key: %v", ErrCorrupt, i, err)
+		}
+		entries = append(entries, e)
 	}
 	if len(p) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after checkpoint", ErrCorrupt, len(p))
 	}
-	return keys, nil
+	return entries, nil
 }
 
 func appendString(out []byte, s string) ([]byte, error) {

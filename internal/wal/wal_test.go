@@ -65,7 +65,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(rep.Batches, want) {
 		t.Fatalf("replayed %+v, want %+v", rep.Batches, want)
 	}
-	if rep.TruncatedBytes != 0 || len(rep.CheckpointKeys) != 0 {
+	if rep.TruncatedBytes != 0 || len(rep.Checkpoint) != 0 {
 		t.Fatalf("replay side state = %+v", rep)
 	}
 	if l2.Size() != size {
@@ -312,38 +312,99 @@ func TestResetCompaction(t *testing.T) {
 
 	// Torn rename during compaction: the old log must survive untouched.
 	fsys.FailRename(nil)
-	if err := l.Reset(0x1111, []string{"k"}); err == nil {
+	if err := l.Reset(0x1111, []CheckpointEntry{{Key: "k", Seq: 3}}); err == nil {
 		t.Fatal("reset with torn rename succeeded")
 	}
 	fsys.DisarmAll()
 	if l.Size() != big {
 		t.Fatalf("failed reset changed size to %d", l.Size())
 	}
-	if _, err := l.Append("k2", testOps(1)); err != nil {
-		t.Fatalf("append after failed reset: %v", err)
+	if seq, err := l.Append("k2", testOps(1)); err != nil || seq != 4 {
+		t.Fatalf("append after failed reset: seq=%d err=%v", seq, err)
 	}
 
 	newFP := uint64(0x2222)
-	if err := l.Reset(newFP, []string{"k", "k2"}); err != nil {
+	want := []CheckpointEntry{{Key: "k", Seq: 3}, {Key: "k2", Seq: 4}}
+	if err := l.Reset(newFP, want); err != nil {
 		t.Fatal(err)
 	}
 	if l.Size() >= big || l.Fingerprint() != newFP {
 		t.Fatalf("post-reset size=%d fp=%x", l.Size(), l.Fingerprint())
 	}
-	// New log: sequence restarts, checkpoint keys replay, old batches gone.
-	if seq, err := l.Append("k3", testOps(1)); err != nil || seq != 1 {
+	// New log: sequencing continues (an acked seq is never reissued),
+	// checkpoint entries replay with their original seqs, old batches gone.
+	if seq, err := l.Append("k3", testOps(1)); err != nil || seq != 5 {
 		t.Fatalf("post-reset append seq=%d err=%v", seq, err)
 	}
 	l.Close()
-	_, rep, err := Open(snapshot.OS{}, path, newFP)
+	l2, rep, err := Open(snapshot.OS{}, path, newFP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(rep.CheckpointKeys, []string{"k", "k2"}) {
-		t.Fatalf("checkpoint keys = %v", rep.CheckpointKeys)
+	defer l2.Close()
+	if !reflect.DeepEqual(rep.Checkpoint, want) {
+		t.Fatalf("checkpoint = %v, want %v", rep.Checkpoint, want)
 	}
-	if len(rep.Batches) != 1 || rep.Batches[0].Key != "k3" {
+	if len(rep.Batches) != 1 || rep.Batches[0].Key != "k3" || rep.Batches[0].Seq != 5 {
 		t.Fatalf("post-reset batches = %+v", rep.Batches)
+	}
+	// The reopened log continues past both batch and checkpoint seqs.
+	if seq, err := l2.Append("k4", testOps(1)); err != nil || seq != 6 {
+		t.Fatalf("post-reopen append seq=%d err=%v", seq, err)
+	}
+}
+
+// A checkpoint too large for one record splits across several and replays
+// back as one entry list, in order — the key table can outgrow a single
+// record without making compaction unwritable.
+func TestCheckpointChunking(t *testing.T) {
+	key := make([]byte, maxString)
+	for i := range key {
+		key[i] = 'x'
+	}
+	// ~70 entries of ~64KiB each: > checkpointChunkBytes, so > 1 record.
+	entries := make([]CheckpointEntry, 70)
+	for i := range entries {
+		entries[i] = CheckpointEntry{Key: string(key[:len(key)-i]), Seq: uint64(i + 1)}
+	}
+	payloads, err := encodeCheckpoints(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) < 2 {
+		t.Fatalf("oversized checkpoint produced %d records, want >= 2", len(payloads))
+	}
+	var back []CheckpointEntry
+	for i, p := range payloads {
+		if len(p)+frameSize > checkpointChunkBytes+maxString+frameSize {
+			t.Fatalf("record %d is %d bytes, over budget", i, len(p))
+		}
+		_, es, err := DecodePayload(p)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		back = append(back, es...)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Fatal("chunked checkpoint did not round-trip")
+	}
+
+	l, path := openFresh(t, snapshot.OS{})
+	if err := l.Reset(0x3333, entries); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, rep, err := Open(snapshot.OS{}, path, 0x3333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(rep.Checkpoint, entries) {
+		t.Fatalf("replayed %d checkpoint entries, want %d intact", len(rep.Checkpoint), len(entries))
+	}
+	// nextSeq cleared the highest checkpointed ack.
+	if seq, err := l2.Append("fresh", testOps(1)); err != nil || seq != uint64(len(entries))+1 {
+		t.Fatalf("append after chunked replay: seq=%d err=%v", seq, err)
 	}
 }
 
