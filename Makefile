@@ -27,7 +27,7 @@ test:
 
 # Short-mode race run over the concurrent packages; part of `make check`.
 race:
-	go test -race -short ./internal/core ./internal/server ./internal/sparse ./internal/obs
+	go test -race -short ./internal/core ./internal/relevance ./internal/server ./internal/sparse ./internal/obs
 
 # Full race run over everything; slower, run before cutting a release.
 race-full:
@@ -60,9 +60,9 @@ check: vet staticcheck build test race obs-selftest chaos properties
 # Regenerate the committed benchmark baseline: every paper-table and
 # figure benchmark, the snapshot warm-vs-cold boot comparison, the
 # batch scheduler's sequential-vs-batched amortization run, the
-# query-optimizer auto-vs-forced plan comparison, and the incremental
-# mutation apply-vs-rematerialize comparison, with allocation stats,
-# as JSON.
+# query-optimizer auto-vs-forced plan comparison, the incremental
+# mutation apply-vs-rematerialize comparison, and the auto-relevance
+# ensemble-vs-solo-paths comparison, with allocation stats, as JSON.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan|BenchmarkIncremental' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan|BenchmarkIncremental|BenchmarkRelevance' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

@@ -21,6 +21,7 @@ import (
 	"hetesim/internal/exp"
 	"hetesim/internal/hin"
 	"hetesim/internal/metapath"
+	"hetesim/internal/relevance"
 	"hetesim/internal/snapshot"
 )
 
@@ -358,6 +359,65 @@ func BenchmarkBatchPairAmortization(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := e.ExecuteBatch(context.Background(), qs, core.BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRelevanceAuto is the auto-relevance subsystem's acceptance
+// benchmark: one conference pair scored over an ensemble of three meta
+// paths that share the published_in⁻¹ prefix (CPC, CPAPC, CPTPC),
+// answered naively (each path is a solo Pair query paying its own
+// half-chain propagations — including the dense conference→papers fanout
+// three times) versus through relevance.Pair (the batch side planner
+// materializes the shared two-row prefix once and resumes the longer
+// chains from it). Engines are cold per iteration so the ratio isolates
+// cross-path amortization; the warm variant shows the steady-state
+// ensemble cost once chains are cached.
+func BenchmarkRelevanceAuto(b *testing.B) {
+	ds := complexityGraph(20000)
+	g := ds.Graph
+	specs := []string{"CPC", "CPAPC", "CPTPC"}
+	paths := make([]*metapath.Path, len(specs))
+	for i, s := range specs {
+		paths[i] = metapath.MustParse(g.Schema(), s)
+	}
+	nC := g.NodeCount("conference")
+	src, dst := 3%nC, 11%nC
+	opts := relevance.Options{Paths: specs, MaxPaths: len(specs)}
+	b.Run("solo-paths-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g)
+			var sum float64
+			for _, p := range paths {
+				s, err := e.PairByIndex(context.Background(), p, src, dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += s / float64(len(paths))
+			}
+			_ = sum
+		}
+	})
+	b.Run("ensemble-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := core.NewEngine(g)
+			if _, err := relevance.Pair(context.Background(), e, "conference", src, "conference", dst, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ensemble-warm", func(b *testing.B) {
+		e := core.NewEngine(g)
+		for _, p := range paths {
+			if err := e.Precompute(context.Background(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := relevance.Pair(context.Background(), e, "conference", src, "conference", dst, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

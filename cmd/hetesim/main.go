@@ -6,6 +6,10 @@
 //	hetesim -graph g.json -path APVC -source <id> [-target <id>] [-k 10]
 //	        [-measure hetesim|pcrw|pathsim] [-raw] [-montecarlo walks]
 //	hetesim -graph g.json -enumerate author,conference [-maxlen 4]
+//	hetesim -graph g.json -relevance -source <id> -source-type author
+//	        [-target <id>] -target-type author [-k 10] [-maxlen 4]
+//	        [-maxpaths 16] [-weighting uniform|degree|learned]
+//	        [-weights weights.json] [-raw]
 //	hetesim -graph g.json -batch queries.json
 //	hetesim -graph g.json -apply deltas.json [-out g2.json]
 //
@@ -26,6 +30,15 @@
 // "source": "...", "target": "...", "k": 10, "eps": 0, "raw": false}]}.
 // Results (one per query, each with its own error) and the amortization
 // stats are printed as JSON.
+//
+// -relevance answers without a path: it enumerates every schema-valid meta
+// path between -source-type and -target-type (up to -maxlen steps and
+// -maxpaths candidates), scores them all through the batch scheduler so
+// paths with common prefixes share chain propagation, and prints the
+// weighted ensemble with each path's contribution. With -target it scores
+// the pair; without, it ranks the top -k objects of -target-type.
+// -weighting learned needs -weights, a JSON file of per-path weights
+// (e.g. exported from a learn.PathWeights fit).
 //
 // -apply is the offline counterpart of the daemon's POST /v1/admin/edges:
 // it applies a batch of mutation ops from a JSON file ("-" reads stdin;
@@ -48,6 +61,7 @@ import (
 	"hetesim/internal/metapath"
 	"hetesim/internal/obs"
 	"hetesim/internal/rank"
+	"hetesim/internal/relevance"
 )
 
 func main() {
@@ -64,7 +78,13 @@ func main() {
 		applyFile  = flag.String("apply", "", "apply the JSON mutation batch in this file (\"-\" = stdin) and write the mutated graph")
 		outFile    = flag.String("out", "-", "output file for -apply (\"-\" = stdout)")
 		enumerate  = flag.String("enumerate", "", "list relevance paths between two comma-separated types")
-		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate")
+		maxLen     = flag.Int("maxlen", 4, "maximum path length for -enumerate and -relevance")
+		relevanceQ = flag.Bool("relevance", false, "auto relevance: enumerate paths between -source-type and -target-type and combine them into a weighted ensemble")
+		sourceType = flag.String("source-type", "", "source object type for -relevance")
+		targetType = flag.String("target-type", "", "target object type for -relevance")
+		weighting  = flag.String("weighting", "uniform", "ensemble weighting for -relevance: uniform | degree | learned")
+		weightsF   = flag.String("weights", "", "learned path-weights JSON file for -relevance ({\"weights\": {\"APA\": 0.6, ...}})")
+		maxPaths   = flag.Int("maxpaths", 16, "candidate-path cap for -relevance")
 		explain    = flag.Int("explain", 0, "print the query plans for -path amortized over this many queries")
 		planName   = flag.String("plan", "", "force a hetesim physical plan: auto | pair-vectors | single-vs-matrix | all-pairs | monte-carlo (walks from -montecarlo)")
 		why        = flag.Int("why", 0, "with -target: show this many top meeting-object contributions")
@@ -81,6 +101,9 @@ func main() {
 		err = runApply(*graphPath, *applyFile, *outFile)
 	case *batchFile != "":
 		err = runBatch(*graphPath, *batchFile)
+	case *relevanceQ:
+		err = runRelevance(*graphPath, *source, *sourceType, *target, *targetType,
+			*weighting, *weightsF, *k, *maxLen, *maxPaths, *raw)
 	case *enumerate != "":
 		err = runEnumerate(*graphPath, *enumerate, *maxLen)
 	case *explain > 0 && *pathSpec != "":
@@ -123,6 +146,81 @@ func runEnumerate(graphPath, spec string, maxLen int) error {
 			note = "  (symmetric)"
 		}
 		fmt.Printf("  %s%s\n", p, note)
+	}
+	return nil
+}
+
+// runRelevance is the CLI face of the auto-relevance ensemble: same
+// enumeration, scoring, and weighting as POST /v1/relevance.
+func runRelevance(graphPath, source, sourceType, target, targetType, weighting, weightsFile string, k, maxLen, maxPaths int, raw bool) error {
+	if source == "" || sourceType == "" || targetType == "" {
+		return fmt.Errorf("-relevance needs -source, -source-type and -target-type")
+	}
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	opts := []core.Option{}
+	if raw {
+		opts = append(opts, core.WithNormalization(false))
+	}
+	e := core.NewEngine(g, opts...)
+	src, err := g.NodeIndex(sourceType, source)
+	if err != nil {
+		return err
+	}
+	o := relevance.Options{MaxLen: maxLen, MaxPaths: maxPaths, Weighting: weighting}
+	if weightsFile != "" {
+		if o.Learned, err = relevance.LoadWeightsFile(weightsFile); err != nil {
+			return err
+		}
+	}
+	report := func(res *relevance.Result, pair bool) {
+		for _, ps := range res.Paths {
+			if ps.Err != "" {
+				fmt.Fprintf(os.Stderr, "  %-12s w=%.4f FAILED: %s\n", ps.Path, ps.Weight, ps.Err)
+				continue
+			}
+			approx := ""
+			if ps.Approximate {
+				approx = " (approximate)"
+			}
+			// Top-k paths contribute a score vector, not a scalar.
+			score := ""
+			if pair {
+				score = fmt.Sprintf(" score=%.6f", ps.Score)
+			}
+			fmt.Fprintf(os.Stderr, "  %-12s w=%.4f%s plan=%s%s\n",
+				ps.Path, ps.Weight, score, ps.Plan, approx)
+		}
+		fmt.Fprintf(os.Stderr, "  shared %d/%d path queries; %d row-steps vs %d naive\n",
+			res.Stats.SharedQueries, len(res.Paths), res.Stats.RowSteps, res.Stats.NaiveRowSteps)
+	}
+	if target != "" {
+		dst, err := g.NodeIndex(targetType, target)
+		if err != nil {
+			return err
+		}
+		res, err := relevance.Pair(context.Background(), e, sourceType, src, targetType, dst, o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ensemble of %d %s→%s paths (%s weighting):\n",
+			len(res.Paths), sourceType, targetType, weighting)
+		report(res, true)
+		fmt.Printf("relevance(%s, %s) = %.6f\n", source, target, res.Score)
+		return nil
+	}
+	res, ranked, err := relevance.TopK(context.Background(), e, sourceType, src, targetType, k, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ensemble of %d %s→%s paths (%s weighting):\n",
+		len(res.Paths), sourceType, targetType, weighting)
+	report(res, false)
+	fmt.Printf("top %d %s objects related to %s (auto relevance):\n", len(ranked), targetType, source)
+	for i, hit := range ranked {
+		fmt.Printf("  %2d. %-24s %.6f\n", i+1, hit.ID, hit.Score)
 	}
 	return nil
 }

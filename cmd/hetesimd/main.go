@@ -10,6 +10,8 @@
 //	         [-slowlog-threshold 1s] [-slowlog-size 128] [-debug-addr ""]
 //	         [-snapshot-path chains.snap] [-snapshot-save-interval 5m]
 //	         [-wal-path edges.wal] [-wal-compact-bytes 16777216]
+//	         [-relevance-max-len 4] [-relevance-max-paths 16]
+//	         [-path-weights weights.json]
 //
 // -precompute materializes the listed relevance paths in the background at
 // startup (the offline materialization of Section 4.6 of the paper);
@@ -24,6 +26,14 @@
 // executes them on -batch-workers goroutines via the path-group scheduler;
 // the -query-timeout budget applies to each query in the batch
 // individually, not to the batch as a whole.
+//
+// POST /v1/relevance answers path-free relevance: it enumerates every
+// schema-valid meta path between the endpoint types (at most
+// -relevance-max-len steps, at most -relevance-max-paths candidates),
+// scores all of them through the batch scheduler, and combines them into a
+// weighted ensemble. -path-weights loads learned per-path weights (the
+// LoadWeightsFile JSON format) and enables "weighting": "learned"; a
+// malformed weights file fails startup.
 //
 // Durability: -snapshot-path names a checksummed snapshot of the engine's
 // materialized chain matrices. At boot the daemon warm-starts from it when
@@ -65,6 +75,7 @@ import (
 
 	"hetesim/internal/core"
 	"hetesim/internal/hin"
+	"hetesim/internal/relevance"
 	"hetesim/internal/server"
 )
 
@@ -89,6 +100,9 @@ func main() {
 		snapshotEvery = flag.Duration("snapshot-save-interval", 5*time.Minute, "how often to persist the chain cache (0 disables the periodic save)")
 		walPath       = flag.String("wal-path", "", "edge-delta write-ahead log enabling POST /v1/admin/edges (empty disables mutations)")
 		walCompact    = flag.Int64("wal-compact-bytes", 16<<20, "fold the WAL into a rewritten -graph file when it outgrows this many bytes (0 never compacts on size)")
+		relMaxPaths   = flag.Int("relevance-max-paths", 16, "candidate-path cap for POST /v1/relevance ensembles")
+		relMaxLen     = flag.Int("relevance-max-len", 4, "longest meta path enumerated by POST /v1/relevance")
+		pathWeights   = flag.String("path-weights", "", "JSON file of learned path weights ({\"weights\": {\"APA\": 0.6, ...}}) enabling the learned weighting mode of POST /v1/relevance")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -111,6 +125,18 @@ func main() {
 		log.Fatal("hetesimd: -force-plan: ", err)
 	}
 
+	// Learned ensemble weights are a boot-time artifact (typically written
+	// from a learn.PathWeights fit): a malformed file is a deployment bug,
+	// so fail loudly instead of serving with learned mode silently off.
+	var learned map[string]float64
+	if *pathWeights != "" {
+		learned, err = relevance.LoadWeightsFile(*pathWeights)
+		if err != nil {
+			log.Fatal("hetesimd: -path-weights: ", err)
+		}
+		log.Printf("hetesimd: learned weights for %d paths from %s", len(learned), *pathWeights)
+	}
+
 	srv := server.New(g,
 		server.WithDefaultPlan(defaultPlan),
 		server.WithQueryTimeout(*queryTimeout),
@@ -124,6 +150,8 @@ func main() {
 		server.WithReloadFrom(*graphPath),
 		server.WithWALPath(*walPath),
 		server.WithWALCompactBytes(*walCompact),
+		server.WithRelevanceLimits(*relMaxLen, *relMaxPaths),
+		server.WithPathWeights(learned),
 	)
 
 	// Warm-start from the snapshot before materialization kicks off: paths

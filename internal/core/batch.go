@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,15 @@ import (
 // per-query vector work out over a bounded worker pool. With N same-path
 // queries the chain cost amortizes N ways — the batch analogue of Section
 // 4.6's offline materialization.
+//
+// Sharing also crosses group boundaries: half-chains of different paths that
+// start with the same step sequence (APA's left half is a prefix of APVPA's,
+// and of APCPA's) form a prefix family, and the side planner propagates the
+// union of their requested rows once through the shared prefix, resuming each
+// longer chain from the shortest family member's state. That is what makes a
+// multi-path ensemble over one (src, dst) pair — one query per path, every
+// group a singleton — cheaper batched than looped: the per-path groups share
+// their common half-chain prefixes even though no two queries share a path.
 
 // BatchKind selects the query shape of one BatchQuery.
 type BatchKind string
@@ -47,14 +57,17 @@ type BatchQuery struct {
 
 // BatchResult is the outcome of one BatchQuery, in the batch's order. Err is
 // per-query: one failing query never fails its siblings. Shared reports
-// whether the scheduler answered the query from group-shared chain state
-// (false for singleton groups and for queries that fell back to the solo
-// plan after a group preparation failure).
+// whether the scheduler answered the query from shared chain state — either
+// group-shared (several queries on one path) or prefix-shared across groups
+// (its path's half-chains belong to a family with other paths in the batch).
+// It is false for queries with nothing to share and for queries that fell
+// back to the solo plan after a preparation failure.
 type BatchResult struct {
 	Score  float64   // BatchPair
 	Scores []float64 // BatchSingleSource, indexed by target node index
 	TopK   []Scored  // BatchTopK
 	Shared bool
+	Plan   string // "solo", "warm", "full", "subset"
 	Err    error
 }
 
@@ -62,9 +75,20 @@ type BatchResult struct {
 type BatchStats struct {
 	Queries       int     // queries submitted
 	Groups        int     // distinct canonical path groups
-	SharedQueries int     // queries answered from group-shared chains
+	SharedQueries int     // queries answered from shared chain state
 	ChainBuilds   int     // chain propagations performed (full or subset)
 	Amortization  float64 // queries per group: N queries / 1 materialization
+
+	// Cross-group half-chain sharing, in row-propagation units (rows
+	// propagated × steps applied). NaiveRowSteps is what independent
+	// per-group side preparation would have cost; RowSteps is what the
+	// side planner actually performed after merging duplicate half-chains,
+	// unioning requested rows, and resuming prefix-family chains from
+	// shared state. NaiveRowSteps/RowSteps > 1 is proof of sharing across
+	// paths with common prefixes.
+	RowSteps      int
+	NaiveRowSteps int
+	PrefixResumes int // builds resumed from a sibling build's prefix state
 }
 
 // BatchOptions tunes ExecuteBatch.
@@ -72,14 +96,14 @@ type BatchOptions struct {
 	// Workers bounds the concurrency of group preparation and per-query
 	// execution. <= 0 uses a runtime-sized default.
 	Workers int
-	// PerQueryTimeout, when positive, bounds each query (and each group's
-	// shared chain preparation) with its own context deadline.
+	// PerQueryTimeout, when positive, bounds each query (and each prefix
+	// family's shared chain preparation) with its own context deadline.
 	PerQueryTimeout time.Duration
 }
 
 // batchSide is one half-chain's shared state: either the full chain matrix
 // (rowOf nil, node index == row) or a subset propagation restricted to the
-// rows the group actually needs (rowOf maps node index → row).
+// rows the builds' groups actually need (rowOf maps node index → row).
 type batchSide struct {
 	m     *sparse.Matrix
 	rowOf map[int]int
@@ -105,6 +129,9 @@ type batchGroup struct {
 	rightFull  *sparse.Matrix // full right chain when the group has matrix kinds
 	rightNorms []float64
 	prepErr    error
+
+	leftB  *sideBuild // planned side builds; nil for solo groups
+	rightB *sideBuild
 }
 
 // needsRightMatrix reports whether any query in the group requires the full
@@ -118,19 +145,94 @@ func (g *batchGroup) needsRightMatrix(qs []BatchQuery) bool {
 	return false
 }
 
+// sideBuild is one distinct half-chain the batch needs, merged over every
+// group that requests it (a symmetric path's left and right halves share one
+// cache key, and so do equal halves of different groups).
+type sideBuild struct {
+	c        chain
+	key      string   // chain cache key — the merge key
+	seq      []string // step keys, plus the middle half-step marker when present
+	start    string   // start node type
+	needFull bool     // some group needs the full matrix (single-source/top-k)
+	rowSet   map[int]struct{}
+	groups   []*batchGroup // distinct referencing groups
+	naive    int           // row-steps of the independent per-group requests
+
+	family *sideFamily
+
+	// Results, written by the family builder.
+	side  *batchSide
+	norms []float64 // row norms when needFull && normalized
+	plan  string    // "warm", "full", "subset"
+	err   error
+}
+
+// sideFamily groups the side builds whose step sequences start identically
+// (same start type, same first step): the unit of cross-group prefix
+// sharing. All subset builds of a family propagate the same unioned row set,
+// so a longer chain can resume bit-identically from a shorter one's state.
+type sideFamily struct {
+	builds []*sideBuild
+	rows   []int       // ascending union of the subset builds' requested rows
+	rowOf  map[int]int // node index → family row
+}
+
+// batchPrep is the cross-group side plan of one batch.
+type batchPrep struct {
+	builds   map[string]*sideBuild
+	order    []string // deterministic build ordering
+	families []*sideFamily
+
+	mu            sync.Mutex
+	rowSteps      int
+	naiveRowSteps int
+	prefixResumes int
+}
+
+func (bp *batchPrep) addSteps(actual, naive, resumes int) {
+	bp.mu.Lock()
+	bp.rowSteps += actual
+	bp.naiveRowSteps += naive
+	bp.prefixResumes += resumes
+	bp.mu.Unlock()
+}
+
+func seqJoin(seq []string) string { return strings.Join(seq, "\x00") }
+
+// sideSeq is a chain's step-key sequence with the middle half-step appended
+// as a final pseudo-step, so prefix comparisons never equate a completed
+// odd-path half (middle applied) with a pure step prefix.
+func sideSeq(c chain) []string {
+	seq := make([]string, 0, len(c.steps)+1)
+	for _, s := range c.steps {
+		seq = append(seq, stepKey(s))
+	}
+	if c.middle != nil {
+		mk := "SE(" + stepKey(*c.middle) + ")"
+		if c.side != 'L' {
+			mk = "TE(" + stepKey(*c.middle) + ")"
+		}
+		seq = append(seq, mk)
+	}
+	return seq
+}
+
 // ExecuteBatch answers a list of heterogeneous queries, grouping them by
-// canonical path so each path's chains are propagated exactly once. Results
+// canonical path so each path's chains are propagated exactly once, and
+// merging half-chain work across groups whose paths share prefixes. Results
 // are positional; each carries its own error (partial-failure semantics). A
 // batch-level error is returned only when ctx is already done before any
 // work starts.
 //
 // Scores are bit-identical to the same queries issued alone on an exact
 // engine (the default): every plan — solo vector propagation, full chain
-// materialization, and the group subset propagation — accumulates per-entry
-// contributions in the same ascending-index order. With WithPruning > 0 the
-// solo vector plan is unpruned while materialized chains prune per step, so
-// batch and solo scores may then differ within the pruning bound (the same
-// caveat that already applies across PairByIndex and AllPairs).
+// materialization, and the subset propagation (with or without a prefix
+// resume, whose row-sequential multiplies are the same computation) —
+// accumulates per-entry contributions in the same ascending-index order.
+// With WithPruning > 0 the solo vector plan is unpruned while materialized
+// chains prune per step, so batch and solo scores may then differ within the
+// pruning bound (the same caveat that already applies across PairByIndex and
+// AllPairs).
 func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts BatchOptions) ([]BatchResult, BatchStats, error) {
 	start := time.Now()
 	defer func() { observeQuery("batch", time.Since(start).Seconds()) }()
@@ -165,9 +267,12 @@ func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts Ba
 	if stats.Groups > 0 {
 		stats.Amortization = float64(stats.Queries) / float64(stats.Groups)
 	}
+	prep := e.planBatchSides(queries, groups, order)
 	if sp != nil {
 		sp.SetAttr("queries", strconv.Itoa(len(queries))).
-			SetAttr("groups", strconv.Itoa(len(groups))).End()
+			SetAttr("groups", strconv.Itoa(len(groups))).
+			SetAttr("side_builds", strconv.Itoa(len(prep.order))).
+			SetAttr("prefix_families", strconv.Itoa(len(prep.families))).End()
 	}
 	metBatches.Inc()
 	metBatchQueries.Add(uint64(len(queries)))
@@ -184,28 +289,45 @@ func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts Ba
 	sem := make(chan struct{}, workers)
 	var builds atomic.Int64
 
-	// Phase A: prepare each group's shared chain state in parallel. A group
-	// of one query skips preparation — the solo plans are already optimal —
-	// and a failed preparation degrades its queries to the solo plan rather
-	// than failing them outright.
+	// Phase A: build each prefix family's shared chain state, families in
+	// parallel, builds within a family shortest-first so longer chains resume
+	// from shorter ones. A failed build degrades its groups' queries to the
+	// solo plan rather than failing them outright.
 	var wg sync.WaitGroup
-	for _, key := range order {
-		g := groups[key]
-		if len(g.queries) < 2 {
-			g.plan = "solo"
-			continue
-		}
+	for _, f := range prep.families {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func() {
+		go func(f *sideFamily) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			pctx, cancel := batchQueryContext(ctx, opts.PerQueryTimeout)
 			defer cancel()
-			g.prepErr = e.prepareGroup(pctx, g, queries, &builds)
-		}()
+			e.buildFamily(pctx, f, &builds, prep)
+		}(f)
 	}
 	wg.Wait()
+
+	// Bind every sharing group to its builds' results.
+	for _, key := range order {
+		g := groups[key]
+		if g.plan == "solo" {
+			continue
+		}
+		switch {
+		case g.leftB.err != nil:
+			g.prepErr = g.leftB.err
+		case g.rightB.err != nil:
+			g.prepErr = g.rightB.err
+		default:
+			g.left = g.leftB.side
+			g.plan = g.leftB.plan
+			g.right = g.rightB.side
+			if g.needsRightMatrix(queries) {
+				g.rightFull = g.rightB.side.m
+				g.rightNorms = g.rightB.norms
+			}
+		}
+	}
 
 	// Phase B: per-query execution over the shared state, each query under
 	// its own deadline.
@@ -234,9 +356,231 @@ func (e *Engine) ExecuteBatch(ctx context.Context, queries []BatchQuery, opts Ba
 
 	stats.SharedQueries = int(shared.Load())
 	stats.ChainBuilds = int(builds.Load())
+	stats.RowSteps = prep.rowSteps
+	stats.NaiveRowSteps = prep.naiveRowSteps
+	stats.PrefixResumes = prep.prefixResumes
 	metBatchShared.Add(uint64(stats.SharedQueries))
 	metBatchChainBuilds.Add(uint64(stats.ChainBuilds))
+	metBatchRowSteps.Add(uint64(stats.RowSteps))
+	metBatchNaiveRowSteps.Add(uint64(stats.NaiveRowSteps))
+	metBatchPrefixResumes.Add(uint64(stats.PrefixResumes))
 	return results, stats, nil
+}
+
+// planBatchSides decides which groups share chain state and merges their
+// half-chain requests into deduplicated side builds clustered in prefix
+// families. A group shares when it has at least two queries (the classic
+// within-group amortization) or when one of its half-chains is mergeable
+// (another group requests the same chain) or prefix-related to another
+// group's half-chain. A lone query on a path nothing else in the batch
+// touches keeps the solo plans — they are already optimal, and equal-row
+// subset propagation would only add overhead.
+func (e *Engine) planBatchSides(queries []BatchQuery, groups map[string]*batchGroup, order []string) *batchPrep {
+	collect := func(include func(g *batchGroup) bool) *batchPrep {
+		bp := &batchPrep{builds: make(map[string]*sideBuild)}
+		addReq := func(g *batchGroup, c chain, rows []int, needFull bool) *sideBuild {
+			key := e.chainCacheKey(c)
+			b, ok := bp.builds[key]
+			if !ok {
+				b = &sideBuild{
+					c: c, key: key, seq: sideSeq(c),
+					start:  e.chainStart(c),
+					rowSet: make(map[int]struct{}),
+				}
+				bp.builds[key] = b
+				bp.order = append(bp.order, key)
+			}
+			reqRows := len(rows)
+			if needFull {
+				b.needFull = true
+				reqRows = e.g.NodeCount(b.start)
+			}
+			for _, r := range rows {
+				b.rowSet[r] = struct{}{}
+			}
+			b.naive += reqRows * len(b.seq)
+			seen := false
+			for _, have := range b.groups {
+				if have == g {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				b.groups = append(b.groups, g)
+			}
+			return b
+		}
+		for _, key := range order {
+			g := groups[key]
+			if !include(g) {
+				continue
+			}
+			srcRows := distinctInts(g.queries, func(qi int) (int, bool) { return queries[qi].Src, true })
+			g.leftB = addReq(g, g.h.left(), srcRows, false)
+			if g.needsRightMatrix(queries) {
+				g.rightB = addReq(g, g.h.right(), nil, true)
+			} else {
+				dstRows := distinctInts(g.queries, func(qi int) (int, bool) {
+					return queries[qi].Dst, queries[qi].Kind == BatchPair
+				})
+				g.rightB = addReq(g, g.h.right(), dstRows, false)
+			}
+		}
+		// Prefix families: builds sharing a start type and a first step.
+		fams := make(map[string]*sideFamily)
+		for _, key := range bp.order {
+			b := bp.builds[key]
+			fk := b.start + "\x00" + b.seq[0]
+			f, ok := fams[fk]
+			if !ok {
+				f = &sideFamily{}
+				fams[fk] = f
+				bp.families = append(bp.families, f)
+			}
+			f.builds = append(f.builds, b)
+			b.family = f
+		}
+		for _, f := range bp.families {
+			set := make(map[int]struct{})
+			for _, b := range f.builds {
+				for r := range b.rowSet {
+					set[r] = struct{}{}
+				}
+			}
+			f.rows = make([]int, 0, len(set))
+			for r := range set {
+				f.rows = append(f.rows, r)
+			}
+			sort.Ints(f.rows)
+			f.rowOf = make(map[int]int, len(f.rows))
+			for i, r := range f.rows {
+				f.rowOf[r] = i
+			}
+		}
+		return bp
+	}
+
+	// First pass over every group decides who shares; the second collects
+	// builds from the sharing groups only, so solo groups neither inflate
+	// row unions nor trigger builds on their own.
+	collect(func(*batchGroup) bool { return true })
+	for _, key := range order {
+		g := groups[key]
+		shares := len(g.queries) >= 2 ||
+			len(g.leftB.groups) >= 2 || len(g.rightB.groups) >= 2 ||
+			len(g.leftB.family.builds) >= 2 || len(g.rightB.family.builds) >= 2
+		if !shares {
+			g.plan = "solo"
+			g.leftB, g.rightB = nil, nil
+		}
+	}
+	return collect(func(g *batchGroup) bool { return g.plan != "solo" })
+}
+
+// buildFamily materializes one prefix family's side builds, shortest chain
+// first, resuming every longer subset chain from the longest already-built
+// prefix state. Subset rows are independent and multiplies are applied in
+// the same left-to-right order whether resumed or not, so resumed builds are
+// bit-identical to from-scratch ones.
+func (e *Engine) buildFamily(ctx context.Context, f *sideFamily, builds *atomic.Int64, bp *batchPrep) {
+	sort.Slice(f.builds, func(i, j int) bool {
+		if len(f.builds[i].seq) != len(f.builds[j].seq) {
+			return len(f.builds[i].seq) < len(f.builds[j].seq)
+		}
+		return f.builds[i].key < f.builds[j].key
+	})
+	tr := obs.FromContext(ctx)
+	// Step-prefix state shared within the family: seq prefix → propagated
+	// subset matrix over f.rows. Intermediates are registered as they are
+	// produced, so two chains diverging after a shared prefix still share it
+	// even when no build ends exactly at the branch point.
+	prefix := make(map[string]*sparse.Matrix)
+	for _, b := range f.builds {
+		sp := tr.Start("batch_materialize")
+		e.buildSide(ctx, b, f, prefix, builds, bp)
+		if sp != nil {
+			sp.SetAttr("key", b.key).SetAttr("plan", b.plan)
+			if b.err != nil {
+				sp.SetAttr("error", b.err.Error())
+			}
+			sp.End()
+		}
+	}
+}
+
+func (e *Engine) buildSide(ctx context.Context, b *sideBuild, f *sideFamily, prefix map[string]*sparse.Matrix, builds *atomic.Int64, bp *batchPrep) {
+	if m, ok := e.cacheGet(b.key); ok {
+		metCacheHits.Inc()
+		b.side, b.plan = &batchSide{m: m}, "warm"
+		if b.needFull && e.normalized {
+			b.norms = e.chainRowNorms(b.key, m)
+		}
+		return
+	}
+	if b.needFull || (e.caching && len(f.rows)*2 >= e.g.NodeCount(b.start)) {
+		// The full chain: needed outright for single-source/top-k combines,
+		// and worth materializing (it lands in the cache for every later
+		// query) when the family touches at least half of the rows anyway.
+		builds.Add(1)
+		m, err := e.opMatrixChain(ctx, b.c)
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.side, b.plan = &batchSide{m: m}, "full"
+		if b.needFull && e.normalized {
+			b.norms = e.chainRowNorms(b.key, m)
+		}
+		bp.addSteps(e.g.NodeCount(b.start)*len(b.seq), b.naive, 0)
+		return
+	}
+
+	// Subset propagation of the family rows, resumed from the longest
+	// already-built step prefix.
+	builds.Add(1)
+	tr := obs.FromContext(ctx)
+	from := 0
+	var pm *sparse.Matrix
+	for i := len(b.c.steps); i >= 1; i-- {
+		if m, ok := prefix[seqJoin(b.seq[:i])]; ok {
+			pm, from = m, i
+			break
+		}
+	}
+	if pm == nil {
+		// Seed with the selector matrix directly — one unit entry per
+		// requested row — so subset preparation costs O(|rows|) regardless
+		// of the node count.
+		seed := make([]sparse.Triplet, len(f.rows))
+		for r, node := range f.rows {
+			seed[r] = sparse.Triplet{Row: r, Col: node, Val: 1}
+		}
+		pm = sparse.New(len(f.rows), e.g.NodeCount(b.start), seed)
+	}
+	applied := 0
+	err := e.propagateFrom(ctx, b.c, from, func(u *sparse.Matrix, label, prefixKey string) error {
+		sp := tr.Start("chain_multiply")
+		pm = pm.MulAuto(u)
+		if sp != nil {
+			spanMatrixAttrs(sp, b.c.side, label, pm).End()
+		}
+		applied++
+		if prefixKey != "" { // pure step prefix: shareable within the family
+			prefix[seqJoin(b.seq[:from+applied])] = pm
+		}
+		return nil
+	})
+	resumes := 0
+	if from > 0 {
+		resumes = 1
+	}
+	bp.addSteps(len(f.rows)*applied, b.naive, resumes)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.side, b.plan = &batchSide{m: pm, rowOf: f.rowOf}, "subset"
 }
 
 func (e *Engine) validateBatchQuery(q BatchQuery) error {
@@ -264,98 +608,18 @@ func (e *Engine) validateBatchQuery(q BatchQuery) error {
 	}
 }
 
-// prepareGroup materializes the shared chain state of one multi-query group.
-// The left side serves rows to every query; the plan picks, per side, among
-// a cache hit (warm), a full chain materialization (cached for later — worth
-// it when the group touches a large fraction of the rows), and an uncached
-// subset propagation of only the needed rows (the cheap plan for small
-// groups on large types).
-func (e *Engine) prepareGroup(ctx context.Context, g *batchGroup, queries []BatchQuery, builds *atomic.Int64) error {
-	tr := obs.FromContext(ctx)
-	sp := tr.Start("batch_materialize")
-	srcRows := distinctInts(g.queries, func(qi int) (int, bool) { return queries[qi].Src, true })
-	left, plan, err := e.prepareSide(ctx, g.h.left(), srcRows, builds)
-	if err != nil {
-		if sp != nil {
-			sp.SetAttr("path", g.path.String()).SetAttr("error", err.Error()).End()
-		}
-		return err
-	}
-	g.left = left
-	g.plan = plan
-
-	if g.needsRightMatrix(queries) {
-		// Single-source and top-k combine against every target: the full
-		// right chain is needed regardless of group size, exactly as solo.
-		pmr, err := e.opMatrixChain(ctx, g.h.right())
-		if err != nil {
-			return err
-		}
-		g.rightFull = pmr
-		g.right = &batchSide{m: pmr}
-		if e.normalized {
-			g.rightNorms = e.chainRowNorms(e.chainCacheKey(g.h.right()), pmr)
-		}
-	} else {
-		dstRows := distinctInts(g.queries, func(qi int) (int, bool) {
-			return queries[qi].Dst, queries[qi].Kind == BatchPair
-		})
-		right, _, err := e.prepareSide(ctx, g.h.right(), dstRows, builds)
-		if err != nil {
-			return err
-		}
-		g.right = right
-	}
-	if sp != nil {
-		sp.SetAttr("path", g.path.String()).
-			SetAttr("plan", g.plan).
-			SetAttr("queries", strconv.Itoa(len(g.queries))).End()
-	}
-	return nil
-}
-
-// prepareSide builds one half-chain's shared state for the given distinct
-// node rows. The subset plan rides on opSubsetChain, which (like the solo
-// vector plan, and unlike full materialization) never prunes — so batch pair
-// scores match the solo vector plan exactly even under WithPruning.
-func (e *Engine) prepareSide(ctx context.Context, c chain, rows []int, builds *atomic.Int64) (*batchSide, string, error) {
-	if m, ok := e.cacheGet(e.chainCacheKey(c)); ok {
-		metCacheHits.Inc()
-		return &batchSide{m: m}, "warm", nil
-	}
-	total := e.g.NodeCount(e.chainStart(c))
-	// When the group needs at least half of the rows, materialize the full
-	// chain: barely more work than the subset, and it lands in the cache
-	// for every later query on the path.
-	if e.caching && len(rows)*2 >= total {
-		builds.Add(1)
-		m, err := e.opMatrixChain(ctx, c)
-		if err != nil {
-			return nil, "", err
-		}
-		return &batchSide{m: m}, "full", nil
-	}
-	builds.Add(1)
-	m, err := e.opSubsetChain(ctx, rows, c)
-	if err != nil {
-		return nil, "", err
-	}
-	rowOf := make(map[int]int, len(rows))
-	for r, node := range rows {
-		rowOf[node] = r
-	}
-	return &batchSide{m: m, rowOf: rowOf}, "subset", nil
-}
-
 // executeBatchQuery answers one query, preferring the group's shared state
-// and degrading to the solo plan when the group is a singleton or its
+// and degrading to the solo plan when the group has nothing to share or its
 // preparation failed.
 func (e *Engine) executeBatchQuery(ctx context.Context, g *batchGroup, q BatchQuery) BatchResult {
 	if g.plan == "solo" || g.prepErr != nil || g.left == nil {
-		return e.executeSoloQuery(ctx, q)
+		res := e.executeSoloQuery(ctx, q)
+		res.Plan = "solo"
+		return res
 	}
 	var res BatchResult
 	res.Shared = true
+	res.Plan = g.plan
 	switch q.Kind {
 	case BatchPair:
 		l := g.left.row(q.Src)
@@ -409,7 +673,7 @@ func (e *Engine) combineSingleSource(left *sparse.Vector, pmr *sparse.Matrix, ri
 	return scores
 }
 
-// batchQueryContext derives a per-query (or per-group-preparation) context.
+// batchQueryContext derives a per-query (or per-family-preparation) context.
 func batchQueryContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
 	if d > 0 {
 		return context.WithTimeout(ctx, d)

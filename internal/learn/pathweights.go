@@ -65,6 +65,9 @@ func PathWeights(ctx context.Context, e *core.Engine, paths []*metapath.Path, ex
 	}
 	grad := make([]float64, k)
 	for it := 0; it < cfg.Iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := range grad {
 			grad[i] = cfg.L2 * w[i]
 		}
@@ -113,6 +116,13 @@ func featurize(ctx context.Context, e *core.Engine, paths []*metapath.Path, exam
 	features := make([][]float64, len(examples))
 	labels := make([]float64, len(examples))
 	for i, ex := range examples {
+		// The engine polls ctx between propagation steps, but with every
+		// path precomputed each PairByIndex is pure cached-vector work that
+		// never reaches a poll — so a large example set must check here or
+		// it would ignore cancellation entirely.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if math.IsNaN(ex.Label) || math.IsInf(ex.Label, 0) {
 			return nil, nil, fmt.Errorf("%w: example %d has non-finite label", ErrBadInput, i)
 		}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"hetesim/internal/core"
 	"hetesim/internal/hin"
@@ -109,6 +110,41 @@ func TestPathWeightsSelectsSinglePath(t *testing.T) {
 	}
 	if w[1] > 0.15 {
 		t.Errorf("w[1] = %v, want near 0", w[1])
+	}
+}
+
+// TestPathWeightsCancellation: a canceled or expired context stops both the
+// per-example featurization loop and the gradient iterations promptly with
+// the context's error, even though every per-example score is served from
+// warm caches that never poll ctx themselves.
+func TestPathWeightsCancellation(t *testing.T) {
+	g := testGraph(13)
+	e := core.NewEngine(g)
+	paths := []*metapath.Path{
+		metapath.MustParse(g.Schema(), "APVC"),
+		metapath.MustParse(g.Schema(), "APTPVC"),
+	}
+	examples := trainingSet(t, e, paths, []float64{0.5, 0.5}, 40, 14)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PathWeights(canceled, e, paths, examples, Config{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx err = %v, want context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := PathWeights(expired, e, paths, examples, Config{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired ctx err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The gradient loop checks too: cancel after featurization by racing a
+	// huge iteration count against an already-short deadline.
+	short, cancel3 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel3()
+	_, err := PathWeights(short, e, paths, examples, Config{Iters: 1 << 30})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("mid-fit deadline err = %v, want context.DeadlineExceeded", err)
 	}
 }
 

@@ -2,29 +2,58 @@ package metapath
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"hetesim/internal/hin"
 )
 
+// EnumerateOptions tunes EnumerateWith.
+type EnumerateOptions struct {
+	MaxLen   int // longest path length (relations) to enumerate; must be >= 1
+	MaxPaths int // cap on returned paths; 0 = no cap
+
+	// DedupReverse drops one member of every reversal-equivalent pair when
+	// the endpoints coincide: P and P^-1 define the same composite relation
+	// read in opposite directions, and a symmetric measure like HeteSim
+	// scores them identically (Property 3), so an ensemble that kept both
+	// would double-count the path. The kept representative is the one whose
+	// canonical signature sorts first; symmetric paths (P == P^-1) are
+	// unaffected.
+	DedupReverse bool
+}
+
 // Enumerate returns every relevance path from type `from` to type `to` of
-// length at most maxLen, in breadth-first (shortest-first) order. Each
-// schema relation can be traversed in both directions; paths may revisit
-// types (e.g. APA, APVCVPA), so maxLen bounds the search. This implements
-// the candidate-generation side of the paper's Section 5.1 path-selection
-// discussion: enumerate plausible paths, then pick by domain knowledge or
-// learn weights over them (package learn).
-//
-// The number of paths grows exponentially with maxLen; maxPaths caps the
-// result (0 means no cap).
+// length at most maxLen, shortest first. It is EnumerateWith with only the
+// length and count bounds set.
 func Enumerate(schema *hin.Schema, from, to string, maxLen, maxPaths int) ([]*Path, error) {
+	return EnumerateWith(schema, from, to, EnumerateOptions{MaxLen: maxLen, MaxPaths: maxPaths})
+}
+
+// EnumerateWith returns the schema-valid relevance paths from type `from` to
+// type `to` under o, in a deterministic canonical order: shortest paths
+// first, and paths of equal length ordered by their step signature (relation
+// names with a direction marker). The order depends only on the schema's
+// relations, never on map iteration or declaration incidentals, so ensemble
+// results built on the enumeration are stable across runs.
+//
+// Each schema relation can be traversed in both directions; paths may
+// revisit types (e.g. APA, APVCVPA), so MaxLen bounds the search. This
+// implements the candidate-generation side of the paper's Section 5.1
+// path-selection discussion: enumerate plausible paths, then pick by domain
+// knowledge or learn weights over them (package learn).
+//
+// The number of paths grows exponentially with MaxLen; MaxPaths caps the
+// result (0 means no cap).
+func EnumerateWith(schema *hin.Schema, from, to string, o EnumerateOptions) ([]*Path, error) {
 	if !schema.HasType(from) {
 		return nil, fmt.Errorf("metapath: %w: %q", hin.ErrUnknownType, from)
 	}
 	if !schema.HasType(to) {
 		return nil, fmt.Errorf("metapath: %w: %q", hin.ErrUnknownType, to)
 	}
-	if maxLen < 1 {
-		return nil, fmt.Errorf("%w: maxLen %d", ErrBadSyntax, maxLen)
+	if o.MaxLen < 1 {
+		return nil, fmt.Errorf("%w: maxLen %d", ErrBadSyntax, o.MaxLen)
 	}
 	// All traversable steps per departure type.
 	stepsFrom := make(map[string][]Step)
@@ -32,14 +61,18 @@ func Enumerate(schema *hin.Schema, from, to string, maxLen, maxPaths int) ([]*Pa
 		stepsFrom[rel.Source] = append(stepsFrom[rel.Source], Step{Relation: rel})
 		stepsFrom[rel.Target] = append(stepsFrom[rel.Target], Step{Relation: rel, Inverse: true})
 	}
+	// A reversed path shares its endpoints only when they coincide, so the
+	// reversal dedup can only ever apply to from == to enumerations.
+	dedup := o.DedupReverse && from == to
 	var out []*Path
 	type state struct {
 		at    string
 		steps []Step
 	}
 	frontier := []state{{at: from}}
-	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+	for depth := 1; depth <= o.MaxLen && len(frontier) > 0; depth++ {
 		var next []state
+		var found []*Path
 		for _, st := range frontier {
 			for _, s := range stepsFrom[st.at] {
 				chain := make([]Step, len(st.steps)+1)
@@ -50,17 +83,44 @@ func Enumerate(schema *hin.Schema, from, to string, maxLen, maxPaths int) ([]*Pa
 					if err != nil {
 						return nil, err
 					}
-					out = append(out, p)
-					if maxPaths > 0 && len(out) >= maxPaths {
-						return out, nil
-					}
+					found = append(found, p)
 				}
-				if depth < maxLen {
+				if depth < o.MaxLen {
 					next = append(next, state{at: s.To(), steps: chain})
 				}
+			}
+		}
+		// Canonical within-depth order; dedup and the cap apply after the
+		// sort so both are deterministic too.
+		sort.Slice(found, func(i, j int) bool { return signature(found[i]) < signature(found[j]) })
+		for _, p := range found {
+			if dedup && signature(p.Reverse()) < signature(p) {
+				continue
+			}
+			out = append(out, p)
+			if o.MaxPaths > 0 && len(out) >= o.MaxPaths {
+				return out, nil
 			}
 		}
 		frontier = next
 	}
 	return out, nil
+}
+
+// signature is a path's canonical sort key: the step relation names joined
+// in order, inverse traversals marked. Unlike String() it never depends on
+// abbreviation round-trips, and two paths share a signature exactly when
+// they are Equal.
+func signature(p *Path) string {
+	var b strings.Builder
+	for i, s := range p.steps {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(s.Relation.Name)
+		if s.Inverse {
+			b.WriteByte('~')
+		}
+	}
+	return b.String()
 }

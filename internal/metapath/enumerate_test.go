@@ -63,6 +63,87 @@ func TestEnumerateMaxPathsCap(t *testing.T) {
 	}
 }
 
+// TestEnumerateCanonicalOrder: within a depth, paths come back sorted by
+// their step signature — an order that depends only on the schema, not on
+// declaration incidentals — and the whole result is shortest-first.
+func TestEnumerateCanonicalOrder(t *testing.T) {
+	s := acmSchema(t)
+	paths, err := Enumerate(s, "author", "author", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1].Len() > paths[i].Len() {
+			t.Fatalf("paths not shortest-first: %s (len %d) before %s (len %d)",
+				paths[i-1], paths[i-1].Len(), paths[i], paths[i].Len())
+		}
+		if paths[i-1].Len() == paths[i].Len() &&
+			signature(paths[i-1]) >= signature(paths[i]) {
+			t.Fatalf("depth %d not in canonical order: %q before %q",
+				paths[i].Len(), signature(paths[i-1]), signature(paths[i]))
+		}
+	}
+	// The two length-2 author→author paths sort affiliated_with < writes.
+	if len(paths) < 2 || paths[0].String() != "AFA" || paths[1].String() != "APA" {
+		t.Fatalf("length-2 prefix = %v, want [AFA APA]", paths[:2])
+	}
+}
+
+// TestEnumerateDedupReverse: with DedupReverse, exactly one of every
+// reversal-equivalent pair survives (the signature-first one) while
+// symmetric paths are untouched.
+func TestEnumerateDedupReverse(t *testing.T) {
+	s := acmSchema(t)
+	all, err := EnumerateWith(s, "author", "author", EnumerateOptions{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deduped, err := EnumerateWith(s, "author", "author", EnumerateOptions{MaxLen: 4, DedupReverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(ps []*Path, spec string) bool {
+		for _, p := range ps {
+			if p.String() == spec {
+				return true
+			}
+		}
+		return false
+	}
+	// AFAPA and APAFA are each other's reverses; the full enumeration has
+	// both, the deduped one keeps only the signature-first member.
+	if !has(all, "AFAPA") || !has(all, "APAFA") {
+		t.Fatalf("full enumeration misses the AFAPA/APAFA pair: %v", all)
+	}
+	if has(deduped, "AFAPA") == has(deduped, "APAFA") {
+		t.Errorf("dedup kept %v of the AFAPA/APAFA pair, want exactly one", deduped)
+	}
+	// Symmetric paths survive dedup.
+	for _, spec := range []string{"APA", "AFA", "APTPA", "APSPA", "APVPA"} {
+		if !has(deduped, spec) {
+			t.Errorf("dedup dropped symmetric path %s", spec)
+		}
+	}
+	// Every dropped path's reverse is present; nothing else changed.
+	for _, p := range all {
+		if !has(deduped, p.String()) && !has(deduped, p.Reverse().String()) {
+			t.Errorf("path %s dropped without its reverse surviving", p)
+		}
+	}
+	// Endpoints differing: dedup is a no-op (the reverse is not in the set).
+	ac, err := EnumerateWith(s, "author", "conference", EnumerateOptions{MaxLen: 4, DedupReverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acAll, err := EnumerateWith(s, "author", "conference", EnumerateOptions{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ac) != len(acAll) {
+		t.Errorf("dedup changed a from!=to enumeration: %d vs %d paths", len(ac), len(acAll))
+	}
+}
+
 func TestEnumerateErrors(t *testing.T) {
 	s := acmSchema(t)
 	if _, err := Enumerate(s, "movie", "author", 3, 0); !errors.Is(err, hin.ErrUnknownType) {

@@ -1,0 +1,460 @@
+// Package relevance answers "how related are these two objects?" without
+// asking the caller to name a relevance path. Section 5.1 of the HeteSim
+// paper lays out three path-selection strategies — user-specified, weighted
+// combination of several paths, and learned weights over labeled pairs —
+// and this package operationalizes the latter two as a first-class query:
+// it enumerates every schema-valid meta path between the endpoint types (up
+// to a length cap), scores the query along each path through the batch
+// scheduler so paths with common prefixes share half-chain propagation, and
+// combines the per-path scores with a weighted ensemble.
+package relevance
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"hetesim/internal/core"
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
+)
+
+// Sentinel errors; callers map these to input-validation failures.
+var (
+	// ErrNoPaths: the schema admits no path between the endpoint types
+	// within the length cap, or every candidate carried zero weight.
+	ErrNoPaths = errors.New("relevance: no usable relevance paths")
+	// ErrBadOptions marks invalid options (unknown weighting mode, learned
+	// mode without weights, malformed explicit path).
+	ErrBadOptions = errors.New("relevance: bad options")
+)
+
+// Weighting modes.
+const (
+	WeightUniform = "uniform" // every path weighs 1/n
+	WeightDegree  = "degree"  // down-weight high-fanout paths
+	WeightLearned = "learned" // caller-supplied weights keyed by path spec
+)
+
+// Options tunes an auto-relevance query. The zero value enumerates paths up
+// to length 4, caps the candidate set at 16, and combines uniformly.
+type Options struct {
+	MaxLen   int // maximum path length; default 4
+	MaxPaths int // candidate cap after canonical ordering; default 16
+
+	// Paths, when non-empty, bypasses enumeration: the ensemble runs over
+	// exactly these path specs (each must parse and connect the endpoints).
+	Paths []string
+
+	Weighting string             // WeightUniform (default), WeightDegree, WeightLearned
+	Learned   map[string]float64 // spec → weight, required for WeightLearned; zero-weight paths are skipped
+
+	// Workers and PerPathTimeout pass through to the batch scheduler: each
+	// per-path score runs under its own deadline so one pathological path
+	// cannot starve the ensemble.
+	Workers        int
+	PerPathTimeout time.Duration
+
+	// DegradeWalks > 0 turns a per-path deadline miss into a Monte Carlo
+	// estimate with that many walks, run under DegradeGrace (default 50ms)
+	// on a context detached from the caller's expiring one.
+	DegradeWalks int
+	DegradeGrace time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.MaxLen <= 0 {
+		o.MaxLen = 4
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 16
+	}
+	if o.Weighting == "" {
+		o.Weighting = WeightUniform
+	}
+	if o.DegradeGrace <= 0 {
+		o.DegradeGrace = 50 * time.Millisecond
+	}
+}
+
+// PathScore is one ensemble member's contribution.
+type PathScore struct {
+	Path        string  // canonical spec, e.g. "APVPA"
+	Weight      float64 // ensemble weight, as combined (not renormalized on failure)
+	Score       float64 // HeteSim along this path (or its MC estimate)
+	Plan        string  // batch plan: "warm", "full", "subset", "solo"; "monte_carlo" when degraded
+	Approximate bool    // score is a Monte Carlo estimate
+	Err         string  // non-empty when this path failed and was excluded
+}
+
+// Result is an auto-relevance answer: the ensemble score and how each path
+// contributed to it.
+type Result struct {
+	Score       float64
+	Paths       []PathScore
+	Partial     bool // at least one path failed and was excluded from the sum
+	Approximate bool // at least one contributing score is an MC estimate
+	Stats       core.BatchStats
+}
+
+// Ranked is one entry of a top-k ensemble ranking.
+type Ranked struct {
+	Index int
+	ID    string
+	Score float64
+}
+
+var (
+	metQueries = obs.Default().CounterVec("hetesim_relevance_queries_total",
+		"Auto-relevance queries by mode (pair, topk) and outcome (ok, partial, degraded, error).",
+		"mode", "outcome")
+	metPaths = obs.Default().Histogram("hetesim_relevance_paths",
+		"Candidate paths scored per auto-relevance query.", obs.DefCountBuckets())
+)
+
+func observeOutcome(mode string, res *Result, err error) {
+	switch {
+	case err != nil:
+		metQueries.With(mode, "error").Inc()
+	case res.Partial:
+		metQueries.With(mode, "partial").Inc()
+	case res.Approximate:
+		metQueries.With(mode, "degraded").Inc()
+	default:
+		metQueries.With(mode, "ok").Inc()
+	}
+}
+
+// Pair scores the relevance of two nodes with no path given: enumerate,
+// score each candidate, combine. Both node indices are within their types.
+func Pair(ctx context.Context, e *core.Engine, srcType string, src int, dstType string, dst int, o Options) (*Result, error) {
+	res, err := pair(ctx, e, srcType, src, dstType, dst, o)
+	observeOutcome("pair", res, err)
+	return res, err
+}
+
+func pair(ctx context.Context, e *core.Engine, srcType string, src int, dstType string, dst int, o Options) (*Result, error) {
+	o.defaults()
+	tr := obs.FromContext(ctx)
+	esp := tr.Start("enumerate")
+	paths, weights, err := candidates(e, srcType, dstType, &o)
+	if esp != nil {
+		esp.SetAttr("candidates", strconv.Itoa(len(paths))).End()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sp := tr.Start("score_paths")
+	qs := make([]core.BatchQuery, len(paths))
+	for i, p := range paths {
+		qs[i] = core.BatchQuery{Kind: core.BatchPair, Path: p, Src: src, Dst: dst}
+	}
+	brs, stats, err := e.ExecuteBatch(ctx, qs, core.BatchOptions{
+		Workers: o.Workers, PerQueryTimeout: o.PerPathTimeout,
+	})
+	if sp != nil {
+		sp.SetAttr("paths", strconv.Itoa(len(paths))).
+			SetAttr("shared", strconv.Itoa(stats.SharedQueries)).End()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Paths: make([]PathScore, len(paths)), Stats: stats}
+	csp := tr.Start("combine")
+	for i, br := range brs {
+		ps := PathScore{Path: paths[i].String(), Weight: weights[i], Plan: br.Plan}
+		score, ok := br.Score, br.Err == nil
+		if !ok && o.DegradeWalks > 0 && errors.Is(br.Err, context.DeadlineExceeded) {
+			// The exact score blew its deadline share: estimate it instead,
+			// detached from the expiring per-path context.
+			mcCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), o.DegradeGrace)
+			mc, mcErr := e.PairMonteCarlo(mcCtx, paths[i], src, dst, o.DegradeWalks, 0)
+			cancel()
+			if mcErr == nil {
+				score, ok = mc.Score, true
+				ps.Approximate = true
+				ps.Plan = "monte_carlo"
+				res.Approximate = true
+			}
+		}
+		if !ok {
+			ps.Err = br.Err.Error()
+			res.Partial = true
+		} else {
+			ps.Score = score
+			res.Score += weights[i] * score
+		}
+		res.Paths[i] = ps
+	}
+	if csp != nil {
+		csp.SetAttr("score", strconv.FormatFloat(res.Score, 'g', -1, 64)).End()
+	}
+	metPaths.Observe(float64(len(paths)))
+	return res, nil
+}
+
+// TopK ranks the k most relevant nodes of targetType against src, scoring
+// every candidate path single-source and combining the score vectors with
+// the ensemble weights before ranking.
+func TopK(ctx context.Context, e *core.Engine, srcType string, src int, targetType string, k int, o Options) (*Result, []Ranked, error) {
+	res, ranked, err := topK(ctx, e, srcType, src, targetType, k, o)
+	observeOutcome("topk", res, err)
+	return res, ranked, err
+}
+
+func topK(ctx context.Context, e *core.Engine, srcType string, src int, targetType string, k int, o Options) (*Result, []Ranked, error) {
+	o.defaults()
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("%w: k=%d must be positive", ErrBadOptions, k)
+	}
+	tr := obs.FromContext(ctx)
+	esp := tr.Start("enumerate")
+	paths, weights, err := candidates(e, srcType, targetType, &o)
+	if esp != nil {
+		esp.SetAttr("candidates", strconv.Itoa(len(paths))).End()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sp := tr.Start("score_paths")
+	qs := make([]core.BatchQuery, len(paths))
+	for i, p := range paths {
+		qs[i] = core.BatchQuery{Kind: core.BatchSingleSource, Path: p, Src: src}
+	}
+	brs, stats, err := e.ExecuteBatch(ctx, qs, core.BatchOptions{
+		Workers: o.Workers, PerQueryTimeout: o.PerPathTimeout,
+	})
+	if sp != nil {
+		sp.SetAttr("paths", strconv.Itoa(len(paths))).
+			SetAttr("shared", strconv.Itoa(stats.SharedQueries)).End()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Result{Paths: make([]PathScore, len(paths)), Stats: stats}
+	csp := tr.Start("combine")
+	combined := make([]float64, e.Graph().NodeCount(targetType))
+	for i, br := range brs {
+		ps := PathScore{Path: paths[i].String(), Weight: weights[i], Plan: br.Plan}
+		scores, ok := br.Scores, br.Err == nil
+		if !ok && o.DegradeWalks > 0 && errors.Is(br.Err, context.DeadlineExceeded) {
+			mcCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), o.DegradeGrace)
+			mcScores, mcErr := e.SingleSourceMonteCarlo(mcCtx, paths[i], src, o.DegradeWalks, 0)
+			cancel()
+			if mcErr == nil {
+				scores, ok = mcScores, true
+				ps.Approximate = true
+				ps.Plan = "monte_carlo"
+				res.Approximate = true
+			}
+		}
+		if !ok {
+			ps.Err = br.Err.Error()
+			res.Partial = true
+		} else {
+			for j, v := range scores {
+				combined[j] += weights[i] * v
+			}
+		}
+		res.Paths[i] = ps
+	}
+	ranked := rankTopK(combined, k)
+	for i := range ranked {
+		id, err := e.Graph().NodeID(targetType, ranked[i].Index)
+		if err == nil {
+			ranked[i].ID = id
+		}
+	}
+	if csp != nil {
+		csp.SetAttr("k", strconv.Itoa(len(ranked))).End()
+	}
+	metPaths.Observe(float64(len(paths)))
+	return res, ranked, nil
+}
+
+// candidates resolves the ensemble's paths and weights: explicit specs or
+// schema enumeration, then the weighting mode. Zero-weight paths are
+// dropped so they never cost a batch query.
+func candidates(e *core.Engine, srcType, dstType string, o *Options) ([]*metapath.Path, []float64, error) {
+	s := e.Graph().Schema()
+	var paths []*metapath.Path
+	if len(o.Paths) > 0 {
+		for _, spec := range o.Paths {
+			p, err := metapath.Parse(s, spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: path %q: %v", ErrBadOptions, spec, err)
+			}
+			if p.Source() != srcType || p.Target() != dstType {
+				return nil, nil, fmt.Errorf("%w: path %s connects (%s,%s), query asks (%s,%s)",
+					ErrBadOptions, p, p.Source(), p.Target(), srcType, dstType)
+			}
+			paths = append(paths, p)
+		}
+	} else {
+		var err error
+		paths, err = metapath.EnumerateWith(s, srcType, dstType, metapath.EnumerateOptions{
+			MaxLen: o.MaxLen, MaxPaths: o.MaxPaths, DedupReverse: true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("%w: no %s→%s path within length %d",
+			ErrNoPaths, srcType, dstType, o.MaxLen)
+	}
+	weights, err := Weigh(e, paths, o.Weighting, o.Learned)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop zero-weight paths (learned mode zeroes out unlisted candidates).
+	kept := paths[:0]
+	keptW := weights[:0]
+	for i, p := range paths {
+		if weights[i] > 0 {
+			kept = append(kept, p)
+			keptW = append(keptW, weights[i])
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil, fmt.Errorf("%w: every candidate path has zero weight", ErrNoPaths)
+	}
+	return kept, keptW, nil
+}
+
+// Weigh computes ensemble weights for the given paths under a weighting
+// mode. Uniform and degree weights are normalized to sum to 1; learned
+// weights are the caller's regression coefficients and are used as-is
+// (normalizing them would change the calibrated scale).
+func Weigh(e *core.Engine, paths []*metapath.Path, mode string, learned map[string]float64) ([]float64, error) {
+	w := make([]float64, len(paths))
+	switch mode {
+	case WeightUniform, "":
+		for i := range w {
+			w[i] = 1 / float64(len(paths))
+		}
+	case WeightDegree:
+		// Long high-fanout paths spread probability mass over huge
+		// intermediate frontiers and correlate poorly with semantic
+		// relatedness (the paper's Section 5.1 observation that longer
+		// paths carry weaker semantics). Weight each path by the inverse
+		// log of its expected frontier growth and normalize.
+		var sum float64
+		for i, p := range paths {
+			w[i] = 1 / (1 + math.Log(1+pathFanout(e.Graph(), p)))
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	case WeightLearned:
+		if len(learned) == 0 {
+			return nil, fmt.Errorf("%w: learned weighting needs a weights map", ErrBadOptions)
+		}
+		for i, p := range paths {
+			lw, ok := learned[p.String()]
+			if !ok {
+				continue // unlisted → zero → dropped by the caller
+			}
+			if lw < 0 || math.IsNaN(lw) || math.IsInf(lw, 0) {
+				return nil, fmt.Errorf("%w: weight %v for path %s", ErrBadOptions, lw, p)
+			}
+			w[i] = lw
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown weighting %q", ErrBadOptions, mode)
+	}
+	return w, nil
+}
+
+// pathFanout estimates a path's frontier growth: the product over steps of
+// the average out-degree of the step's relation in the walking direction.
+func pathFanout(g *hin.Graph, p *metapath.Path) float64 {
+	fan := 1.0
+	for _, st := range p.Steps() {
+		adj, err := g.Adjacency(st.Relation.Name)
+		if err != nil {
+			continue
+		}
+		n := g.NodeCount(st.From())
+		if n == 0 {
+			continue
+		}
+		fan *= float64(adj.NNZ()) / float64(n)
+	}
+	return fan
+}
+
+func rankTopK(scores []float64, k int) []Ranked {
+	idx := make([]int, 0, len(scores))
+	for i, v := range scores {
+		if v > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]Ranked, len(idx))
+	for i, j := range idx {
+		out[i] = Ranked{Index: j, Score: scores[j]}
+	}
+	return out
+}
+
+// weightsFile is the on-disk learned-weights format:
+//
+//	{"weights": {"APA": 0.55, "APVPA": 0.30}}
+type weightsFile struct {
+	Weights map[string]float64 `json:"weights"`
+}
+
+// LoadWeightsFile reads a learned path-weights JSON file.
+func LoadWeightsFile(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f weightsFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("relevance: weights file %s: %w", path, err)
+	}
+	if len(f.Weights) == 0 {
+		return nil, fmt.Errorf("%w: weights file %s has no weights", ErrBadOptions, path)
+	}
+	for spec, w := range f.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weights file %s: weight %v for path %q", ErrBadOptions, path, w, spec)
+		}
+	}
+	return f.Weights, nil
+}
+
+// WeightsMap pairs learned weights with their path specs, for persisting a
+// learn.PathWeights fit in the LoadWeightsFile format.
+func WeightsMap(paths []*metapath.Path, weights []float64) map[string]float64 {
+	m := make(map[string]float64, len(paths))
+	for i, p := range paths {
+		if i < len(weights) {
+			m[p.String()] = weights[i]
+		}
+	}
+	return m
+}

@@ -52,6 +52,9 @@ type batchStatsBody struct {
 	Groups        int     `json:"groups"`
 	SharedQueries int     `json:"shared_queries"`
 	ChainBuilds   int     `json:"chain_builds"`
+	RowSteps      int     `json:"row_steps"`
+	NaiveRowSteps int     `json:"naive_row_steps"`
+	PrefixResumes int     `json:"prefix_resumes"`
 	Amortization  float64 `json:"amortization"`
 	DurationMS    float64 `json:"duration_ms"`
 }
@@ -137,6 +140,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Groups:        st.Groups + rawSt.Groups,
 		SharedQueries: st.SharedQueries + rawSt.SharedQueries,
 		ChainBuilds:   st.ChainBuilds + rawSt.ChainBuilds,
+		RowSteps:      st.RowSteps + rawSt.RowSteps,
+		NaiveRowSteps: st.NaiveRowSteps + rawSt.NaiveRowSteps,
+		PrefixResumes: st.PrefixResumes + rawSt.PrefixResumes,
 		DurationMS:    float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if stats.Groups > 0 {

@@ -32,6 +32,7 @@ import (
 	"hetesim/internal/metapath"
 	"hetesim/internal/obs"
 	"hetesim/internal/rank"
+	"hetesim/internal/relevance"
 	"hetesim/internal/snapshot"
 	"hetesim/internal/wal"
 )
@@ -83,6 +84,10 @@ type Server struct {
 
 	maxBatchQueries int // queries accepted per /v1/batch request; 0 = unlimited
 	batchWorkers    int // batch scheduler worker bound; 0 = runtime default
+
+	relevanceMaxLen   int                // longest enumerated path for /v1/relevance
+	relevanceMaxPaths int                // candidate-path cap for /v1/relevance
+	pathWeights       map[string]float64 // learned ensemble weights by path spec; nil = learned mode off
 
 	snapshotPath string      // chain-cache snapshot location; "" disables
 	graphPath    string      // graph file re-read on Reload; "" disables
@@ -152,6 +157,28 @@ func WithBatchLimits(maxQueries, workers int) Option {
 // "approximate": true. 0 (the default) disables the fallback.
 func WithDegradedTopK(walks int) Option { return func(s *Server) { s.degradeWalks = walks } }
 
+// WithRelevanceLimits bounds POST /v1/relevance path enumeration: paths of
+// at most maxLen steps (0 keeps the default of 4), at most maxPaths
+// candidates per query (0 keeps the default of 16). Requests asking beyond
+// either limit are rejected with 400.
+func WithRelevanceLimits(maxLen, maxPaths int) Option {
+	return func(s *Server) {
+		if maxLen > 0 {
+			s.relevanceMaxLen = maxLen
+		}
+		if maxPaths > 0 {
+			s.relevanceMaxPaths = maxPaths
+		}
+	}
+}
+
+// WithPathWeights supplies learned ensemble weights (path spec → weight,
+// e.g. from learn.PathWeights via relevance.LoadWeightsFile) and enables
+// the "learned" weighting mode of POST /v1/relevance.
+func WithPathWeights(weights map[string]float64) Option {
+	return func(s *Server) { s.pathWeights = weights }
+}
+
 // WithDefaultPlan pins the physical plan of hetesim queries that carry no
 // explicit ?plan= override (the -force-plan daemon flag). Empty or
 // core.PlanAuto (the default) lets the cost-based optimizer choose.
@@ -206,16 +233,18 @@ func WithLogf(logf func(string, ...any)) Option { return func(s *Server) { s.log
 // materialize) or MarkReady directly.
 func New(g *hin.Graph, opts ...Option) *Server {
 	s := &Server{
-		mux:             http.NewServeMux(),
-		maxBody:         1 << 20,
-		maxPathSteps:    128,
-		maxBatchQueries: 1024,
-		degradeGrace:    2 * time.Second,
-		slowThreshold:   time.Second,
-		slowCapacity:    128,
-		fsys:            snapshot.OS{},
-		logf:            log.Printf,
-		applied:         make(map[string]uint64),
+		mux:               http.NewServeMux(),
+		maxBody:           1 << 20,
+		maxPathSteps:      128,
+		maxBatchQueries:   1024,
+		degradeGrace:      2 * time.Second,
+		relevanceMaxLen:   4,
+		relevanceMaxPaths: 16,
+		slowThreshold:     time.Second,
+		slowCapacity:      128,
+		fsys:              snapshot.OS{},
+		logf:              log.Printf,
+		applied:           make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(s)
@@ -237,6 +266,7 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/relevance", s.handleRelevance)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
@@ -278,7 +308,7 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/schema", "/v1/stats", "/v1/slowlog",
-		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/explain", "/v1/why",
+		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/relevance", "/v1/explain", "/v1/why",
 		"/v1/admin/reload", "/v1/admin/edges":
 		return path
 	}
@@ -427,10 +457,11 @@ func (s *Server) applyTimeout(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// /v1/batch is exempt: the batch scheduler applies the same budget
-		// to each query individually, so a big batch is not killed whole by
-		// a deadline sized for one query.
-		if isQueryPath(r) && r.URL.Path != "/v1/batch" {
+		// /v1/batch and /v1/relevance are exempt: the batch scheduler
+		// applies the same budget to each query (each ensemble path)
+		// individually, so a big batch or wide ensemble is not killed
+		// whole by a deadline sized for one query.
+		if isQueryPath(r) && r.URL.Path != "/v1/batch" && r.URL.Path != "/v1/relevance" {
 			ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
@@ -562,6 +593,8 @@ func errorStatusCode(err error) (int, string) {
 		errors.Is(err, baseline.ErrAsymmetricPath),
 		errors.Is(err, core.ErrPlanNotApplicable),
 		errors.Is(err, hin.ErrBadOp),
+		errors.Is(err, relevance.ErrBadOptions),
+		errors.Is(err, relevance.ErrNoPaths),
 		errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, "bad_request"
 	}
@@ -671,6 +704,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"max_path_steps":       s.maxPathSteps,
 			"batch_max_queries":    s.maxBatchQueries,
 			"batch_workers":        s.batchWorkers,
+			"relevance_max_len":    s.relevanceMaxLen,
+			"relevance_max_paths":  s.relevanceMaxPaths,
+			"path_weights":         len(s.pathWeights),
 			"slowlog_threshold_ms": float64(s.slowThreshold) / float64(time.Millisecond),
 		},
 	})
