@@ -12,6 +12,8 @@
 //	        [-weights weights.json] [-raw]
 //	hetesim -graph g.json -batch queries.json
 //	hetesim -graph g.json -apply deltas.json [-out g2.json]
+//	hetesim -server http://host:8090 -path APC -source <id> [-target <id>]
+//	        [-retries 3] [-retry-max-wait 5s]
 //
 // With -target it prints the pair's relevance; without, the top-k most
 // related objects of the path's target type. -montecarlo estimates a pair
@@ -45,6 +47,14 @@
 // {"ops": [{"op": "upsert_edge"|"delete_edge"|"add_node", ...}]}) to the
 // graph all-or-nothing and writes the mutated graph to -out ("-" = stdout,
 // the default). The batch's dirty summary is reported on stderr.
+//
+// -server skips the local graph entirely and sends the query to a running
+// hetesimd (or a hetesim-router fronting a fleet): -path/-source/-target
+// hit /v1/pair, /v1/topk, or /v1/why, -batch posts to /v1/batch, and
+// -relevance posts to /v1/relevance. Shed responses (429/503 and friends)
+// are retried with exponential backoff honoring the server's Retry-After;
+// -retries and -retry-max-wait bound the persistence, so a draining or
+// briefly overloaded server costs a short wait instead of a hard failure.
 package main
 
 import (
@@ -54,6 +64,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hetesim/internal/baseline"
 	"hetesim/internal/core"
@@ -89,8 +100,20 @@ func main() {
 		planName   = flag.String("plan", "", "force a hetesim physical plan: auto | pair-vectors | single-vs-matrix | all-pairs | monte-carlo (walks from -montecarlo)")
 		why        = flag.Int("why", 0, "with -target: show this many top meeting-object contributions")
 		verbose    = flag.Bool("v", false, "dump process metrics to stderr after the query")
+		serverURL  = flag.String("server", "", "query a running hetesimd/hetesim-router at this base URL instead of loading -graph")
+		retries    = flag.Int("retries", 3, "with -server: retry attempts for shed responses (429/502/503/504)")
+		retryMax   = flag.Duration("retry-max-wait", 5*time.Second, "with -server: cap on any single retry wait, including the server's Retry-After")
 	)
 	flag.Parse()
+	if *serverURL != "" {
+		rc := newRemoteClient(*serverURL, *retries, *retryMax)
+		if err := runRemote(rc, *pathSpec, *source, *target, *measure, *k, *raw,
+			*batchFile, *relevanceQ, *sourceType, *targetType, *weighting, *maxLen, *maxPaths, *why); err != nil {
+			fmt.Fprintln(os.Stderr, "hetesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)

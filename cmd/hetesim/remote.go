@@ -1,0 +1,185 @@
+package main
+
+// Remote mode: -server points the CLI at a running hetesimd (or a
+// hetesim-router fronting a fleet) instead of loading -graph locally. The
+// same query flags drive the HTTP surface: -path/-source/-target becomes
+// GET /v1/pair or /v1/topk, -batch posts to /v1/batch, -relevance posts to
+// /v1/relevance. Shed responses (429/503, and the other retryable statuses)
+// are retried with exponential backoff, honoring the server's Retry-After,
+// so a briefly overloaded or restarting server degrades a query into a
+// short wait instead of a hard failure. -retries and -retry-max-wait bound
+// the persistence.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hetesim/internal/router"
+)
+
+type remoteClient struct {
+	base   string
+	policy router.RetryPolicy
+	client *http.Client
+}
+
+func newRemoteClient(base string, retries int, maxWait time.Duration) *remoteClient {
+	return &remoteClient{
+		base:   strings.TrimRight(base, "/"),
+		policy: router.RetryPolicy{Retries: retries, Base: 100 * time.Millisecond, MaxWait: maxWait},
+		client: &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+// call sends one request (rebuilt per attempt so bodies replay), retrying
+// retryable statuses, and decodes the final response. Non-2xx final
+// statuses become errors carrying the server's error body.
+func (rc *remoteClient) call(method, path string, query url.Values, body []byte) (json.RawMessage, error) {
+	u := rc.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := rc.policy.Do(context.Background(), rc.client, func() (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = strings.NewReader(string(body))
+		}
+		req, err := http.NewRequest(method, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: %w", method, u, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: reading response: %w", method, u, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		if router.RetryableStatus(resp.StatusCode) {
+			return nil, fmt.Errorf("%s %s: server still shedding after retries (%d): %s", method, u, resp.StatusCode, msg)
+		}
+		return nil, fmt.Errorf("%s %s: %d: %s", method, u, resp.StatusCode, msg)
+	}
+	return raw, nil
+}
+
+// printJSON re-indents the server's response for the terminal.
+func printJSON(raw json.RawMessage) error {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		_, werr := os.Stdout.Write(raw)
+		return werr
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// runRemote dispatches the CLI's query flags against the server. Only the
+// query surfaces make sense remotely; -apply/-enumerate/-explain stay
+// local-graph operations.
+func runRemote(rc *remoteClient, pathSpec, source, target, measure string, k int, raw bool,
+	batchFile string, relevanceQ bool, sourceType, targetType, weighting string, maxLen, maxPaths int, why int) error {
+	switch {
+	case batchFile != "":
+		body, err := readFileOrStdin(batchFile)
+		if err != nil {
+			return err
+		}
+		out, err := rc.call(http.MethodPost, "/v1/batch", nil, body)
+		if err != nil {
+			return err
+		}
+		return printJSON(out)
+
+	case relevanceQ:
+		if source == "" || sourceType == "" || targetType == "" {
+			return fmt.Errorf("-relevance needs -source, -source-type and -target-type")
+		}
+		req := map[string]any{
+			"source": source, "source_type": sourceType,
+			"target_type": targetType, "weighting": weighting, "raw": raw,
+		}
+		if target != "" {
+			req["target"] = target
+		} else {
+			req["k"] = k
+		}
+		if maxLen > 0 {
+			req["max_len"] = maxLen
+		}
+		if maxPaths > 0 {
+			req["max_paths"] = maxPaths
+		}
+		body, _ := json.Marshal(req)
+		out, err := rc.call(http.MethodPost, "/v1/relevance", nil, body)
+		if err != nil {
+			return err
+		}
+		return printJSON(out)
+
+	case pathSpec != "" && source != "" && target != "" && why > 0:
+		q := url.Values{"path": {pathSpec}, "source": {source}, "target": {target}, "k": {strconv.Itoa(why)}}
+		if raw {
+			q.Set("raw", "true")
+		}
+		out, err := rc.call(http.MethodGet, "/v1/why", q, nil)
+		if err != nil {
+			return err
+		}
+		return printJSON(out)
+
+	case pathSpec != "" && source != "":
+		q := url.Values{"path": {pathSpec}, "source": {source}}
+		if measure != "" && measure != "hetesim" {
+			q.Set("measure", measure)
+		}
+		if raw {
+			q.Set("raw", "true")
+		}
+		endpoint := "/v1/topk"
+		if target != "" {
+			endpoint = "/v1/pair"
+			q.Set("target", target)
+		} else {
+			q.Set("k", strconv.Itoa(k))
+		}
+		out, err := rc.call(http.MethodGet, endpoint, q, nil)
+		if err != nil {
+			return err
+		}
+		return printJSON(out)
+
+	default:
+		return fmt.Errorf("-server supports -path queries, -batch, and -relevance (local-only modes: -apply, -enumerate, -explain)")
+	}
+}
+
+func readFileOrStdin(name string) ([]byte, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}

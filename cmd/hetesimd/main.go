@@ -9,6 +9,7 @@
 //	         [-batch-max-queries 1024] [-batch-workers 0]
 //	         [-slowlog-threshold 1s] [-slowlog-size 128] [-debug-addr ""]
 //	         [-snapshot-path chains.snap] [-snapshot-save-interval 5m]
+//	         [-warm-from http://peer:8080]
 //	         [-wal-path edges.wal] [-wal-compact-bytes 16777216]
 //	         [-relevance-max-len 4] [-relevance-max-paths 16]
 //	         [-path-weights weights.json]
@@ -76,6 +77,7 @@ import (
 	"hetesim/internal/core"
 	"hetesim/internal/hin"
 	"hetesim/internal/relevance"
+	"hetesim/internal/router"
 	"hetesim/internal/server"
 )
 
@@ -97,6 +99,7 @@ func main() {
 		slowSize      = flag.Int("slowlog-size", 128, "slow-query log ring capacity")
 		debugAddr     = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; do not expose publicly)")
 		snapshotPath  = flag.String("snapshot-path", "", "chain-cache snapshot file for warm starts (empty disables)")
+		warmFrom      = flag.String("warm-from", "", "base URL of a peer hetesimd to fetch a chain-cache snapshot from at boot (empty disables)")
 		snapshotEvery = flag.Duration("snapshot-save-interval", 5*time.Minute, "how often to persist the chain cache (0 disables the periodic save)")
 		walPath       = flag.String("wal-path", "", "edge-delta write-ahead log enabling POST /v1/admin/edges (empty disables mutations)")
 		walCompact    = flag.Int64("wal-compact-bytes", 16<<20, "fold the WAL into a rewritten -graph file when it outgrows this many bytes (0 never compacts on size)")
@@ -162,6 +165,23 @@ func main() {
 			log.Printf("hetesimd: snapshot rejected, starting cold: %v", err)
 		} else if warm {
 			log.Printf("hetesimd: warm start from %s", *snapshotPath)
+		}
+	}
+
+	// Snapshot shipping: a fresh replica joins warm by pulling a peer's
+	// chain cache over HTTP (resumable, CRC-validated end to end) instead of
+	// rematerializing. Any failure here is tolerated — the local snapshot
+	// (if any) already warmed what it could, and cold is always correct.
+	if *warmFrom != "" {
+		fctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		snap, err := router.FetchSnapshot(fctx, nil, *warmFrom, 5)
+		cancel()
+		if err != nil {
+			log.Printf("hetesimd: -warm-from %s failed, continuing cold: %v", *warmFrom, err)
+		} else if n, err := srv.ImportSnapshot(snap); err != nil {
+			log.Printf("hetesimd: -warm-from snapshot rejected: %v", err)
+		} else {
+			log.Printf("hetesimd: warmed %d chains from %s", n, *warmFrom)
 		}
 	}
 

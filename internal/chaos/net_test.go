@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newFaultServer(t *testing.T, body string) (*httptest.Server, *Listener) {
+	t.Helper()
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	fl := WrapListener(srv.Listener)
+	srv.Listener = fl
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return srv, fl
+}
+
+func TestListenerRefuseAndRevive(t *testing.T) {
+	srv, fl := newFaultServer(t, "ok")
+
+	// Each phase uses a fresh client so keep-alive pooling doesn't let a
+	// pre-kill connection serve the post-kill request.
+	get := func() (string, error) {
+		c := &http.Client{Timeout: 2 * time.Second}
+		defer c.CloseIdleConnections()
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	if body, err := get(); err != nil || body != "ok" {
+		t.Fatalf("healthy phase: body=%q err=%v", body, err)
+	}
+
+	fl.Refuse(true)
+	fl.CloseActive()
+	if _, err := get(); err == nil {
+		t.Fatal("expected error while refusing")
+	}
+
+	fl.Refuse(false)
+	if body, err := get(); err != nil || body != "ok" {
+		t.Fatalf("revived phase: body=%q err=%v", body, err)
+	}
+}
+
+func TestListenerResetAfter(t *testing.T) {
+	srv, fl := newFaultServer(t, strings.Repeat("x", 1<<16))
+	fl.ResetAfter(128)
+
+	c := &http.Client{Timeout: 2 * time.Second}
+	defer c.CloseIdleConnections()
+	resp, err := c.Get(srv.URL)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("expected torn response after 128 bytes")
+	}
+}
+
+func TestTransportFailNext(t *testing.T) {
+	srv, _ := newFaultServer(t, "ok")
+	tr := &Transport{}
+	c := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	defer c.CloseIdleConnections()
+
+	tr.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(srv.URL); err == nil {
+			t.Fatalf("call %d: expected injected failure", i)
+		}
+	}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("third call should succeed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTransportResetBodyAfter(t *testing.T) {
+	srv, _ := newFaultServer(t, strings.Repeat("y", 4096))
+	tr := &Transport{}
+	c := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	defer c.CloseIdleConnections()
+
+	tr.ResetBodyAfter(100, 1)
+
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected mid-body, got err=%v after %d bytes", err, len(b))
+	}
+	if len(b) > 100 {
+		t.Fatalf("body delivered %d bytes, budget was 100", len(b))
+	}
+
+	// Second response is clean: the counter was consumed.
+	resp, err = c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second round trip: %v", err)
+	}
+	b, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(b) != 4096 {
+		t.Fatalf("second body: len=%d err=%v", len(b), err)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	srv, _ := newFaultServer(t, "ok")
+	tr := &Transport{}
+	c := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	defer c.CloseIdleConnections()
+
+	tr.Latency(30 * time.Millisecond)
+	start := time.Now()
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency injection too fast: %v", d)
+	}
+}
+
+var _ net.Listener = (*Listener)(nil)

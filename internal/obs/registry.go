@@ -266,6 +266,23 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.e.child(values).counter
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ e *entry }
+
+// GaugeVec returns the labeled gauge family named name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label; use Gauge")
+	}
+	return &GaugeVec{e: r.get(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.e.child(values).gauge
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ e *entry }
 

@@ -1,0 +1,197 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// POST /v1/batch at the router: the batch is split into per-path groups
+// (by canonical path key — the unit of both cache affinity and rendezvous
+// placement), each group is fanned out to the replica owning its key, and
+// the replies are re-assembled slot-for-slot in the original order. A
+// group whose replica fleet is entirely unavailable fails per-slot with
+// code "replica_unavailable"; the batch as a whole always answers 200 once
+// it decodes.
+
+// routingFields is the subset of a batch query the router must read to
+// place it; everything else passes through opaquely.
+type routingFields struct {
+	Kind   string `json:"kind"`
+	Path   string `json:"path"`
+	Source string `json:"source"`
+	Target string `json:"target,omitempty"`
+}
+
+// slotError is the router-synthesized result slot for a query it could not
+// get answered.
+type slotError struct {
+	Kind   string `json:"kind,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+}
+
+// batchStats mirrors the replica's batch stats block; the router sums the
+// additive fields across sub-batches and recomputes the ratios.
+type batchStats struct {
+	Queries       int     `json:"queries"`
+	Groups        int     `json:"groups"`
+	SharedQueries int     `json:"shared_queries"`
+	ChainBuilds   int     `json:"chain_builds"`
+	RowSteps      int     `json:"row_steps"`
+	NaiveRowSteps int     `json:"naive_row_steps"`
+	PrefixResumes int     `json:"prefix_resumes"`
+	Amortization  float64 `json:"amortization"`
+	DurationMS    float64 `json:"duration_ms"`
+}
+
+func (a *batchStats) add(b batchStats) {
+	a.Queries += b.Queries
+	a.Groups += b.Groups
+	a.SharedQueries += b.SharedQueries
+	a.ChainBuilds += b.ChainBuilds
+	a.RowSteps += b.RowSteps
+	a.NaiveRowSteps += b.NaiveRowSteps
+	a.PrefixResumes += b.PrefixResumes
+}
+
+// subResult is one slot's outcome after fan-out: the replica's rendered
+// result verbatim, or a router-synthesized error.
+type subResult struct {
+	raw     json.RawMessage // nil when the group's routing failed
+	errMsg  string
+	errCode string
+}
+
+// fanout routes queries[i] under keys[i]: slots sharing a key travel in
+// one sub-batch to the key's owner (keeping the replica-side scheduler's
+// amortization within the group), groups run concurrently, and every
+// slot comes back filled — with the replica's result or with a routing
+// error. Returns the slots, the summed replica stats, and the fan-out
+// width.
+func (r *Router) fanout(ctx context.Context, queries []json.RawMessage, keys []string) ([]subResult, batchStats, int) {
+	groups := make(map[string][]int)
+	for i, k := range keys {
+		groups[k] = append(groups[k], i)
+	}
+	out := make([]subResult, len(queries))
+	var (
+		mu    sync.Mutex
+		stats batchStats
+		wg    sync.WaitGroup
+	)
+	for key, slots := range groups {
+		wg.Add(1)
+		go func(key string, slots []int) {
+			defer wg.Done()
+			metFanout.Inc()
+			sub := make([]json.RawMessage, len(slots))
+			for i, s := range slots {
+				sub[i] = queries[s]
+			}
+			body, err := json.Marshal(map[string]any{"queries": sub})
+			if err != nil {
+				fillGroupError(out, slots, "encoding sub-batch: "+err.Error(), "internal")
+				return
+			}
+			res, err := r.forward(ctx, key, func(base string) (*http.Request, error) {
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/batch", bytes.NewReader(body))
+				if err != nil {
+					return nil, err
+				}
+				req.Header.Set("Content-Type", "application/json")
+				return req, nil
+			})
+			if err != nil {
+				fillGroupError(out, slots, "no replica could serve the path group: "+err.Error(), "replica_unavailable")
+				return
+			}
+			if res.status != http.StatusOK {
+				var eb errorBody
+				msg := fmt.Sprintf("replica %s answered %d", res.replica, res.status)
+				code := "replica_error"
+				if json.Unmarshal(res.body, &eb) == nil && eb.Error != "" {
+					msg, code = eb.Error, eb.Code
+				}
+				fillGroupError(out, slots, msg, code)
+				return
+			}
+			var sr struct {
+				Results []json.RawMessage `json:"results"`
+				Stats   batchStats        `json:"stats"`
+			}
+			if err := json.Unmarshal(res.body, &sr); err != nil || len(sr.Results) != len(slots) {
+				fillGroupError(out, slots,
+					fmt.Sprintf("malformed sub-batch reply from %s (%d results for %d queries)", res.replica, len(sr.Results), len(slots)),
+					"replica_error")
+				return
+			}
+			for i, s := range slots {
+				out[s] = subResult{raw: sr.Results[i]}
+			}
+			mu.Lock()
+			stats.add(sr.Stats)
+			mu.Unlock()
+		}(key, slots)
+	}
+	wg.Wait()
+	return out, stats, len(groups)
+}
+
+func fillGroupError(out []subResult, slots []int, msg, code string) {
+	for _, s := range slots {
+		out[s] = subResult{errMsg: msg, errCode: code}
+	}
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	var breq struct {
+		Queries []json.RawMessage `json:"queries"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&breq); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: "decoding batch: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	if len(breq.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch", Code: "bad_request"})
+		return
+	}
+	metas := make([]routingFields, len(breq.Queries))
+	keys := make([]string, len(breq.Queries))
+	for i, q := range breq.Queries {
+		json.Unmarshal(q, &metas[i]) // undecodable slots fail replica-side, in place
+		keys[i] = r.canonicalKey(metas[i].Path)
+	}
+	slots, stats, groups := r.fanout(req.Context(), breq.Queries, keys)
+
+	results := make([]json.RawMessage, len(slots))
+	for i, s := range slots {
+		if s.raw != nil {
+			results[i] = s.raw
+			continue
+		}
+		results[i], _ = json.Marshal(slotError{
+			Kind: metas[i].Kind, Path: metas[i].Path,
+			Source: metas[i].Source, Target: metas[i].Target,
+			Error: s.errMsg, Code: s.errCode,
+		})
+	}
+	stats.Queries = len(slots)
+	if stats.Groups == 0 {
+		stats.Groups = groups
+	}
+	if stats.Groups > 0 {
+		stats.Amortization = float64(stats.Queries) / float64(stats.Groups)
+	}
+	stats.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, map[string]any{"results": results, "stats": stats})
+}

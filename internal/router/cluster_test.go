@@ -1,0 +1,624 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetesim/internal/chaos"
+	"hetesim/internal/hin"
+	"hetesim/internal/server"
+)
+
+// testGraph is the paper's running example: authors writing papers
+// published in conferences. Every replica serves an identical copy.
+func testGraph() *hin.Graph {
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "conference")
+	b := hin.NewBuilder(s)
+	b.AddEdge("writes", "Tom", "p1")
+	b.AddEdge("writes", "Tom", "p2")
+	b.AddEdge("writes", "Mary", "p2")
+	b.AddEdge("writes", "Mary", "p3")
+	b.AddEdge("writes", "Bob", "p3")
+	b.AddEdge("published_in", "p1", "KDD")
+	b.AddEdge("published_in", "p2", "KDD")
+	b.AddEdge("published_in", "p3", "SIGMOD")
+	return b.MustBuild()
+}
+
+// testReplica is one in-process hetesimd: a real server.Server behind a
+// fault-injecting listener, so tests can kill and revive it without
+// rebinding its address.
+type testReplica struct {
+	srv   *server.Server
+	ts    *httptest.Server
+	fl    *chaos.Listener
+	slowy atomic.Int64 // per-request handler delay, nanoseconds
+}
+
+func (tr *testReplica) kill() {
+	tr.fl.Refuse(true)
+	tr.fl.CloseActive()
+}
+
+func (tr *testReplica) revive() { tr.fl.Refuse(false) }
+
+func newTestReplica(t *testing.T) *testReplica {
+	t.Helper()
+	tr := &testReplica{srv: server.New(testGraph())}
+	tr.srv.MarkReady()
+	h := tr.srv.Handler()
+	tr.ts = httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := tr.slowy.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		h.ServeHTTP(w, r)
+	}))
+	tr.fl = chaos.WrapListener(tr.ts.Listener)
+	tr.ts.Listener = tr.fl
+	tr.ts.Start()
+	t.Cleanup(tr.ts.Close)
+	return tr
+}
+
+// newCluster spins up n replicas and a router fronting them. The returned
+// router has been Started (initial probes done, schema fetched from the
+// fleet over HTTP).
+func newCluster(t *testing.T, n int, opts ...Option) (*Router, []*testReplica) {
+	t.Helper()
+	reps := make([]*testReplica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		reps[i] = newTestReplica(t)
+		urls[i] = reps[i].ts.URL
+	}
+	base := []Option{
+		WithRetryPolicy(RetryPolicy{Retries: 3, Base: 2 * time.Millisecond, MaxWait: 20 * time.Millisecond}),
+		WithBreaker(3, 150*time.Millisecond),
+		WithHealthInterval(50 * time.Millisecond),
+		WithLogf(t.Logf),
+	}
+	rt, err := New(urls, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	rt.Start(ctx)
+	if rt.schema.Load() == nil {
+		t.Fatal("router did not fetch a schema from the fleet")
+	}
+	return rt, reps
+}
+
+// replicaFor returns the test replica owning key (rendezvous rank 0).
+func replicaFor(rt *Router, reps []*testReplica, key string) *testReplica {
+	owner := rt.rank(key)[0]
+	for _, tr := range reps {
+		if strings.TrimRight(tr.ts.URL, "/") == owner.base {
+			return tr
+		}
+	}
+	return nil
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", url, err)
+	}
+	return resp, out
+}
+
+var batchPaths = []string{"APA", "APC", "CPA", "PCP", "PAP", "APCPA"}
+
+func testBatchBody(k int) map[string]any {
+	queries := make([]map[string]any, 0, len(batchPaths))
+	for _, p := range batchPaths {
+		q := map[string]any{"kind": "topk", "path": p, "k": k}
+		switch p[0] {
+		case 'A':
+			q["source"] = "Tom"
+		case 'C':
+			q["source"] = "KDD"
+		case 'P':
+			q["source"] = "p1"
+		}
+		queries = append(queries, q)
+	}
+	return map[string]any{"queries": queries}
+}
+
+// TestClusterKillMidBatch is the acceptance scenario: a 3-replica cluster
+// takes continuous batch traffic while one replica is killed mid-stream
+// and later revived. Every single batch request must answer 200 with a
+// full result set — failure is per-slot at worst, never whole-request —
+// the dead replica's breaker must open and close again after the revival,
+// and the retry/breaker counters must show up in /metrics.
+func TestClusterKillMidBatch(t *testing.T) {
+	rt, reps := newCluster(t, 3)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	victim := replicaFor(rt, reps, rt.canonicalKey("APA"))
+	if victim == nil {
+		t.Fatal("no owner for APA")
+	}
+
+	var (
+		wg            sync.WaitGroup
+		wholeFailures atomic.Int64
+		requests      atomic.Int64
+		slotErrors    atomic.Int64
+		stop          atomic.Bool
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				raw, _ := json.Marshal(testBatchBody(3))
+				resp, err := client.Post(front.URL+"/v1/batch", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					wholeFailures.Add(1)
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					wholeFailures.Add(1)
+					continue
+				}
+				var br struct {
+					Results []struct {
+						Error string `json:"error"`
+					} `json:"results"`
+				}
+				if json.Unmarshal(body, &br) != nil || len(br.Results) != len(batchPaths) {
+					wholeFailures.Add(1)
+					continue
+				}
+				for _, res := range br.Results {
+					if res.Error != "" {
+						slotErrors.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond) // healthy traffic
+	victim.kill()
+	time.Sleep(400 * time.Millisecond) // degraded traffic: retries + breaker
+	victim.revive()
+	time.Sleep(400 * time.Millisecond) // recovery traffic
+	stop.Store(true)
+	wg.Wait()
+
+	if n := requests.Load(); n == 0 {
+		t.Fatal("no batch requests completed")
+	}
+	if n := wholeFailures.Load(); n != 0 {
+		t.Fatalf("%d whole-request failures; the batch surface must degrade per-slot only", n)
+	}
+	t.Logf("%d batches, %d transient slot errors", requests.Load(), slotErrors.Load())
+
+	// The victim's breaker must have opened while it was dead...
+	metrics := getText(t, client, front.URL+"/metrics")
+	victimBase := strings.TrimRight(victim.ts.URL, "/")
+	if !strings.Contains(metrics, `hetesim_router_breaker_transitions_total{replica="`+victimBase+`",to="open"}`) {
+		t.Error("breaker never opened for the killed replica")
+	}
+	if !strings.Contains(metrics, "hetesim_router_retries_total") {
+		t.Error("retry counter missing from /metrics")
+	}
+	if !strings.Contains(metrics, "hetesim_router_routing_total") {
+		t.Error("routing decision counters missing from /metrics")
+	}
+
+	// ...and must close again now that it is back: drive traffic until the
+	// half-open probe lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := postJSON(t, client, front.URL+"/v1/batch", testBatchBody(3))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-revival batch answered %d", resp.StatusCode)
+		}
+		var rb struct {
+			Replicas []replicaBody `json:"replicas"`
+		}
+		getJSON(t, client, front.URL+"/v1/admin/replicas", &rb)
+		closed := false
+		for _, rep := range rb.Replicas {
+			if rep.URL == victimBase && rep.Breaker == "closed" && rep.Healthy {
+				closed = true
+			}
+		}
+		if closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim breaker never closed after revival: %+v", rb.Replicas)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getText(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, into any) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// TestWarmFromSnapshot: a replica that imports a warm peer's snapshot
+// serves its first query from the shipped chain cache — zero chain builds
+// — while the donor needed real builds for the same query.
+func TestWarmFromSnapshot(t *testing.T) {
+	donor := newTestReplica(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Two queries sharing the APCPA group: a solo slot would be answered by
+	// row propagation without materializing chains, and an empty chain cache
+	// would make the snapshot (and this test) vacuous.
+	batch := map[string]any{"queries": []map[string]any{
+		{"kind": "pair", "path": "APCPA", "source": "Tom", "target": "Mary"},
+		{"kind": "pair", "path": "APCPA", "source": "Mary", "target": "Bob"},
+	}}
+	var br struct {
+		Results []struct {
+			Score *float64 `json:"score"`
+			Error string   `json:"error"`
+		} `json:"results"`
+		Stats struct {
+			ChainBuilds int `json:"chain_builds"`
+		} `json:"stats"`
+	}
+	resp, body := postJSON(t, client, donor.ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("donor batch: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Error != "" || br.Results[0].Score == nil {
+		t.Fatalf("donor result: %+v", br.Results[0])
+	}
+	if br.Stats.ChainBuilds == 0 {
+		t.Fatal("cold donor reported zero chain builds; the warmth assertion below would be vacuous")
+	}
+	donorScore := *br.Results[0].Score
+
+	// Ship the snapshot to a fresh replica — the -warm-from boot path.
+	snap, err := FetchSnapshot(context.Background(), client, donor.ts.URL, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := newTestReplica(t)
+	n, err := joiner.srv.ImportSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("snapshot import admitted zero chains")
+	}
+
+	resp, body = postJSON(t, client, joiner.ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("joiner batch: %d %s", resp.StatusCode, body)
+	}
+	br.Stats.ChainBuilds = -1
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Error != "" || br.Results[0].Score == nil {
+		t.Fatalf("joiner result: %+v", br.Results[0])
+	}
+	if *br.Results[0].Score != donorScore {
+		t.Fatalf("joiner score %v != donor score %v", *br.Results[0].Score, donorScore)
+	}
+	if br.Stats.ChainBuilds != 0 {
+		t.Fatalf("joiner's first query built %d chains; a warm joiner must build none", br.Stats.ChainBuilds)
+	}
+
+	// The joiner's /readyz now advertises its warmth.
+	var ready struct {
+		SnapshotAge float64 `json:"snapshot_age_seconds"`
+	}
+	getJSON(t, client, joiner.ts.URL+"/readyz", &ready)
+	if ready.SnapshotAge < 0 {
+		t.Fatalf("snapshot_age_seconds = %v after import, want >= 0", ready.SnapshotAge)
+	}
+}
+
+// TestFetchSnapshotTornStream: a mid-body connection reset during the
+// snapshot download resumes from the reached offset and still yields a
+// checksum-valid snapshot.
+func TestFetchSnapshotTornStream(t *testing.T) {
+	donor := newTestReplica(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Materialize enough chains that the snapshot has a body worth tearing:
+	// paired queries per path so each group shares and actually builds.
+	for _, p := range []string{"APCPA", "APA"} {
+		resp, body := postJSON(t, client, donor.ts.URL+"/v1/batch", map[string]any{
+			"queries": []map[string]any{
+				{"kind": "pair", "path": p, "source": "Tom", "target": "Mary"},
+				{"kind": "pair", "path": p, "source": "Mary", "target": "Bob"},
+			},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warming donor on %s: %d %s", p, resp.StatusCode, body)
+		}
+	}
+	whole, err := FetchSnapshot(context.Background(), client, donor.ts.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &chaos.Transport{}
+	torn := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	tr.ResetBodyAfter(64, 1) // first stream dies after 64 bytes
+	snap, err := FetchSnapshot(context.Background(), torn, donor.ts.URL, 5)
+	if err != nil {
+		t.Fatalf("resumable fetch failed after torn stream: %v", err)
+	}
+	if snap.Fingerprint != whole.Fingerprint || len(snap.Sections) != len(whole.Sections) {
+		t.Fatalf("resumed snapshot differs: %d sections fp %016x, want %d sections fp %016x",
+			len(snap.Sections), snap.Fingerprint, len(whole.Sections), whole.Fingerprint)
+	}
+
+	joiner := newTestReplica(t)
+	if n, err := joiner.srv.ImportSnapshot(snap); err != nil || n == 0 {
+		t.Fatalf("importing resumed snapshot: n=%d err=%v", n, err)
+	}
+}
+
+// TestRelevancePartialFailure (satellite): a scattered /v1/relevance whose
+// scored path's replica is down answers partial=true with the surviving
+// contributions unrenormalized — the failed path's weight is not
+// redistributed, so the partial score is a lower bound on the full one.
+func TestRelevancePartialFailure(t *testing.T) {
+	// retries=0: the dead path group must actually fail rather than fall
+	// back, and a long health interval keeps the stale "healthy" view.
+	rt, reps := newCluster(t, 3,
+		WithRetryPolicy(RetryPolicy{Retries: 0, Base: time.Millisecond, MaxWait: 5 * time.Millisecond}),
+		WithHealthInterval(time.Hour))
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	relReq := map[string]any{
+		"source": "Tom", "source_type": "author",
+		"target": "Mary", "target_type": "author",
+		"weighting": "uniform",
+	}
+
+	// Healthy baseline: full ensemble.
+	var full relevanceResponse
+	resp, body := postJSON(t, client, front.URL+"/v1/relevance", relReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy relevance: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Partial || full.Score == nil || len(full.Paths) < 2 {
+		t.Fatalf("healthy ensemble: partial=%v score=%v paths=%d", full.Partial, full.Score, len(full.Paths))
+	}
+
+	// Kill the replica owning the first path's group. Distinct-ownership is
+	// not guaranteed by hashing, so skip (rather than fail) if one replica
+	// owns every path — with 3 replicas and 2+ paths this is rare.
+	victimKey := rt.canonicalKey(full.Paths[0].Path)
+	survivors := false
+	for _, pb := range full.Paths[1:] {
+		if rt.rank(rt.canonicalKey(pb.Path))[0] != rt.rank(victimKey)[0] {
+			survivors = true
+		}
+	}
+	if !survivors {
+		t.Skip("one replica owns every candidate path; partial-failure split not reachable with this hash layout")
+	}
+	replicaFor(rt, reps, victimKey).kill()
+
+	var part relevanceResponse
+	resp, body = postJSON(t, client, front.URL+"/v1/relevance", relReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded relevance must still answer 200, got %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &part); err != nil {
+		t.Fatal(err)
+	}
+	if !part.Partial {
+		t.Fatalf("killed path owner but partial=false: %s", body)
+	}
+	if part.Score == nil {
+		t.Fatal("partial answer lost its surviving score entirely")
+	}
+
+	var survived, failed int
+	expect := 0.0
+	for i, pb := range part.Paths {
+		if wantW := full.Paths[i].Weight; pb.Weight != wantW {
+			t.Errorf("path %s weight %v != healthy weight %v (weights must stay unrenormalized)",
+				pb.Path, pb.Weight, wantW)
+		}
+		if pb.Error != "" {
+			failed++
+			continue
+		}
+		survived++
+		expect += pb.Weight * pb.Score
+	}
+	if failed == 0 || survived == 0 {
+		t.Fatalf("want a mix of failed and surviving paths, got %d failed / %d survived", failed, survived)
+	}
+	if diff := *part.Score - expect; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("partial score %v != sum of surviving weighted contributions %v", *part.Score, expect)
+	}
+	if *part.Score >= *full.Score {
+		t.Errorf("partial score %v not below full score %v; failed weight must not be redistributed",
+			*part.Score, *full.Score)
+	}
+}
+
+// TestHedgedRead: with hedging on, a request whose primary replica turned
+// slow is answered by the hedge within the clamp window instead of waiting
+// out the primary.
+func TestHedgedRead(t *testing.T) {
+	rt, reps := newCluster(t, 2, WithHedging(5*time.Millisecond, 20*time.Millisecond))
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	key := rt.canonicalKey("APC")
+	owner := replicaFor(rt, reps, key)
+	owner.slowy.Store(int64(500 * time.Millisecond))
+
+	start := time.Now()
+	resp, body := postJSON(t, client, front.URL+"/v1/batch", map[string]any{
+		"queries": []map[string]any{{"kind": "pair", "path": "APC", "source": "Tom", "target": "KDD"}},
+	})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged batch: %d %s", resp.StatusCode, body)
+	}
+	var br struct {
+		Results []struct {
+			Error string   `json:"error"`
+			Score *float64 `json:"score"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Error != "" || br.Results[0].Score == nil {
+		t.Fatalf("hedged result: %+v", br.Results[0])
+	}
+	if elapsed >= 450*time.Millisecond {
+		t.Fatalf("hedged request took %v; the hedge should beat the %v primary", elapsed, 500*time.Millisecond)
+	}
+	metrics := getText(t, client, front.URL+"/metrics")
+	if !strings.Contains(metrics, "hetesim_router_hedges_total") {
+		t.Error("hedge counter missing from /metrics")
+	}
+}
+
+// TestRendezvousPlacement: the canonical key collapses a path with its
+// reverse onto one replica, and placement is deterministic.
+func TestRendezvousPlacement(t *testing.T) {
+	rt, _ := newCluster(t, 3)
+	for _, spec := range []string{"APC", "APA", "APCPA"} {
+		k := rt.canonicalKey(spec)
+		if got := rt.rank(k)[0]; got != rt.rank(k)[0] {
+			t.Fatalf("placement for %s not deterministic", spec)
+		}
+	}
+	// APC reversed is CPA: same canonical key, same owner.
+	if rt.canonicalKey("APC") != rt.canonicalKey("CPA") {
+		t.Errorf("canonicalKey(APC)=%q != canonicalKey(CPA)=%q — Property 1 placement broken",
+			rt.canonicalKey("APC"), rt.canonicalKey("CPA"))
+	}
+}
+
+// TestProxyPairAndTopK: the plain GET query surface round-trips through
+// the router unchanged.
+func TestProxyPairAndTopK(t *testing.T) {
+	rt, _ := newCluster(t, 3)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var pair struct {
+		Score   float64 `json:"score"`
+		Measure string  `json:"measure"`
+	}
+	getJSON(t, client, front.URL+"/v1/pair?path=APCPA&source=Tom&target=Mary", &pair)
+	if pair.Score <= 0 || pair.Score > 1 {
+		t.Fatalf("proxied pair score = %v", pair.Score)
+	}
+	var topk struct {
+		Results []struct {
+			ID string `json:"id"`
+		} `json:"results"`
+	}
+	getJSON(t, client, front.URL+"/v1/topk?path=APC&source=Tom&k=2", &topk)
+	if len(topk.Results) == 0 {
+		t.Fatalf("proxied topk returned nothing: %+v", topk)
+	}
+	var ready struct {
+		Status  string `json:"status"`
+		Healthy int    `json:"healthy"`
+	}
+	getJSON(t, client, front.URL+"/readyz", &ready)
+	if ready.Status != "ready" || ready.Healthy != 3 {
+		t.Fatalf("router readyz = %+v", ready)
+	}
+}
+
+// TestReadyzFreshnessFields (satellite): the replica's /readyz carries
+// wal_seq and snapshot_age_seconds so the router can rank freshness.
+func TestReadyzFreshnessFields(t *testing.T) {
+	rep := newTestReplica(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+	var ready map[string]any
+	getJSON(t, client, rep.ts.URL+"/readyz", &ready)
+	if _, ok := ready["wal_seq"]; !ok {
+		t.Error("readyz missing wal_seq")
+	}
+	age, ok := ready["snapshot_age_seconds"].(float64)
+	if !ok {
+		t.Fatalf("readyz snapshot_age_seconds = %v", ready["snapshot_age_seconds"])
+	}
+	if age != -1 {
+		t.Errorf("never-snapshotted replica reports age %v, want -1", age)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

@@ -1,0 +1,152 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryableStatus(t *testing.T) {
+	for _, s := range []int{429, 502, 503, 504} {
+		if !RetryableStatus(s) {
+			t.Errorf("status %d should be retryable", s)
+		}
+	}
+	for _, s := range []int{200, 201, 400, 404, 410, 500, 501} {
+		if RetryableStatus(s) {
+			t.Errorf("status %d should be final", s)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("3"); !ok || d != 3*time.Second {
+		t.Errorf("ParseRetryAfter(3) = %v, %v", d, ok)
+	}
+	if d, ok := ParseRetryAfter(time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)); !ok || d <= 0 || d > 2*time.Second {
+		t.Errorf("HTTP-date Retry-After = %v, %v; want (0, 2s]", d, ok)
+	}
+	// A date in the past means "retry now", not "never".
+	if d, ok := ParseRetryAfter(time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)); !ok || d != 0 {
+		t.Errorf("past HTTP-date Retry-After = %v, %v; want 0, true", d, ok)
+	}
+	for _, bad := range []string{"", "soon", "-2"} {
+		if _, ok := ParseRetryAfter(bad); ok {
+			t.Errorf("ParseRetryAfter(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRetryWait(t *testing.T) {
+	p := RetryPolicy{Retries: 5, Base: 10 * time.Millisecond, MaxWait: 80 * time.Millisecond}.withDefaults()
+
+	// Exponential envelope with jitter: attempt k waits in [base·2^(k-1), 2·base·2^(k-1)], capped.
+	for attempt := 1; attempt <= 5; attempt++ {
+		for trial := 0; trial < 20; trial++ {
+			w := p.Wait(attempt, -1)
+			lo := p.Base << (attempt - 1)
+			hi := 2 * lo
+			if lo > p.MaxWait {
+				lo = p.MaxWait
+			}
+			if hi > p.MaxWait {
+				hi = p.MaxWait
+			}
+			if w < lo || w > hi {
+				t.Fatalf("attempt %d wait %v outside [%v, %v]", attempt, w, lo, hi)
+			}
+		}
+	}
+
+	// An upstream Retry-After overrides the backoff but never exceeds MaxWait.
+	if w := p.Wait(1, 30*time.Millisecond); w != 30*time.Millisecond {
+		t.Errorf("Retry-After 30ms gave wait %v", w)
+	}
+	if w := p.Wait(1, time.Hour); w != p.MaxWait {
+		t.Errorf("huge Retry-After gave wait %v, want cap %v", w, p.MaxWait)
+	}
+}
+
+// TestRetryDo: Do retries 429/503 with Retry-After honored and returns the
+// first final response; a success is never retried.
+func TestRetryDo(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte("ok"))
+		}
+	}))
+	defer ts.Close()
+
+	p := RetryPolicy{Retries: 3, Base: time.Millisecond, MaxWait: 10 * time.Millisecond}
+	resp, err := p.Do(context.Background(), ts.Client(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, ts.URL, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status %d", resp.StatusCode)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server hit %d times, want 3", n)
+	}
+}
+
+// TestRetryDoExhausted: when every attempt is retryable, Do returns the
+// last response rather than an error, so callers can surface the status.
+func TestRetryDoExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	p := RetryPolicy{Retries: 2, Base: time.Millisecond, MaxWait: 5 * time.Millisecond}
+	resp, err := p.Do(context.Background(), ts.Client(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, ts.URL, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server hit %d times, want 1 + 2 retries", n)
+	}
+}
+
+func TestRetryDoContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	p := RetryPolicy{Retries: 3, Base: time.Millisecond, MaxWait: time.Minute}
+	start := time.Now()
+	_, err := p.Do(ctx, ts.Client(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, ts.URL, nil)
+	})
+	if err == nil {
+		t.Fatal("cancelled Do returned no error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Do ignored context cancellation during backoff sleep")
+	}
+}

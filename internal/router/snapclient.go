@@ -1,0 +1,137 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hetesim/internal/obs"
+	"hetesim/internal/snapshot"
+)
+
+// Snapshot fetching: the client half of snapshot shipping, used by
+// hetesimd's -warm-from boot path. The download is resumable — a torn
+// stream retries from the byte offset it reached, sending If-Match with
+// the ETag of the stream it started, so a peer whose cache advanced in
+// between answers 412 and the download restarts from zero instead of
+// splicing two different snapshots. The assembled bytes then pass through
+// snapshot.Read's full CRC validation, so even an undetected splice or
+// bit-flip cannot produce an admissible snapshot.
+var (
+	metSnapFetches = obs.Default().Counter("hetesim_snapshot_fetch_total",
+		"Snapshot fetches attempted against a peer replica.")
+	metSnapFetchResumes = obs.Default().Counter("hetesim_snapshot_fetch_resume_total",
+		"Snapshot fetch attempts resumed from a non-zero offset after a torn stream.")
+	metSnapFetchRestarts = obs.Default().Counter("hetesim_snapshot_fetch_restart_total",
+		"Snapshot fetches restarted from zero because the peer's snapshot changed mid-download.")
+)
+
+// FetchSnapshot downloads a peer's chain-cache snapshot from
+// base+/v1/admin/snapshot, resuming through up to attempts torn streams,
+// and decodes it with full checksum validation. client may be nil
+// (http.DefaultClient).
+func FetchSnapshot(ctx context.Context, client *http.Client, base string, attempts int) (*snapshot.Snapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base = trimSlash(base)
+	var (
+		buf  bytes.Buffer
+		etag string
+		last error
+	)
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		metSnapFetches.Inc()
+		url := base + "/v1/admin/snapshot"
+		if buf.Len() > 0 {
+			url += "?offset=" + strconv.Itoa(buf.Len())
+			metSnapFetchResumes.Inc()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		if etag != "" && buf.Len() > 0 {
+			req.Header.Set("If-Match", etag)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			last = err
+			sleepCtx(ctx, 100*time.Millisecond<<uint(attempt))
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusPreconditionFailed, http.StatusRequestedRangeNotSatisfiable:
+			// The peer's snapshot moved on; our partial bytes are for a
+			// snapshot that no longer exists.
+			resp.Body.Close()
+			metSnapFetchRestarts.Inc()
+			buf.Reset()
+			etag = ""
+			last = fmt.Errorf("peer snapshot changed mid-download (status %d)", resp.StatusCode)
+			continue
+		default:
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			last = fmt.Errorf("%s: status %d", url, resp.StatusCode)
+			sleepCtx(ctx, 100*time.Millisecond<<uint(attempt))
+			continue
+		}
+		if e := resp.Header.Get("ETag"); e != "" {
+			if etag != "" && e != etag && buf.Len() > 0 {
+				// Server didn't enforce If-Match (or no header round-trip):
+				// restart rather than splice.
+				resp.Body.Close()
+				metSnapFetchRestarts.Inc()
+				buf.Reset()
+				etag = e
+				continue
+			}
+			etag = e
+		}
+		_, err = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			last = err
+			continue // resume from the new offset
+		}
+		snap, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// Stream ended cleanly but short (mid-body reset the
+				// transport surfaced as EOF): resume.
+				last = err
+				continue
+			}
+			return nil, fmt.Errorf("router: decoding fetched snapshot: %w", err)
+		}
+		return snap, nil
+	}
+	return nil, fmt.Errorf("router: fetching snapshot from %s: %w", base, last)
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}

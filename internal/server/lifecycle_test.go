@@ -281,7 +281,7 @@ func TestReadiness(t *testing.T) {
 	if srv.Ready() {
 		t.Fatal("fresh server already ready; want cold until warmup runs")
 	}
-	var body map[string]string
+	var body map[string]any
 	getJSON(t, ts.URL+"/readyz", http.StatusServiceUnavailable, &body)
 	if body["status"] != "cold" {
 		t.Errorf("readyz on fresh server = %v, want cold", body)

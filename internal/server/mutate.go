@@ -123,6 +123,7 @@ func (s *Server) OpenWAL() (*WALStatus, error) {
 		return nil, err
 	}
 	s.wal = l
+	s.lastWalSeq.Store(l.LastSeq())
 	metWALBytes.Set(float64(l.Size()))
 	st := &WALStatus{
 		Checkpointed:   len(rep.Checkpoint),
@@ -204,6 +205,7 @@ func (s *Server) applyLocked(ctx context.Context, key string, ops []hin.Op, seq 
 	}
 	s.cur.Store(next)
 	s.rememberKeyLocked(key, seq)
+	s.lastWalSeq.Store(seq)
 	s.walBatches++
 	return stats, nil
 }

@@ -167,6 +167,9 @@ func (s *Server) warmInto(es *engineSet) (int, error) {
 	n := es.engine.ImportChains(chains)
 	es.raw.ImportChains(chains)
 	metSnapshotLoads.Inc()
+	if n > 0 {
+		s.snapSavedAt.Store(time.Now().UnixNano())
+	}
 	return n, nil
 }
 
@@ -198,6 +201,7 @@ func (s *Server) SaveSnapshot() error {
 		return err
 	}
 	metSnapshotSaves.Inc()
+	s.snapSavedAt.Store(time.Now().UnixNano())
 	return nil
 }
 

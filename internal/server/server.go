@@ -119,6 +119,13 @@ type Server struct {
 
 	inflight chan struct{}
 	state    atomic.Int32 // ReadyState
+
+	// Replica-freshness signals for /readyz, read lock-free by the probe:
+	// the last acked WAL sequence (cached here so the probe never contends
+	// with walMu) and when this process last saved or imported a snapshot
+	// (unix nanos; 0 = never).
+	lastWalSeq  atomic.Uint64
+	snapSavedAt atomic.Int64
 }
 
 // Option configures a Server.
@@ -271,6 +278,7 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/why", s.handleWhy)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/admin/edges", s.handleMutate)
+	s.mux.HandleFunc("GET /v1/admin/snapshot", s.handleSnapshot)
 	s.handler = s.buildHandler()
 	return s
 }
@@ -309,7 +317,7 @@ func routeLabel(path string) string {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/schema", "/v1/stats", "/v1/slowlog",
 		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/relevance", "/v1/explain", "/v1/why",
-		"/v1/admin/reload", "/v1/admin/edges":
+		"/v1/admin/reload", "/v1/admin/edges", "/v1/admin/snapshot":
 		return path
 	}
 	return "other"
@@ -617,6 +625,14 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{
 		"status":      st.String(),
 		"fingerprint": fmt.Sprintf("%016x", s.current().fingerprint),
+		"wal_seq":     s.lastWalSeq.Load(),
+	}
+	// snapshot_age_seconds ranks replica warmth: how long ago this process
+	// last saved or imported a chain-cache snapshot. -1 = never.
+	if t := s.snapSavedAt.Load(); t > 0 {
+		body["snapshot_age_seconds"] = time.Since(time.Unix(0, t)).Seconds()
+	} else {
+		body["snapshot_age_seconds"] = -1.0
 	}
 	if !s.Ready() {
 		writeJSON(w, http.StatusServiceUnavailable, body)

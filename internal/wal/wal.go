@@ -347,6 +347,13 @@ func (l *Log) Size() int64 { return l.size }
 // Fingerprint reports the base-graph fingerprint the log is bound to.
 func (l *Log) Fingerprint() uint64 { return l.fingerprint }
 
+// LastSeq reports the sequence number of the most recently assigned batch,
+// 0 when nothing has ever been appended. Sequences are monotonic across
+// compactions and reloads, so this is the replica-freshness rank /readyz
+// exposes. Callers synchronize with appenders (the server reads it under
+// its write lock or caches it atomically).
+func (l *Log) LastSeq() uint64 { return l.nextSeq - 1 }
+
 // Close releases the append handle. Further appends return ErrClosed.
 func (l *Log) Close() error {
 	if l.f == nil {
