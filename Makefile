@@ -36,7 +36,7 @@ test:
 
 # Short-mode race run over the concurrent packages; part of `make check`.
 race:
-	go test -race -short ./internal/core ./internal/relevance ./internal/server ./internal/sparse ./internal/obs ./internal/router
+	go test -race -short ./internal/core ./internal/relevance ./internal/server ./internal/sparse ./internal/obs ./internal/router ./internal/embed
 
 # Full race run over everything; slower, run before cutting a release.
 race-full:
@@ -71,8 +71,9 @@ check: vet staticcheck govulncheck build test race obs-selftest chaos properties
 # figure benchmark, the snapshot warm-vs-cold boot comparison, the
 # batch scheduler's sequential-vs-batched amortization run, the
 # query-optimizer auto-vs-forced plan comparison, the incremental
-# mutation apply-vs-rematerialize comparison, and the auto-relevance
-# ensemble-vs-solo-paths comparison, with allocation stats, as JSON.
+# mutation apply-vs-rematerialize comparison, the auto-relevance
+# ensemble-vs-solo-paths comparison, and the approximate top-k
+# exact-vs-embedding comparison, with allocation stats, as JSON.
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan|BenchmarkIncremental|BenchmarkRelevance' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
+	go test -run '^$$' -bench 'BenchmarkTable|BenchmarkFig|BenchmarkSnapshot|BenchmarkBatch|BenchmarkPlan|BenchmarkIncremental|BenchmarkRelevance|BenchmarkTopK' -benchmem . | go run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

@@ -295,6 +295,57 @@ func BenchmarkAblationTopKSearch(b *testing.B) {
 	})
 }
 
+// BenchmarkTopKApprox is the acceptance benchmark of the low-rank
+// approximate top-k plan: 100k target authors related through only 20
+// conferences, so the exact candidate-restricted scan still touches nearly
+// every author (dense conference-mediated overlap — its worst case), while
+// the approximate plan scores rank-r embeddings and exact-re-ranks an
+// over-fetched candidate set. "cold" pays the one-time factorization (plus
+// chain materialization) inside the timed region; "warm" is the steady
+// state the plan is for, and must beat the exact scan by ≥5×.
+func BenchmarkTopKApprox(b *testing.B) {
+	ds := complexityGraph(100000)
+	g := ds.Graph
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	ctx := context.Background()
+	e := core.NewEngine(g)
+	if err := e.Precompute(ctx, p); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.TopKSearch(ctx, p, 0, 10, 0); err != nil { // warm transpose cache
+		b.Fatal(err)
+	}
+	n := g.NodeCount("author")
+	b.Run("exact-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.TopKSearch(ctx, p, i%n, 10, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("approx-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold := core.NewEngine(g)
+			if _, _, err := cold.TopKSearchWithPlan(ctx, p, i%n, 10, 0,
+				core.PlanOptions{Force: core.PlanTopKApprox}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if _, _, err := e.TopKSearchWithPlan(ctx, p, 0, 10, 0,
+		core.PlanOptions{Force: core.PlanTopKApprox}); err != nil { // warm the embedding
+		b.Fatal(err)
+	}
+	b.Run("approx-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.TopKSearchWithPlan(ctx, p, i%n, 10, 0,
+				core.PlanOptions{Force: core.PlanTopKApprox}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // batchBenchQueries builds the 64 same-path pair queries of the batch
 // amortization benchmark: a 16-source × 4-target block of the relevance
 // matrix, the shape a recommendation or profile page issues per render.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,7 +53,7 @@ func NormalizedCut(sim *sparse.Matrix, k int, seed int64) ([]int, error) {
 	mul := func(dst, x []float64) {
 		copy(dst, norm.MulVec(x))
 	}
-	eig, err := linalg.TopKEigen(n, k, mul, -1, seedBlock, 300)
+	eig, err := linalg.TopKEigen(context.Background(), n, k, mul, -1, seedBlock, 300)
 	if err != nil {
 		return nil, err
 	}

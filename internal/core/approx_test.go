@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/metapath"
+)
+
+// plantedBibGraph builds a bibliographic network with planted community
+// structure: conferences belong to one of four topics, authors favor one
+// topic, and papers are published mostly inside their lead author's topic.
+// The conference-overlap relevance matrix is therefore close to low rank,
+// which is exactly the regime the topk-approx plan exploits.
+func plantedBibGraph(seed int64, nA, nP, nC int) *hin.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	s := hin.NewSchema()
+	s.MustAddType("author", 'A')
+	s.MustAddType("paper", 'P')
+	s.MustAddType("conference", 'C')
+	s.MustAddRelation("writes", "author", "paper")
+	s.MustAddRelation("published_in", "paper", "conference")
+	s.MustAddType("term", 'T')
+	s.MustAddRelation("mentions", "paper", "term")
+	b := hin.NewBuilder(s)
+	const topics = 4
+	topicOf := func(a int) int { return a % topics }
+	for i := 0; i < nP; i++ {
+		lead := rng.Intn(nA)
+		b.AddEdge("writes", "a"+itoa(lead), "p"+itoa(i))
+		if rng.Float64() < 0.5 {
+			b.AddEdge("writes", "a"+itoa(rng.Intn(nA)), "p"+itoa(i))
+		}
+		conf := topicOf(lead) + topics*rng.Intn(nC/topics) // inside the topic
+		if rng.Float64() < 0.1 {
+			conf = rng.Intn(nC) // cross-topic noise
+		}
+		b.AddEdge("published_in", "p"+itoa(i), "c"+itoa(conf))
+		b.AddEdge("mentions", "p"+itoa(i), "t"+itoa(i%10))
+	}
+	return b.MustBuild()
+}
+
+// recallAt measures |approx ∩ exact| / |exact| over the result index sets.
+func recallAt(exact, approx []Scored) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(approx))
+	for _, h := range approx {
+		in[h.Index] = true
+	}
+	hit := 0
+	for _, h := range exact {
+		if in[h.Index] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// TestDifferentialTopKApproxRecall is the recall harness pinning the
+// error-budget contract: at the default budget, recall@10 against the
+// exact scan stays at or above 0.95 across seeded planted graphs, and when
+// the rank reaches the full middle dimension the approximate plan returns
+// the exact top-k bit-for-bit (the subspace projection becomes lossless).
+// Lower ranks trade recall; the sweep documents the curve stays usable.
+func TestDifferentialTopKApproxRecall(t *testing.T) {
+	ctx := context.Background()
+	const k = 10
+	for _, seed := range []int64{3, 19} {
+		g := plantedBibGraph(seed, 120, 600, 20)
+		p := metapath.MustParse(g.Schema(), "APCPA")
+		dim := g.NodeCount("conference")
+		for _, normalized := range []bool{true, false} {
+			e := NewEngine(g, WithNormalization(normalized))
+			sum, n := 0.0, 0
+			for src := 0; src < 30; src++ {
+				exact, err := e.TopKSearch(ctx, p, src, k, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Default budget: rank clamps to min(20, dim).
+				approx, _, err := e.TopKSearchWithPlan(ctx, p, src, k, 0,
+					PlanOptions{Force: PlanTopKApprox})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += recallAt(exact, approx)
+				n++
+
+				// Full rank: lossless projection, bitwise-identical top-k.
+				full, _, err := e.TopKSearchWithPlan(ctx, p, src, k, 0,
+					PlanOptions{Force: PlanTopKApprox, EmbedRank: dim})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(full) != len(exact) {
+					t.Fatalf("seed %d src %d: full-rank approx returned %d, exact %d",
+						seed, src, len(full), len(exact))
+				}
+				for r := range full {
+					if full[r] != exact[r] {
+						t.Fatalf("seed %d src %d rank %d: full-rank approx %+v, exact %+v",
+							seed, src, r, full[r], exact[r])
+					}
+				}
+			}
+			if mean := sum / float64(n); mean < 0.95 {
+				t.Errorf("seed %d normalized=%v: mean recall@%d = %.3f, want >= 0.95",
+					seed, normalized, k, mean)
+			}
+
+			// Reduced ranks and over-fetch (looser budgets): recall
+			// degrades gracefully, never collapses.
+			for _, opts := range []PlanOptions{
+				{Force: PlanTopKApprox, EmbedRank: 8},
+				{Force: PlanTopKApprox, ErrorBudget: 0.25}, // rank 4, fetch 2k
+			} {
+				sum, n = 0, 0
+				for src := 0; src < 30; src++ {
+					exact, err := e.TopKSearch(ctx, p, src, k, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					approx, _, err := e.TopKSearchWithPlan(ctx, p, src, k, 0, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sum += recallAt(exact, approx)
+					n++
+				}
+				if mean := sum / float64(n); mean < 0.6 {
+					t.Errorf("seed %d normalized=%v opts %+v: mean recall@%d = %.3f, want >= 0.6",
+						seed, normalized, opts, k, mean)
+				} else {
+					t.Logf("seed %d normalized=%v rank=%d budget=%v: mean recall@%d = %.3f",
+						seed, normalized, opts.EmbedRank, opts.ErrorBudget, k, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialTopKApproxExactScores pins the bit-identity property:
+// whatever candidates the embedding stage surfaces, every returned score
+// equals the exact single-source score for that target bit-for-bit — the
+// re-rank runs the identical dot product and normalization as the exact
+// scan. Under eps > 0 the approximate plan must also stay phantom-free:
+// it never returns a target whose exact score is zero.
+func TestDifferentialTopKApproxExactScores(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{13, 47} {
+		g := randomBibGraph(seed)
+		rng := rand.New(rand.NewSource(seed + 900))
+		for _, engine := range []*Engine{NewEngine(g), NewEngine(g, WithNormalization(false))} {
+			for _, spec := range []string{"APA", "APVC", "APT", "APVCVPA"} {
+				p := metapath.MustParse(g.Schema(), spec)
+				nS := g.NodeCount(p.Source())
+				for trial := 0; trial < 3; trial++ {
+					src := rng.Intn(nS)
+					scores, err := engine.SingleSourceByIndex(ctx, p, src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, opts := range []PlanOptions{
+						{Force: PlanTopKApprox},
+						{Force: PlanTopKApprox, EmbedRank: 2},
+						{Force: PlanTopKApprox, ErrorBudget: 0.4},
+					} {
+						got, _, err := engine.TopKSearchWithPlan(ctx, p, src, 5, 0, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, hit := range got {
+							if hit.Score != scores[hit.Index] {
+								t.Errorf("seed %d %s src %d opts %+v: target %d scored %v, exact %v (must be bit-identical)",
+									seed, spec, src, opts, hit.Index, hit.Score, scores[hit.Index])
+							}
+						}
+					}
+
+					// eps > 0: pruning may shrink scores but never invents
+					// targets the exact measure scores zero.
+					pruned, _, err := engine.TopKSearchWithPlan(ctx, p, src, 5, 1e-3,
+						PlanOptions{Force: PlanTopKApprox})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, hit := range pruned {
+						if scores[hit.Index] == 0 {
+							t.Errorf("seed %d %s src %d: eps-pruned approx returned phantom target %d",
+								seed, spec, src, hit.Index)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKApproxPlanRules pins where the new plan is legal and when auto
+// selects it: never on pair/single-source shapes, never on cost alone, and
+// under a deadline only when the embedding answer actually fits the
+// remaining budget — a cold embedding whose build cannot fit falls back.
+func TestTopKApproxPlanRules(t *testing.T) {
+	g := plantedBibGraph(53, 120, 600, 20)
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	ctx := context.Background()
+
+	e := NewEngine(g)
+	if _, _, err := e.PairWithPlan(ctx, p, 0, 0, PlanOptions{Force: PlanTopKApprox}); !errors.Is(err, ErrPlanNotApplicable) {
+		t.Errorf("pair forced topk-approx err = %v, want ErrPlanNotApplicable", err)
+	}
+	if _, _, err := e.SingleSourceWithPlan(ctx, p, 0, PlanOptions{Force: PlanTopKApprox}); !errors.Is(err, ErrPlanNotApplicable) {
+		t.Errorf("single-source forced topk-approx err = %v, want ErrPlanNotApplicable", err)
+	}
+	if _, _, err := e.TopKSearchWithPlan(ctx, p, 0, 5, 0, PlanOptions{ErrorBudget: 1.5}); err == nil {
+		t.Error("error budget 1.5 accepted")
+	}
+
+	// No deadline: auto always runs an exact plan, however cheap the
+	// approximation looks.
+	_, d, err := e.TopKSearchWithPlan(ctx, p, 0, 5, 0, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind == PlanTopKApprox || d.Approximate {
+		t.Fatalf("auto topk chose %+v without a deadline", d)
+	}
+
+	// Deadline too short for the exact plan but wide enough for the warm
+	// embedding plan: proactive downgrade to topk-approx, not Monte Carlo
+	// — exact re-ranked scores beat sampled ones. The test derives a
+	// planFlopsPerSecond that sandwiches the two candidates' estimates, so
+	// it stays correct if the cost model's constants move.
+	warm := NewEngine(g)
+	opts := PlanOptions{Walks: 200, EmbedRank: 4}
+	if _, _, err := warm.TopKSearchWithPlan(ctx, p, 0, 5, 0,
+		PlanOptions{Force: PlanTopKApprox, EmbedRank: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if warm.EmbeddingCount() == 0 {
+		t.Fatal("forced run built no embedding")
+	}
+	lp := LogicalPlan{Path: p, Shape: ShapeTopK, Src: 0, K: 5, Opts: opts, h: splitPath(p)}
+	cm, err := warm.costModelFor(lp.h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := warm.planCandidates(cm, lp)
+	ta, ok := findCandidate(cands, PlanTopKApprox)
+	if !ok {
+		t.Fatalf("no topk-approx candidate in %+v", cands)
+	}
+	var exactMin PlanEstimate
+	for _, c := range cands {
+		if c.Kind != PlanMonteCarlo && c.Kind != PlanTopKApprox {
+			exactMin = c
+			break
+		}
+	}
+	if ta.Flops >= exactMin.Flops {
+		t.Fatalf("warm topk-approx estimate (%v flops) not below exact (%v flops); graph too small to sandwich",
+			ta.Flops, exactMin.Flops)
+	}
+	const horizon = 1000.0 // seconds; queries finish instantly against it
+	old := planFlopsPerSecond
+	planFlopsPerSecond = (ta.Flops + exactMin.Flops) / 2 / horizon
+	defer func() { planFlopsPerSecond = old }()
+	dctx, cancel := context.WithTimeout(ctx, time.Duration(horizon*float64(time.Second)))
+	defer cancel()
+	_, d, err = warm.TopKSearchWithPlan(dctx, p, 0, 5, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanTopKApprox || !d.Approximate || d.Forced {
+		t.Fatalf("warm deadline decision = %+v, want unforced topk-approx downgrade", d)
+	}
+	if counts := warm.PlanSelections(); counts[string(PlanTopKApprox)] < 2 {
+		t.Errorf("plan selections = %v, want topk-approx counted twice", counts)
+	}
+
+	// Cold embedding under the same budget: the candidate now carries the
+	// factorization cost, cannot fit, and the downgrade goes to Monte
+	// Carlo when walks are available — and stays exact without them.
+	cold := NewEngine(g)
+	_, d, err = cold.TopKSearchWithPlan(dctx, p, 0, 5, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != PlanMonteCarlo {
+		t.Fatalf("cold deadline decision = %+v, want monte-carlo fallback", d)
+	}
+	cold2 := NewEngine(g)
+	_, d, err = cold2.TopKSearchWithPlan(dctx, p, 0, 5, 0, PlanOptions{EmbedRank: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Approximate {
+		t.Fatalf("cold deadline decision without walks = %+v, want exact", d)
+	}
+}
+
+// TestTopKApproxCancellation: a canceled context aborts the embedding
+// build instead of spinning the eigensolver.
+func TestTopKApproxCancellation(t *testing.T) {
+	g := plantedBibGraph(7, 60, 300, 20)
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	e := NewEngine(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.TopKSearchWithPlan(ctx, p, 0, 5, 0, PlanOptions{Force: PlanTopKApprox}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRewarmCarriesEmbeddings: embeddings ride through a rewarm when their
+// base chain survives unchanged, and are dropped (to rebuild lazily) when
+// the mutation dirties the chain they factorize.
+func TestRewarmCarriesEmbeddings(t *testing.T) {
+	ctx := context.Background()
+	g := plantedBibGraph(11, 40, 160, 20)
+	p := metapath.MustParse(g.Schema(), "APCPA")
+	old := NewEngine(g)
+	if _, _, err := old.TopKSearchWithPlan(ctx, p, 0, 5, 0, PlanOptions{Force: PlanTopKApprox}); err != nil {
+		t.Fatal(err)
+	}
+	if old.EmbeddingCount() == 0 {
+		t.Fatal("no embedding to carry")
+	}
+
+	// A mutation touching a relation outside the path keeps the factorized
+	// chain clean: the embedding is carried.
+	ng, dirty := applyOps(t, g, []hin.Op{
+		{Kind: hin.OpUpsertEdge, Relation: "mentions", Src: "p0", Dst: "t0", Weight: 2},
+	})
+	carried := NewEngine(ng)
+	stats, err := carried.RewarmFrom(ctx, old, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EmbedsCarried == 0 || carried.EmbeddingCount() == 0 {
+		t.Fatalf("clean rewarm carried no embeddings: %+v", stats)
+	}
+	// The carried engine must agree with a cold engine on the same graph.
+	wantTop, _, err := NewEngine(ng).TopKSearchWithPlan(ctx, p, 0, 5, 0, PlanOptions{Force: PlanTopKApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, _, err := carried.TopKSearchWithPlan(ctx, p, 0, 5, 0, PlanOptions{Force: PlanTopKApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", gotTop) != fmt.Sprintf("%v", wantTop) {
+		t.Fatalf("carried engine top-k %v, cold rebuild %v", gotTop, wantTop)
+	}
+
+	// A mutation dirtying the factorized chain drops the embedding.
+	ng2, dirty2 := applyOps(t, g, []hin.Op{
+		{Kind: hin.OpUpsertEdge, Relation: "published_in", Src: "p0", Dst: "c1", Weight: 1},
+	})
+	dropped := NewEngine(ng2)
+	stats, err = dropped.RewarmFrom(ctx, old, dirty2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EmbedsDropped == 0 {
+		t.Fatalf("dirty rewarm dropped no embeddings: %+v", stats)
+	}
+	if dropped.EmbeddingCount() != 0 {
+		t.Fatalf("dirty rewarm kept %d embeddings", dropped.EmbeddingCount())
+	}
+}

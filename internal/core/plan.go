@@ -43,6 +43,13 @@ const (
 	// distributions; approximate, chosen only when forced or when the
 	// remaining deadline cannot fit the cheapest exact plan.
 	PlanMonteCarlo PlanKind = "monte-carlo"
+	// PlanTopKApprox answers top-k queries from low-rank chain embeddings:
+	// over-fetch candidates by embedding inner product, re-rank them
+	// through the exact operators (internal/embed). Approximate in recall
+	// only — returned scores are bit-identical to the exact plan's — and
+	// chosen only when forced or when the remaining deadline cannot fit
+	// the exact plan but can fit this one.
+	PlanTopKApprox PlanKind = "topk-approx"
 )
 
 // ErrPlanNotApplicable marks a forced plan that cannot execute the query's
@@ -56,7 +63,7 @@ func ParsePlanKind(s string) (PlanKind, error) {
 	switch k := PlanKind(s); k {
 	case "", PlanAuto:
 		return PlanAuto, nil
-	case PlanPairVectors, PlanSingleVsMatrix, PlanAllPairs, PlanSubsetChain, PlanMonteCarlo:
+	case PlanPairVectors, PlanSingleVsMatrix, PlanAllPairs, PlanSubsetChain, PlanMonteCarlo, PlanTopKApprox:
 		return k, nil
 	}
 	return "", fmt.Errorf("%w: unknown plan %q", ErrPlanNotApplicable, s)
@@ -88,6 +95,15 @@ type PlanOptions struct {
 	Walks int
 	// Seed seeds the Monte Carlo plan (0 draws a per-query engine seed).
 	Seed int64
+	// ErrorBudget tunes the topk-approx plan: a tighter (smaller) budget
+	// buys a higher embedding rank and a deeper candidate over-fetch.
+	// 0 means the default budget (0.05 → rank 20, over-fetch 4·k); must
+	// otherwise lie in (0, 1).
+	ErrorBudget float64
+	// EmbedRank pins the topk-approx factorization rank directly,
+	// overriding the budget-derived rank (clamped to the middle-type
+	// dimension). 0 derives the rank from ErrorBudget.
+	EmbedRank int
 }
 
 // LogicalPlan is the compiled form of one query: what to compute,
@@ -112,8 +128,8 @@ type PlanDecision struct {
 	Kind   PlanKind
 	Est    PlanEstimate
 	Forced bool
-	// Approximate is true for the Monte Carlo plan (forced or
-	// deadline-driven).
+	// Approximate is true for the Monte Carlo and topk-approx plans
+	// (forced or deadline-driven).
 	Approximate bool
 	WarmLeft    bool // left half-chain was already materialized
 	WarmRight   bool // right half-chain was already materialized
@@ -269,6 +285,14 @@ func (e *Engine) planCandidates(cm costModel, lp LogicalPlan) []PlanEstimate {
 			"transpose the right half; per query, one vector chain and a candidate scan")
 		add(PlanAllPairs, matL+matRT+q*(lrow+scan), matL+matRT,
 			"materialize the left half too; per query, one row lookup and a candidate scan")
+		rank := embedRankFor(lp.Opts, cm.right.Cols)
+		fetch := float64(embedOverFetch(lp.Opts) * maxInt(lp.K, 1))
+		coldEmbed := 0.0
+		if !e.embedWarm(embedCacheKey(rank, e.chainCacheKey(lp.h.right()))) {
+			coldEmbed = matR + embedBuildFlops(cm.right, rank)
+		}
+		add(PlanTopKApprox, coldEmbed+q*(lpr+rRows*float64(rank)+fetch*rrow), coldEmbed,
+			"score rank-r embeddings, exact-re-rank an over-fetched candidate set; approximate recall, exact scores")
 	case ShapeAllPairs:
 		product := cm.left.NNZ * cm.right.NNZ / float64(maxInt(cm.left.Cols, 1))
 		add(PlanAllPairs, matL+matR+product, matL+matR+product,
@@ -351,7 +375,7 @@ func (e *Engine) pickPlan(ctx context.Context, lp LogicalPlan, cm costModel, can
 			return d, fmt.Errorf("%w: %s cannot answer a %s query", ErrPlanNotApplicable, f, lp.Shape)
 		}
 		d.Kind, d.Est, d.Forced, d.Reason = f, est, true, "forced"
-		d.Approximate = f == PlanMonteCarlo
+		d.Approximate = f == PlanMonteCarlo || f == PlanTopKApprox
 		return d, nil
 	}
 	if len(cands) == 0 {
@@ -371,7 +395,7 @@ func (e *Engine) pickPlan(ctx context.Context, lp LogicalPlan, cm costModel, can
 		d.Reason = "caching disabled"
 	default:
 		for _, c := range cands {
-			if c.Kind != PlanMonteCarlo { // never approximate on cost alone
+			if c.Kind != PlanMonteCarlo && c.Kind != PlanTopKApprox { // never approximate on cost alone
 				chosen = c
 				break
 			}
@@ -398,18 +422,25 @@ func (e *Engine) pickPlan(ctx context.Context, lp LogicalPlan, cm costModel, can
 		d.Reason = "cheapest"
 	}
 
-	// Deadline rule: with a walk budget available, an exact plan whose
-	// estimated work cannot fit the remaining deadline is downgraded to
-	// Monte Carlo up front, instead of burning the whole budget to fail.
-	if lp.Opts.Walks > 0 {
-		if mc, ok := findCandidate(cands, PlanMonteCarlo); ok {
-			if deadline, has := ctx.Deadline(); has {
-				remaining := time.Until(deadline).Seconds()
-				if remaining <= 0 || chosen.Flops > remaining*planFlopsPerSecond {
-					chosen = mc
-					d.Approximate = true
-					d.Reason = "remaining deadline cannot fit the exact plan"
-				}
+	// Deadline rule: an exact plan whose estimated work cannot fit the
+	// remaining deadline is downgraded up front, instead of burning the
+	// whole budget to fail. Top-k queries prefer the low-rank embedding
+	// plan when its own estimate (including a cold factorization, if any)
+	// fits the remaining budget — it re-ranks with exact scores, so it
+	// degrades recall only. Monte Carlo is the fallback when a walk
+	// budget is available (its candidate exists only then).
+	if deadline, has := ctx.Deadline(); has {
+		remaining := time.Until(deadline).Seconds()
+		if remaining <= 0 || chosen.Flops > remaining*planFlopsPerSecond {
+			if ta, ok := findCandidate(cands, PlanTopKApprox); ok &&
+				remaining > 0 && ta.Flops <= remaining*planFlopsPerSecond {
+				chosen = ta
+				d.Approximate = true
+				d.Reason = "deadline downgrade: embedding top-k fits the remaining budget"
+			} else if mc, ok := findCandidate(cands, PlanMonteCarlo); ok {
+				chosen = mc
+				d.Approximate = true
+				d.Reason = "remaining deadline cannot fit the exact plan"
 			}
 		}
 	}
@@ -572,6 +603,9 @@ func (e *Engine) execTopK(ctx context.Context, lp LogicalPlan, d PlanDecision) (
 			return nil, err
 		}
 		return rankScores(scores, lp.K), nil
+	}
+	if d.Kind == PlanTopKApprox {
+		return e.topKApprox(ctx, lp)
 	}
 	left, err := e.leftVector(ctx, lp, d.Kind)
 	if err != nil {
@@ -753,6 +787,9 @@ func (e *Engine) TopKSearchWithPlan(ctx context.Context, p *metapath.Path, src, 
 	if eps < 0 || eps >= 1 {
 		return nil, PlanDecision{}, fmt.Errorf("core: TopKSearch eps=%v outside [0,1)", eps)
 	}
+	if b := o.ErrorBudget; b < 0 || b >= 1 {
+		return nil, PlanDecision{}, fmt.Errorf("core: TopKSearch error budget %v outside [0,1)", b)
+	}
 	if err := e.checkIndex(p.Source(), src); err != nil {
 		return nil, PlanDecision{}, err
 	}
@@ -761,6 +798,15 @@ func (e *Engine) TopKSearchWithPlan(ctx context.Context, p *metapath.Path, src, 
 	if err != nil {
 		return nil, d, err
 	}
+	kind := "topk"
+	switch d.Kind {
+	case PlanMonteCarlo:
+		kind = "mc_topk"
+	case PlanTopKApprox:
+		kind = "topk_approx"
+	}
+	start := time.Now()
+	defer func() { observeQuery(kind, time.Since(start).Seconds()) }()
 	out, err := e.execTopK(ctx, lp, d)
 	return out, d, err
 }

@@ -312,7 +312,7 @@ func TestForcedPlanNotApplicable(t *testing.T) {
 }
 
 func TestParsePlanKind(t *testing.T) {
-	for _, s := range []string{"", "auto", "pair-vectors", "single-vs-matrix", "all-pairs", "subset-chain", "monte-carlo"} {
+	for _, s := range []string{"", "auto", "pair-vectors", "single-vs-matrix", "all-pairs", "subset-chain", "monte-carlo", "topk-approx"} {
 		if _, err := ParsePlanKind(s); err != nil {
 			t.Errorf("ParsePlanKind(%q) = %v", s, err)
 		}

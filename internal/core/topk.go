@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hetesim/internal/metapath"
+	"hetesim/internal/obs"
 	"hetesim/internal/sparse"
 )
 
@@ -33,25 +34,9 @@ func (e *Engine) TopKSearch(ctx context.Context, p *metapath.Path, src, k int, e
 // batch scheduler (which serves left from a group-shared chain) runs the
 // identical pruning, accumulation and normalization code as solo queries.
 func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left *sparse.Vector, k int, eps float64) ([]Scored, error) {
-	// Prune the source's middle distribution.
-	if eps > 0 {
-		var max float64
-		left.Entries(func(_ int, v float64) {
-			if v > max {
-				max = v
-			}
-		})
-		threshold := eps * max
-		var idx []int
-		var val []float64
-		left.Entries(func(i int, v float64) {
-			if v >= threshold {
-				idx = append(idx, i)
-				val = append(val, v)
-			}
-		})
-		left = sparse.NewVector(left.Len(), idx, val)
-	}
+	// Prune the source's middle distribution (shared with topKApprox so
+	// both plans score the identical pruned vector).
+	left = pruneLeft(left, eps)
 	pmrT, err := e.opTransposedChain(ctx, h.right())
 	if err != nil {
 		return nil, err
@@ -59,6 +44,8 @@ func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left 
 	// Accumulate scores only over candidates that share middle support,
 	// using a dense scratch with a touched list so the cost is the size
 	// of the overlapped rows, not the target population.
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("combine")
 	nT := e.g.NodeCount(p.Target())
 	acc := make([]float64, nT)
 	seen := make([]bool, nT)
@@ -73,12 +60,15 @@ func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left 
 			acc[b] += v * w
 		})
 	})
+	sp.End()
+	sp = tr.Start("normalize")
 	var rns []float64
 	var ln float64
 	if e.normalized {
 		ln = left.Norm()
 		pmr, err := e.opMatrixChain(ctx, h.right())
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		rns = e.chainRowNorms(e.chainCacheKey(h.right()), pmr)
@@ -96,14 +86,23 @@ func (e *Engine) topKFrom(ctx context.Context, p *metapath.Path, h halves, left 
 			out = append(out, Scored{Index: b, Score: s})
 		}
 	}
+	sp.End()
+	sp = tr.Start("rank")
+	sortScoredDesc(out)
+	sp.End()
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k], nil
+}
+
+// sortScoredDesc orders scored targets descending by score, ties broken by
+// ascending index — the canonical result order shared by every top-k plan.
+func sortScoredDesc(out []Scored) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Index < out[j].Index
 	})
-	if k > len(out) {
-		k = len(out)
-	}
-	return out[:k], nil
 }

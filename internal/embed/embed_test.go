@@ -1,0 +1,189 @@
+package embed
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hetesim/internal/sparse"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols, perRow int) *sparse.Matrix {
+	var tr []sparse.Triplet
+	for i := 0; i < rows; i++ {
+		for k := 0; k < 1+rng.Intn(perRow); k++ {
+			tr = append(tr, sparse.Triplet{Row: i, Col: rng.Intn(cols), Val: rng.Float64()})
+		}
+	}
+	return sparse.New(rows, cols, tr)
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(context.Background(), sparse.Zeros(0, 0), 2, 1, 10); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestBuildCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrix(rng, 200, 40, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, m, 8, 1, 50); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProjectLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrix(rng, 50, 10, 3)
+	e, err := Build(context.Background(), m, 4, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Project(sparse.Unit(11, 0)); err == nil {
+		t.Error("wrong-length left vector accepted")
+	}
+}
+
+// At rank == dim the basis spans the full space, so approximate scores
+// equal exact inner products up to rounding and the candidate ranking
+// matches the exact one.
+func TestFullRankReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows, dim := 120, 12
+	m := randomMatrix(rng, rows, dim, 4)
+	e, err := Build(context.Background(), m, dim, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rank != dim {
+		t.Fatalf("rank = %d, want %d", e.Rank, dim)
+	}
+	left := m.Row(3) // some nonzero left distribution over the middle dim
+	if left.NNZ() == 0 {
+		t.Fatal("test setup: empty left vector")
+	}
+	q, err := e.Project(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < rows; b++ {
+		exact := left.Dot(m.Row(b))
+		var approx float64
+		for j := 0; j < e.Rank; j++ {
+			approx += e.Vecs[b*e.Rank+j] * q[j]
+		}
+		if math.Abs(exact-approx) > 1e-9*(1+math.Abs(exact)) {
+			t.Fatalf("target %d: approx %v, exact %v", b, approx, exact)
+		}
+	}
+}
+
+func TestCandidatesSelectsTopScores(t *testing.T) {
+	// Hand-built embedding where the approximate scores are directly
+	// controllable: rank 1, q = [1], so score_b = Vecs[b].
+	e := &Embedding{Rank: 1, Dim: 1, Rows: 6, Vecs: []float64{0.5, 2, 2, 0.1, 3, 0}}
+	got := e.Candidates([]float64{1}, 3, nil)
+	want := []int{1, 2, 4} // scores 2, 2 (tie: both beat 0.5), 3
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if c := e.Candidates([]float64{1}, 100, nil); len(c) != 6 {
+		t.Fatalf("over-asked candidates = %d, want all 6", len(c))
+	}
+	if c := e.Candidates([]float64{1}, 0, nil); c != nil {
+		t.Fatalf("c=0 returned %v", c)
+	}
+}
+
+func TestCandidatesTieBreaksTowardSmallerIndex(t *testing.T) {
+	e := &Embedding{Rank: 1, Dim: 1, Rows: 5, Vecs: []float64{1, 1, 1, 1, 1}}
+	got := e.Candidates([]float64{1}, 2, nil)
+	want := []int{0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidatesSkipsZeroNorms(t *testing.T) {
+	e := &Embedding{Rank: 1, Dim: 1, Rows: 4, Vecs: []float64{10, 8, 6, 4}}
+	norms := []float64{0, 2, 0, 1}
+	got := e.Candidates([]float64{1}, 3, norms)
+	// Eligible scores: b=1 → 4, b=3 → 4; zero-norm rows skipped entirely.
+	want := []int{1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Recall sanity on a low-rank-structured matrix: with planted block
+// structure a small rank recovers most of the true top-k.
+func TestLowRankRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rows, dim, blocks := 300, 60, 4
+	var tr []sparse.Triplet
+	for i := 0; i < rows; i++ {
+		blk := i % blocks
+		for c := 0; c < dim; c++ {
+			if c%blocks == blk {
+				tr = append(tr, sparse.Triplet{Row: i, Col: c, Val: 1 + 0.1*rng.Float64()})
+			} else if rng.Float64() < 0.05 {
+				tr = append(tr, sparse.Triplet{Row: i, Col: c, Val: 0.05 * rng.Float64()})
+			}
+		}
+	}
+	m := sparse.New(rows, dim, tr)
+	e, err := Build(context.Background(), m, 8, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := m.Row(0)
+	q, err := e.Project(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	cands := e.Candidates(q, 4*k, nil)
+	inCand := map[int]bool{}
+	for _, b := range cands {
+		inCand[b] = true
+	}
+	type sc struct {
+		s float64
+		b int
+	}
+	exact := make([]sc, rows)
+	for b := 0; b < rows; b++ {
+		exact[b] = sc{left.Dot(m.Row(b)), b}
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].s != exact[j].s {
+			return exact[i].s > exact[j].s
+		}
+		return exact[i].b < exact[j].b
+	})
+	hit := 0
+	for _, x := range exact[:k] {
+		if inCand[x.b] {
+			hit++
+		}
+	}
+	if recall := float64(hit) / float64(k); recall < 0.9 {
+		t.Fatalf("recall@%d = %v, want >= 0.9", k, recall)
+	}
+}

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -109,7 +110,10 @@ type MulVecFunc func(dst, x []float64)
 //
 // seedVecs supplies the deterministic starting block (n×k, column-major
 // as a Dense); callers seed it from their own RNG for reproducibility.
-func TopKEigen(n, k int, mulVec MulVecFunc, lo float64, seedVecs *Dense, iters int) (Eigen, error) {
+//
+// The context is polled between iterations so long factorizations of large
+// operators abort promptly on cancellation or deadline expiry.
+func TopKEigen(ctx context.Context, n, k int, mulVec MulVecFunc, lo float64, seedVecs *Dense, iters int) (Eigen, error) {
 	if k <= 0 || k > n {
 		return Eigen{}, fmt.Errorf("linalg: TopKEigen k=%d outside [1,%d]", k, n)
 	}
@@ -125,6 +129,9 @@ func TopKEigen(n, k int, mulVec MulVecFunc, lo float64, seedVecs *Dense, iters i
 	tmp := make([]float64, n)
 	x := make([]float64, n)
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return Eigen{}, err
+		}
 		next := NewDense(n, k)
 		for j := 0; j < k; j++ {
 			for i := 0; i < n; i++ {

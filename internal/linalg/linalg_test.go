@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -194,7 +195,7 @@ func TestTopKEigenMatchesJacobi(t *testing.T) {
 			dst[i] = s
 		}
 	}
-	eig, err := TopKEigen(n, k, mul, -1, seed, 400)
+	eig, err := TopKEigen(context.Background(), n, k, mul, -1, seed, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,14 +220,33 @@ func TestTopKEigenMatchesJacobi(t *testing.T) {
 func TestTopKEigenValidation(t *testing.T) {
 	seed := NewDense(4, 2)
 	mul := func(dst, x []float64) { copy(dst, x) }
-	if _, err := TopKEigen(4, 0, mul, -1, seed, 10); err == nil {
+	if _, err := TopKEigen(context.Background(), 4, 0, mul, -1, seed, 10); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := TopKEigen(4, 5, mul, -1, seed, 10); err == nil {
+	if _, err := TopKEigen(context.Background(), 4, 5, mul, -1, seed, 10); err == nil {
 		t.Error("k>n accepted")
 	}
-	if _, err := TopKEigen(5, 2, mul, -1, seed, 10); err == nil {
+	if _, err := TopKEigen(context.Background(), 5, 2, mul, -1, seed, 10); err == nil {
 		t.Error("seed shape mismatch accepted")
+	}
+}
+
+func TestTopKEigenCancellation(t *testing.T) {
+	n, k := 64, 4
+	rng := rand.New(rand.NewSource(11))
+	seed := NewDense(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			seed.Set(i, j, rng.NormFloat64())
+		}
+	}
+	mul := func(dst, x []float64) { copy(dst, x) }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopKEigen(ctx, n, k, mul, -1, seed, 1000); err == nil {
+		t.Fatal("cancelled context accepted")
+	} else if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

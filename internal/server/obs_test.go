@@ -141,7 +141,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		{`hetesim_http_degraded_total`, 1},
 		{`hetesim_http_request_duration_seconds_count`, 4},
 		{`hetesim_engine_queries_total{kind="pair"}`, 1},
-		{`hetesim_engine_queries_total{kind="single_source"}`, 1},
+		{`hetesim_engine_queries_total{kind="topk"}`, 1},
 		{`hetesim_engine_queries_total{kind="mc_single_source"}`, 1},
 		{`hetesim_engine_cache_misses_total`, 1},
 		{`hetesim_engine_mc_walks_total`, 2000},

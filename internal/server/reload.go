@@ -166,6 +166,17 @@ func (s *Server) warmInto(es *engineSet) (int, error) {
 	}
 	n := es.engine.ImportChains(chains)
 	es.raw.ImportChains(chains)
+	// Embeddings ride along when present (format version 2+); a corrupt
+	// embedding section rejects the snapshot like a corrupt chain would,
+	// but an old snapshot without any simply warms no embeddings — they
+	// are a cache and rebuild lazily.
+	embeds, err := snapshot.DecodeEmbeddings(snap)
+	if err != nil {
+		metSnapshotCorrupt.Inc()
+		return 0, err
+	}
+	es.engine.ImportEmbeddings(embeds)
+	es.raw.ImportEmbeddings(embeds)
 	metSnapshotLoads.Inc()
 	if n > 0 {
 		s.snapSavedAt.Store(time.Now().UnixNano())
@@ -195,6 +206,15 @@ func (s *Server) SaveSnapshot() error {
 		PruneEps:    es.engine.PruneEps(),
 	}
 	if err := snapshot.EncodeChains(snap, chains); err != nil {
+		return err
+	}
+	embeds := es.engine.ExportEmbeddings()
+	for k, em := range es.raw.ExportEmbeddings() {
+		if _, ok := embeds[k]; !ok {
+			embeds[k] = em
+		}
+	}
+	if err := snapshot.EncodeEmbeddings(snap, embeds); err != nil {
 		return err
 	}
 	if err := snapshot.Save(s.fsys, s.snapshotPath, snap); err != nil {

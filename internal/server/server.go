@@ -77,6 +77,7 @@ type Server struct {
 	degradeWalks int           // Monte Carlo walks for degraded answers; 0 = disabled
 	degradeGrace time.Duration // extra budget granted to the degraded plan
 	defaultPlan  core.PlanKind // forced physical plan when a request has no ?plan=; "" = auto
+	topKBudget   float64       // default topk-approx error budget; 0 = engine default
 
 	slowThreshold time.Duration // slow-query log admission bar; 0 = disabled
 	slowCapacity  int           // slow-query log ring size
@@ -190,6 +191,13 @@ func WithPathWeights(weights map[string]float64) Option {
 // explicit ?plan= override (the -force-plan daemon flag). Empty or
 // core.PlanAuto (the default) lets the cost-based optimizer choose.
 func WithDefaultPlan(kind core.PlanKind) Option { return func(s *Server) { s.defaultPlan = kind } }
+
+// WithTopKErrorBudget sets the default error budget of the topk-approx
+// plan for /v1/topk requests that carry no ?error_budget= override (the
+// -topk-error-budget daemon flag). Must lie in (0, 1); a tighter (smaller)
+// budget buys a higher embedding rank and a deeper exact re-rank. 0 (the
+// default) keeps the engine's built-in budget.
+func WithTopKErrorBudget(b float64) Option { return func(s *Server) { s.topKBudget = b } }
 
 // WithEngineOptions forwards options (e.g. core.WithCacheLimit) to the
 // server's HeteSim engines.
@@ -724,6 +732,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"relevance_max_paths":  s.relevanceMaxPaths,
 			"path_weights":         len(s.pathWeights),
 			"slowlog_threshold_ms": float64(s.slowThreshold) / float64(time.Millisecond),
+			"topk_error_budget":    s.topKBudget,
 		},
 	})
 }
@@ -750,11 +759,12 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, _ *http.Request) {
 
 // query holds the decoded common parameters of pair/topk requests.
 type query struct {
-	path    *metapath.Path
-	source  string
-	measure string
-	raw     bool
-	plan    core.PlanKind // forced physical plan; PlanAuto lets the optimizer choose
+	path      *metapath.Path
+	source    string
+	measure   string
+	raw       bool
+	plan      core.PlanKind // forced physical plan; PlanAuto lets the optimizer choose
+	errBudget float64       // topk-approx error budget; 0 = server/engine default
 }
 
 func (s *Server) decodeQuery(es *engineSet, r *http.Request) (query, error) {
@@ -805,7 +815,17 @@ func (s *Server) decodeQuery(es *engineSet, r *http.Request) (query, error) {
 	} else if s.defaultPlan != "" {
 		plan = s.defaultPlan
 	}
-	return query{path: p, source: source, measure: measure, raw: raw, plan: plan}, nil
+	budget := s.topKBudget
+	if v := q.Get("error_budget"); v != "" {
+		budget, err = strconv.ParseFloat(v, 64)
+		if err != nil || budget <= 0 || budget >= 1 {
+			return query{}, fmt.Errorf("%w: error_budget=%q outside (0,1)", errBadRequest, v)
+		}
+		if measure != "hetesim" {
+			return query{}, fmt.Errorf("%w: error_budget applies only to hetesim", errBadRequest)
+		}
+	}
+	return query{path: p, source: source, measure: measure, raw: raw, plan: plan, errBudget: budget}, nil
 }
 
 // degradeCtx returns a fresh context for the degraded plan of a request
@@ -1093,23 +1113,34 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var scores []float64
+	var hits []hitBody
 	var plan *planInfoBody
 	approximate := false
+	ranked := false
 	switch q.measure {
 	case "hetesim":
+		// Top-k hetesim goes through the top-k planner, which can choose
+		// the heap-pruned exact scan or — under a deadline or a forced
+		// ?plan=topk-approx — the low-rank embedding candidate generator
+		// with exact re-ranking.
 		var src int
 		src, err = es.g.NodeIndex(q.path.Source(), q.source)
 		if err == nil {
 			var d core.PlanDecision
-			scores, d, err = es.hetesim(q.raw).SingleSourceWithPlan(ctx, q.path, src,
-				core.PlanOptions{Force: q.plan, Walks: s.degradeWalks})
+			var top []core.Scored
+			top, d, err = es.hetesim(q.raw).TopKSearchWithPlan(ctx, q.path, src, k, 0,
+				core.PlanOptions{Force: q.plan, Walks: s.degradeWalks, ErrorBudget: q.errBudget})
 			if d.Kind != "" {
 				plan = planInfo(d)
 			}
-			if err == nil && d.Approximate {
-				approximate = true
-				if !d.Forced {
-					metDegraded.Inc() // proactive deadline-driven degrade
+			if err == nil {
+				hits = topKHits(es.g.NodeIDs(q.path.Target()), top, k)
+				ranked = true
+				if d.Approximate {
+					approximate = true
+					if !d.Forced {
+						metDegraded.Inc() // proactive deadline-driven degrade
+					}
 				}
 			}
 		}
@@ -1122,6 +1153,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		tr.Event("degrade", map[string]string{"reason": "deadline_exceeded"})
 		scores, err = s.degradedTopK(es, r, q)
 		approximate = err == nil
+		ranked = false
 		if approximate {
 			metDegraded.Inc()
 			plan = reactivePlanInfo()
@@ -1131,17 +1163,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sp = tr.Start("rank")
-	items, err := rank.List(scores, es.g.NodeIDs(q.path.Target()), k)
-	sp.End()
-	if err != nil {
-		writeError(w, err)
-		return
+	if !ranked {
+		sp = tr.Start("rank")
+		items, rerr := rank.List(scores, es.g.NodeIDs(q.path.Target()), k)
+		sp.End()
+		if rerr != nil {
+			writeError(w, rerr)
+			return
+		}
+		hits = hits[:0]
+		for _, it := range items {
+			hits = append(hits, hitBody{ID: it.ID, Score: it.Score})
+		}
 	}
 	body := topKBody{Path: q.path.String(), Source: q.source, Measure: q.measure, Approximate: approximate, Plan: plan}
-	for _, it := range items {
-		body.Results = append(body.Results, hitBody{ID: it.ID, Score: it.Score})
-	}
+	body.Results = append(body.Results, hits...)
 	if wantTrace(r) {
 		body.Trace = tr.Report(tr.Elapsed())
 	}
@@ -1160,4 +1196,27 @@ func (s *Server) degradedTopK(es *engineSet, r *http.Request, q query) ([]float6
 	ctx, cancel := s.degradeCtx(r)
 	defer cancel()
 	return es.hetesim(q.raw).SingleSourceMonteCarlo(ctx, q.path, src, s.degradeWalks, 0)
+}
+
+// topKHits maps engine top-k results onto response hits. The engine drops
+// zero scores while the dense ranker (rank.List) keeps them, so to preserve
+// the response contract the tail is padded with zero-score targets in
+// ascending index order — every target absent from the engine's result has
+// a score of exactly zero.
+func topKHits(ids []string, top []core.Scored, k int) []hitBody {
+	if k > len(ids) {
+		k = len(ids)
+	}
+	hits := make([]hitBody, 0, k)
+	seen := make(map[int]bool, len(top))
+	for _, t := range top {
+		hits = append(hits, hitBody{ID: ids[t.Index], Score: t.Score})
+		seen[t.Index] = true
+	}
+	for i := 0; len(hits) < k && i < len(ids); i++ {
+		if !seen[i] {
+			hits = append(hits, hitBody{ID: ids[i]})
+		}
+	}
+	return hits
 }

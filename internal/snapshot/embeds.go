@@ -1,0 +1,148 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hetesim/internal/embed"
+	"hetesim/internal/linalg"
+)
+
+// The embeddings codec maps an engine's low-rank chain embeddings (the
+// topk-approx factorizations of internal/embed) onto snapshot sections
+// named "embed:<key>". Introduced with format version 2; version-1 readers
+// never see the sections, and version-1 files simply decode to an empty
+// embedding map — embeddings rebuild lazily, they are a cache, not truth.
+//
+// Payload layout (little-endian):
+//
+//	magic "HEMB" | rank u32 | dim u64 | rows u64 |
+//	basis dim×rank f64 (row-major) | vecs rows×rank f64 (row-major)
+
+const embedPrefix = "embed:"
+
+var embedMagic = [4]byte{'H', 'E', 'M', 'B'}
+
+const embedHeaderLen = 4 + 4 + 8 + 8
+
+// EncodeEmbeddings appends one section per embedding, in sorted key order
+// so identical caches produce byte-identical snapshots.
+func EncodeEmbeddings(s *Snapshot, embeds map[string]*embed.Embedding) error {
+	keys := make([]string, 0, len(embeds))
+	for k := range embeds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		data, err := encodeEmbedding(embeds[k])
+		if err != nil {
+			return fmt.Errorf("snapshot: encoding embedding %q: %w", k, err)
+		}
+		s.Sections = append(s.Sections, Section{Name: embedPrefix + k, Data: data})
+	}
+	return nil
+}
+
+// DecodeEmbeddings extracts every embedding section back into a key →
+// embedding map. Sections with other names are ignored, mirroring
+// DecodeChains.
+func DecodeEmbeddings(s *Snapshot) (map[string]*embed.Embedding, error) {
+	out := make(map[string]*embed.Embedding)
+	for _, sec := range s.Sections {
+		key, ok := strings.CutPrefix(sec.Name, embedPrefix)
+		if !ok {
+			continue
+		}
+		e, err := decodeEmbedding(sec.Data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: embedding %q: %v", ErrCorrupt, key, err)
+		}
+		out[key] = e
+	}
+	return out, nil
+}
+
+func encodeEmbedding(e *embed.Embedding) ([]byte, error) {
+	if e == nil || e.Basis == nil {
+		return nil, fmt.Errorf("nil embedding")
+	}
+	br, bc := e.Basis.Dims()
+	if br != e.Dim || bc != e.Rank || len(e.Vecs) != e.Rows*e.Rank {
+		return nil, fmt.Errorf("inconsistent shape: basis %dx%d, dim=%d rank=%d rows=%d vecs=%d",
+			br, bc, e.Dim, e.Rank, e.Rows, len(e.Vecs))
+	}
+	var buf bytes.Buffer
+	buf.Write(embedMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(e.Rank))
+	binary.Write(&buf, binary.LittleEndian, uint64(e.Dim))
+	binary.Write(&buf, binary.LittleEndian, uint64(e.Rows))
+	var scratch [8]byte
+	writeF64 := func(v float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		buf.Write(scratch[:])
+	}
+	for i := 0; i < e.Dim; i++ {
+		for _, v := range e.Basis.Row(i) {
+			writeF64(v)
+		}
+	}
+	for _, v := range e.Vecs {
+		writeF64(v)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeEmbedding parses one serialized embedding, first checking that the
+// declared shape accounts for exactly the bytes present, so a header that
+// promises billions of floats is rejected before any proportional
+// allocation happens — the same length-prefix discipline as decodeMatrix.
+func decodeEmbedding(data []byte) (*embed.Embedding, error) {
+	if len(data) < embedHeaderLen {
+		return nil, fmt.Errorf("payload of %d bytes is shorter than an embedding header", len(data))
+	}
+	if !bytes.Equal(data[:4], embedMagic[:]) {
+		return nil, fmt.Errorf("embedding magic %q", data[:4])
+	}
+	rank := uint64(binary.LittleEndian.Uint32(data[4:8]))
+	dim := binary.LittleEndian.Uint64(data[8:16])
+	rows := binary.LittleEndian.Uint64(data[16:24])
+	if rank == 0 || rank > dim {
+		return nil, fmt.Errorf("rank %d outside [1,%d]", rank, dim)
+	}
+	if dim > maxSectionData/8 || rows > maxSectionData/8 ||
+		dim*rank > maxSectionData/8 || rows*rank > maxSectionData/8 {
+		return nil, fmt.Errorf("implausible shape rank=%d dim=%d rows=%d", rank, dim, rows)
+	}
+	want := uint64(embedHeaderLen) + (dim*rank+rows*rank)*8
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("payload is %d bytes, header declares %d (rank=%d dim=%d rows=%d)",
+			len(data), want, rank, dim, rows)
+	}
+	off := embedHeaderLen
+	readF64 := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+		off += 8
+		return v
+	}
+	e := &embed.Embedding{
+		Rank:  int(rank),
+		Dim:   int(dim),
+		Rows:  int(rows),
+		Basis: linalg.NewDense(int(dim), int(rank)),
+	}
+	for i := 0; i < e.Dim; i++ {
+		row := e.Basis.Row(i)
+		for j := range row {
+			row[j] = readF64()
+		}
+	}
+	e.Vecs = make([]float64, e.Rows*e.Rank)
+	for i := range e.Vecs {
+		e.Vecs[i] = readF64()
+	}
+	return e, nil
+}

@@ -1,0 +1,154 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"hetesim/internal/embed"
+	"hetesim/internal/sparse"
+)
+
+func buildEmbedding(t testing.TB, seed int64) *embed.Embedding {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var tr []sparse.Triplet
+	for i := 0; i < 30; i++ {
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			tr = append(tr, sparse.Triplet{Row: i, Col: rng.Intn(8), Val: rng.Float64()})
+		}
+	}
+	em, err := embed.Build(context.Background(), sparse.New(30, 8, tr), 4, seed, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return em
+}
+
+func TestEmbeddingsRoundTrip(t *testing.T) {
+	em := buildEmbedding(t, 3)
+	s := &Snapshot{Fingerprint: 7, PruneEps: 0}
+	if err := EncodeEmbeddings(s, map[string]*embed.Embedding{"E:4:C:writes": em}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	embeds, err := DecodeEmbeddings(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := embeds["E:4:C:writes"]
+	if !ok {
+		t.Fatalf("embedding key missing, have %d sections", len(got.Sections))
+	}
+	if out.Rank != em.Rank || out.Dim != em.Dim || out.Rows != em.Rows {
+		t.Fatalf("shape %d/%d/%d, want %d/%d/%d", out.Rank, out.Dim, out.Rows, em.Rank, em.Dim, em.Rows)
+	}
+	for i, v := range em.Vecs {
+		if out.Vecs[i] != v {
+			t.Fatalf("vec %d = %v, want bit-identical %v", i, out.Vecs[i], v)
+		}
+	}
+	for i := 0; i < em.Dim; i++ {
+		for j := 0; j < em.Rank; j++ {
+			if out.Basis.At(i, j) != em.Basis.At(i, j) {
+				t.Fatalf("basis (%d,%d) not bit-identical", i, j)
+			}
+		}
+	}
+}
+
+// A version-1 snapshot (no embedding sections) must still load under the
+// version-2 reader: chains decode, embeddings come back empty — they are a
+// cache and rebuild lazily, an old snapshot is not an error.
+func TestOldVersionSnapshotStillLoads(t *testing.T) {
+	s := &Snapshot{Fingerprint: 11, PruneEps: 0, version: 1}
+	if err := EncodeChains(s, map[string]*sparse.Matrix{
+		"C:w": sparse.New(2, 2, []sparse.Triplet{{Row: 1, Col: 0, Val: 0.5}}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[4]; got != 1 {
+		t.Fatalf("written version byte = %d, want 1", got)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	chains, err := DecodeChains(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(chains))
+	}
+	embeds, err := DecodeEmbeddings(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embeds) != 0 {
+		t.Fatalf("embeds = %d, want 0", len(embeds))
+	}
+	// Round trip stays canonical at the original version.
+	var again bytes.Buffer
+	if err := Write(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+		t.Fatal("version-1 snapshot did not round-trip byte-identically")
+	}
+}
+
+func TestFutureVersionRejected(t *testing.T) {
+	s := &Snapshot{version: Version + 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestDecodeEmbeddingRejectsCorruptPayloads(t *testing.T) {
+	em := buildEmbedding(t, 9)
+	good, err := encodeEmbedding(em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:embedHeaderLen-1],
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-8],
+		"extended":  append(append([]byte(nil), good...), 0),
+	}
+	shapeBomb := append([]byte(nil), good...)
+	for i := 8; i < 24; i++ {
+		shapeBomb[i] = 0xff
+	}
+	cases["shape bomb"] = shapeBomb
+	zeroRank := append([]byte(nil), good...)
+	zeroRank[4], zeroRank[5], zeroRank[6], zeroRank[7] = 0, 0, 0, 0
+	cases["zero rank"] = zeroRank
+	for name, data := range cases {
+		if _, err := decodeEmbedding(data); err == nil {
+			t.Errorf("%s payload accepted", name)
+		}
+	}
+	s := &Snapshot{Sections: []Section{{Name: embedPrefix + "E:4:C:w", Data: good[:10]}}}
+	if _, err := DecodeEmbeddings(s); err == nil {
+		t.Error("DecodeEmbeddings accepted a corrupt section")
+	}
+}

@@ -51,8 +51,14 @@ var (
 	footerMagic = [4]byte{'P', 'N', 'S', 'H'}
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added
+// embedding sections ("embed:<key>") for the topk-approx plan; version-1
+// files remain readable (they simply carry no embeddings, which rebuild
+// lazily).
+const Version = 2
+
+// minVersion is the oldest format version Read still accepts.
+const minVersion = 1
 
 const (
 	maxSections    = 1 << 20 // sanity cap on the section count prefix
@@ -74,6 +80,12 @@ type Snapshot struct {
 	Fingerprint uint64  // hin.Graph.Fingerprint of the producing graph
 	PruneEps    float64 // core.WithPruning epsilon the matrices were built with
 	Sections    []Section
+
+	// version is the format version the snapshot was read with; Write
+	// re-serializes at the same version so Read→Write round-trips are
+	// byte-identical across format revisions. Zero (a freshly built
+	// snapshot) writes the current Version.
+	version uint32
 }
 
 // CheckCompat reports whether the snapshot belongs to the given graph
@@ -99,9 +111,13 @@ func Write(w io.Writer, s *Snapshot) error {
 	fileCRC := crc32.NewIEEE()
 	out := io.MultiWriter(w, fileCRC)
 
+	ver := s.version
+	if ver == 0 {
+		ver = Version
+	}
 	var hdr bytes.Buffer
 	hdr.Write(headerMagic[:])
-	binary.Write(&hdr, binary.LittleEndian, uint32(Version))
+	binary.Write(&hdr, binary.LittleEndian, ver)
 	binary.Write(&hdr, binary.LittleEndian, s.Fingerprint)
 	binary.Write(&hdr, binary.LittleEndian, s.PruneEps)
 	binary.Write(&hdr, binary.LittleEndian, uint32(len(s.Sections)))
@@ -163,12 +179,14 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if got := crc32.ChecksumIEEE(hdr[:28]); got != binary.LittleEndian.Uint32(hdr[28:32]) {
 		return nil, fmt.Errorf("%w: header CRC mismatch", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
-		return nil, fmt.Errorf("%w: format version %d, want %d", ErrMismatch, v, Version)
+	v := binary.LittleEndian.Uint32(hdr[4:8])
+	if v < minVersion || v > Version {
+		return nil, fmt.Errorf("%w: format version %d, want %d..%d", ErrMismatch, v, minVersion, Version)
 	}
 	s := &Snapshot{
 		Fingerprint: binary.LittleEndian.Uint64(hdr[8:16]),
 		PruneEps:    math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:24])),
+		version:     v,
 	}
 	count := binary.LittleEndian.Uint32(hdr[24:28])
 	if count > maxSections {
