@@ -50,12 +50,14 @@ obs-selftest:
 # Fault-injection recovery matrix under the race detector: kill-mid-write
 # at every byte offset, ENOSPC, torn renames, failed fsyncs, at-rest
 # corruption sweeps, WAL torn-tail / duplicate-replay / crash-window
-# recovery, and hot-reload with concurrent queries and mutations. Short
-# mode keeps the corruption sweeps seeded-sample-sized; part of `make check`.
+# recovery, hot-reload with concurrent queries and mutations, and the
+# replication suite (follower convergence/resync, primary kill mid-write
+# -stream, divergence detection). Short mode keeps the corruption sweeps
+# seeded-sample-sized; part of `make check`.
 chaos:
 	go test -race -short ./internal/snapshot ./internal/chaos ./internal/wal
-	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart|TestMutate|TestCompaction|TestAppliedKey' ./internal/server
-	go test -race -short -run 'TestClusterKillMidBatch|TestWarmFromSnapshot|TestFetchSnapshotTornStream|TestRelevancePartialFailure' ./internal/router
+	go test -race -short -run 'TestHotReload|TestReload|TestWarmStart|TestMutate|TestCompaction|TestAppliedKey|TestFollow' ./internal/server
+	go test -race -short -run 'TestClusterKillMidBatch|TestWarmFromSnapshot|TestFetchSnapshotTornStream|TestRelevancePartialFailure|TestFailover|TestFollow|TestDivergence' ./internal/router
 
 # Paper-property suite under the race detector: randomized symmetry /
 # self-maximum / semi-metric / indiscernibles checks (Properties 3-5)

@@ -9,6 +9,7 @@
 //	               [-hedge] [-hedge-min 10ms] [-hedge-max 500ms]
 //	               [-breaker-threshold 5] [-breaker-cooldown 2s]
 //	               [-upstream-timeout 30s] [-shutdown-grace 15s]
+//	               [-primary http://a:8080] [-max-read-lag 30s]
 //	               [-relevance-max-len 4] [-relevance-max-paths 16]
 //	               [-path-weights weights.json]
 //
@@ -24,6 +25,18 @@
 // succeeds. GET /metrics aggregates per-replica health, retries, hedges,
 // breaker transitions, and routing decisions; GET /v1/admin/replicas is
 // the operator view of the fleet.
+//
+// Writes: POST /v1/admin/edges relays to the fleet's single write primary
+// — -primary pins it to a named replica, otherwise the router elects the
+// healthiest caught-up replica and publishes it at GET /v1/admin/primary
+// (which -follow'ing replicas poll). During failover windows writes
+// answer 503 with Retry-After; acks carry the committed WAL sequence in
+// X-Hetesim-WAL-Seq, and a client that echoes it back as X-Min-WAL-Seq on
+// reads gets read-your-writes (only replicas at or past that sequence are
+// picked). Replicas lagging more than -max-read-lag, or whose fingerprint
+// diverges from the fleet's at the same sequence, are deprioritized for
+// reads; divergence is surfaced in /v1/admin/replicas and as the
+// hetesim_router_fingerprint_divergence gauge.
 package main
 
 import (
@@ -57,6 +70,8 @@ func main() {
 		brkCooldown   = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker waits before a half-open probe")
 		upTimeout     = flag.Duration("upstream-timeout", 30*time.Second, "per-attempt upstream request timeout")
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain window on SIGINT/SIGTERM")
+		primary       = flag.String("primary", "", "pin the write primary to this replica URL instead of electing one (must be a -replicas member)")
+		maxReadLag    = flag.Duration("max-read-lag", 30*time.Second, "replication lag beyond which a follower is deprioritized for reads")
 		relMaxLen     = flag.Int("relevance-max-len", 4, "longest meta path enumerated for scattered /v1/relevance queries")
 		relMaxPaths   = flag.Int("relevance-max-paths", 16, "candidate-path cap for scattered /v1/relevance queries")
 		pathWeights   = flag.String("path-weights", "", "JSON file of learned path weights enabling the learned weighting mode of scattered /v1/relevance")
@@ -89,7 +104,11 @@ func main() {
 		router.WithHealthInterval(*healthEvery),
 		router.WithRelevanceLimits(*relMaxLen, *relMaxPaths),
 		router.WithPathWeights(learned),
+		router.WithMaxReadLag(*maxReadLag),
 		router.WithLogf(log.Printf),
+	}
+	if *primary != "" {
+		opts = append(opts, router.WithPrimary(*primary))
 	}
 	if *hedge {
 		opts = append(opts, router.WithHedging(*hedgeMin, *hedgeMax))

@@ -50,8 +50,12 @@
 //
 // -server skips the local graph entirely and sends the query to a running
 // hetesimd (or a hetesim-router fronting a fleet): -path/-source/-target
-// hit /v1/pair, /v1/topk, or /v1/why, -batch posts to /v1/batch, and
-// -relevance posts to /v1/relevance. Shed responses (429/503 and friends)
+// hit /v1/pair, /v1/topk, or /v1/why, -batch posts to /v1/batch,
+// -relevance posts to /v1/relevance, and -apply posts the mutation batch
+// to POST /v1/admin/edges — through a router it lands on the elected
+// write primary and replicates to the fleet; the file may carry an
+// optional "key" (idempotency key) so a retried command never
+// double-applies. Shed responses (429/503 and friends)
 // are retried with exponential backoff honoring the server's Retry-After;
 // -retries and -retry-max-wait bound the persistence, so a draining or
 // briefly overloaded server costs a short wait instead of a hard failure.
@@ -108,7 +112,7 @@ func main() {
 	if *serverURL != "" {
 		rc := newRemoteClient(*serverURL, *retries, *retryMax)
 		if err := runRemote(rc, *pathSpec, *source, *target, *measure, *k, *raw,
-			*batchFile, *relevanceQ, *sourceType, *targetType, *weighting, *maxLen, *maxPaths, *why); err != nil {
+			*batchFile, *applyFile, *relevanceQ, *sourceType, *targetType, *weighting, *maxLen, *maxPaths, *why); err != nil {
 			fmt.Fprintln(os.Stderr, "hetesim:", err)
 			os.Exit(1)
 		}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"hetesim/internal/hin"
 	"hetesim/internal/router"
 )
 
@@ -97,12 +98,16 @@ func printJSON(raw json.RawMessage) error {
 	return enc.Encode(v)
 }
 
-// runRemote dispatches the CLI's query flags against the server. Only the
-// query surfaces make sense remotely; -apply/-enumerate/-explain stay
-// local-graph operations.
+// runRemote dispatches the CLI's query flags against the server.
+// -enumerate/-explain stay local-graph operations; -apply posts the batch
+// to the fleet's mutation endpoint (through a router it lands on the
+// elected primary and replicates from there).
 func runRemote(rc *remoteClient, pathSpec, source, target, measure string, k int, raw bool,
-	batchFile string, relevanceQ bool, sourceType, targetType, weighting string, maxLen, maxPaths int, why int) error {
+	batchFile, applyFile string, relevanceQ bool, sourceType, targetType, weighting string, maxLen, maxPaths int, why int) error {
 	switch {
+	case applyFile != "":
+		return runRemoteApply(rc, applyFile)
+
 	case batchFile != "":
 		body, err := readFileOrStdin(batchFile)
 		if err != nil {
@@ -173,8 +178,42 @@ func runRemote(rc *remoteClient, pathSpec, source, target, measure string, k int
 		return printJSON(out)
 
 	default:
-		return fmt.Errorf("-server supports -path queries, -batch, and -relevance (local-only modes: -apply, -enumerate, -explain)")
+		return fmt.Errorf("-server supports -path queries, -batch, -relevance, and -apply (local-only modes: -enumerate, -explain)")
 	}
+}
+
+// runRemoteApply posts a mutation batch file to POST /v1/admin/edges. The
+// file is the local -apply format plus an optional "key" — an idempotency
+// key the server dedups on, so re-running the command after a dropped
+// connection cannot double-apply the batch. The file is validated locally
+// before anything is sent: a typo'd field fails here, not after a network
+// round trip.
+func runRemoteApply(rc *remoteClient, applyFile string) error {
+	raw, err := readFileOrStdin(applyFile)
+	if err != nil {
+		return err
+	}
+	var batch struct {
+		Key string   `json:"key,omitempty"`
+		Ops []hin.Op `json:"ops"`
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		return fmt.Errorf("decoding mutation batch %s: %w", applyFile, err)
+	}
+	if len(batch.Ops) == 0 {
+		return fmt.Errorf("mutation batch %s has no ops", applyFile)
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	out, err := rc.call(http.MethodPost, "/v1/admin/edges", nil, body)
+	if err != nil {
+		return err
+	}
+	return printJSON(out)
 }
 
 func readFileOrStdin(name string) ([]byte, error) {

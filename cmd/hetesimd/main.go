@@ -11,6 +11,8 @@
 //	         [-snapshot-path chains.snap] [-snapshot-save-interval 5m]
 //	         [-warm-from http://peer:8080]
 //	         [-wal-path edges.wal] [-wal-compact-bytes 16777216]
+//	         [-follow http://primary:8080] [-follow-interval 1s]
+//	         [-advertise http://me:8080]
 //	         [-relevance-max-len 4] [-relevance-max-paths 16]
 //	         [-path-weights weights.json]
 //
@@ -54,6 +56,18 @@
 // rewritten -graph file. During shutdown drain, mutations and reloads
 // answer 409.
 //
+// Replication: -follow turns the daemon into a read replica of another
+// hetesimd (or of the primary a hetesim-router elects). It polls the
+// primary's WAL tail (GET /v1/admin/wal) every -follow-interval, logs and
+// applies each delta exactly as a local write would, and reports its
+// position, lag, and the primary it follows in /readyz; direct mutations
+// answer 503 with the primary's address. When the primary's compaction
+// outruns the follower — or the follower's fingerprint diverges from the
+// primary's at the same sequence — it resyncs from the primary's full
+// graph (GET /v1/admin/graph) and re-follows. With -follow pointed at a
+// router, -advertise identifies this daemon in the router's election:
+// when elected it stands down as follower and accepts writes.
+//
 // Observability: Prometheus metrics are served at GET /metrics on the
 // main listener, queries slower than -slowlog-threshold are retained
 // (newest -slowlog-size) with per-stage traces at GET /v1/slowlog, and
@@ -79,6 +93,7 @@ import (
 	"hetesim/internal/relevance"
 	"hetesim/internal/router"
 	"hetesim/internal/server"
+	"hetesim/internal/snapshot"
 )
 
 func main() {
@@ -104,6 +119,9 @@ func main() {
 		snapshotEvery = flag.Duration("snapshot-save-interval", 5*time.Minute, "how often to persist the chain cache (0 disables the periodic save)")
 		walPath       = flag.String("wal-path", "", "edge-delta write-ahead log enabling POST /v1/admin/edges (empty disables mutations)")
 		walCompact    = flag.Int64("wal-compact-bytes", 16<<20, "fold the WAL into a rewritten -graph file when it outgrows this many bytes (0 never compacts on size)")
+		follow        = flag.String("follow", "", "base URL of the write primary (or of a hetesim-router that elects one) to replicate WAL deltas from; makes this daemon a read replica that 503s direct mutations")
+		followEvery   = flag.Duration("follow-interval", time.Second, "how often a follower polls the primary's WAL tail")
+		advertise     = flag.String("advertise", "", "this daemon's own base URL as the fleet sees it; with -follow pointed at a router, matching the router's elected primary promotes this daemon to accept writes")
 		relMaxPaths   = flag.Int("relevance-max-paths", 16, "candidate-path cap for POST /v1/relevance ensembles")
 		relMaxLen     = flag.Int("relevance-max-len", 4, "longest meta path enumerated by POST /v1/relevance")
 		pathWeights   = flag.String("path-weights", "", "JSON file of learned path weights ({\"weights\": {\"APA\": 0.6, ...}}) enabling the learned weighting mode of POST /v1/relevance")
@@ -269,6 +287,27 @@ func main() {
 	// crash to one interval.
 	if *snapshotPath != "" && *snapshotEvery > 0 {
 		go srv.RunSnapshotSaver(ctx, *snapshotEvery, log.Printf)
+	}
+
+	// Follower mode: replicate the primary's WAL tail into this process,
+	// applying each batch through the same incremental maintenance path as
+	// a local write. After a full resync (compaction outran us, or we
+	// diverged) the chain cache re-warms from the primary's snapshot
+	// endpoint instead of recomputing.
+	if *follow != "" {
+		if *walPath == "" {
+			log.Fatal("hetesimd: -follow requires -wal-path (replicated deltas must be durable before they are acked upstream)")
+		}
+		go srv.RunFollower(ctx, server.FollowerOptions{
+			Target:   strings.TrimRight(*follow, "/"),
+			Self:     strings.TrimRight(*advertise, "/"),
+			Interval: *followEvery,
+			FetchSnapshot: func(fctx context.Context, base string) (*snapshot.Snapshot, error) {
+				return router.FetchSnapshot(fctx, nil, base, 3)
+			},
+			Logf: log.Printf,
+		})
+		log.Printf("hetesimd: following %s (interval %s)", *follow, *followEvery)
 	}
 
 	errc := make(chan error, 1)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -76,7 +77,7 @@ type subResult struct {
 // slot comes back filled — with the replica's result or with a routing
 // error. Returns the slots, the summed replica stats, and the fan-out
 // width.
-func (r *Router) fanout(ctx context.Context, queries []json.RawMessage, keys []string) ([]subResult, batchStats, int) {
+func (r *Router) fanout(ctx context.Context, queries []json.RawMessage, keys []string, minSeq uint64) ([]subResult, batchStats, int) {
 	groups := make(map[string][]int)
 	for i, k := range keys {
 		groups[k] = append(groups[k], i)
@@ -101,7 +102,7 @@ func (r *Router) fanout(ctx context.Context, queries []json.RawMessage, keys []s
 				fillGroupError(out, slots, "encoding sub-batch: "+err.Error(), "internal")
 				return
 			}
-			res, err := r.forward(ctx, key, func(base string) (*http.Request, error) {
+			res, err := r.forward(ctx, key, minSeq, func(base string) (*http.Request, error) {
 				req, err := http.NewRequest(http.MethodPost, base+"/v1/batch", bytes.NewReader(body))
 				if err != nil {
 					return nil, err
@@ -110,7 +111,11 @@ func (r *Router) fanout(ctx context.Context, queries []json.RawMessage, keys []s
 				return req, nil
 			})
 			if err != nil {
-				fillGroupError(out, slots, "no replica could serve the path group: "+err.Error(), "replica_unavailable")
+				code := "replica_unavailable"
+				if errors.Is(err, errStaleFleet) {
+					code = "stale_replicas"
+				}
+				fillGroupError(out, slots, "no replica could serve the path group: "+err.Error(), code)
 				return
 			}
 			if res.status != http.StatusOK {
@@ -171,7 +176,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		json.Unmarshal(q, &metas[i]) // undecodable slots fail replica-side, in place
 		keys[i] = r.canonicalKey(metas[i].Path)
 	}
-	slots, stats, groups := r.fanout(req.Context(), breq.Queries, keys)
+	slots, stats, groups := r.fanout(req.Context(), breq.Queries, keys, minWALSeq(req))
 
 	results := make([]json.RawMessage, len(slots))
 	for i, s := range slots {

@@ -160,7 +160,13 @@ func testBatchBody(k int) map[string]any {
 // the dead replica's breaker must open and close again after the revival,
 // and the retry/breaker counters must show up in /metrics.
 func TestClusterKillMidBatch(t *testing.T) {
-	rt, reps := newCluster(t, 3)
+	// Probes run once at Start (marking everyone healthy) and then never
+	// again, so the breaker — not the health prober — is what sheds the
+	// dead replica. Without this the breaker-open assertion races the
+	// prober: under load the workers may not land three failures on the
+	// victim before a probe tick marks it unhealthy and takes it out of
+	// rotation.
+	rt, reps := newCluster(t, 3, WithHealthInterval(time.Hour))
 	front := httptest.NewServer(rt.Handler())
 	defer front.Close()
 	client := &http.Client{Timeout: 10 * time.Second}

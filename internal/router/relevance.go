@@ -83,7 +83,7 @@ func (r *Router) handleRelevance(w http.ResponseWriter, req *http.Request) {
 		// Whole-request proxy, placed by the endpoint-type pair so repeat
 		// queries between the same types keep hitting the same warm replica.
 		key := rreq.SourceType + "\x00" + rreq.TargetType
-		res, err := r.forward(req.Context(), key, func(base string) (*http.Request, error) {
+		res, err := r.forward(req.Context(), key, minWALSeq(req), func(base string) (*http.Request, error) {
 			preq, err := http.NewRequest(http.MethodPost, base+"/v1/relevance", bytes.NewReader(body.Bytes()))
 			if err != nil {
 				return nil, err
@@ -208,7 +208,7 @@ func (r *Router) scatterRelevance(w http.ResponseWriter, req *http.Request, rreq
 		queries[i] = q
 		keys[i] = r.canonicalKey(spec)
 	}
-	slots, stats, _ := r.fanout(req.Context(), queries, keys)
+	slots, stats, _ := r.fanout(req.Context(), queries, keys, minWALSeq(req))
 
 	resp := relevanceResponse{
 		Mode: "pair", Source: rreq.Source, Target: rreq.Target,

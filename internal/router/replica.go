@@ -87,10 +87,19 @@ type replica struct {
 
 	healthy atomic.Bool
 
-	// Freshness as of the last successful probe.
+	// Freshness as of the last successful probe (walSeq is also raised by
+	// write acks the router relays to this replica as primary).
 	walSeq      atomic.Uint64
 	snapAgeMS   atomic.Int64 // -1: never snapshotted
 	fingerprint atomic.Value // string
+
+	// Replication view, as self-reported in /readyz. lagMS is -1 for
+	// replicas that are not following anyone (a plain replica or the acting
+	// primary) and for followers that have never caught up.
+	follows      atomic.Value // string; "" when not a follower
+	lagMS        atomic.Int64
+	divergedSelf atomic.Bool // the replica flagged itself diverged
+	divergedObs  atomic.Bool // the router's fingerprint cross-check flagged it
 
 	lat *latencyWindow
 
@@ -112,8 +121,33 @@ func newReplica(base string, threshold int, cooldown time.Duration) *replica {
 		lat:       newLatencyWindow(256),
 	}
 	r.fingerprint.Store("")
+	r.follows.Store("")
 	r.snapAgeMS.Store(-1)
+	r.lagMS.Store(-1)
 	return r
+}
+
+// isDiverged reports whether either signal — the replica's own admission
+// or the router's fingerprint cross-check — marks this replica as forked
+// from the fleet's canonical graph.
+func (r *replica) isDiverged() bool {
+	return r.divergedSelf.Load() || r.divergedObs.Load()
+}
+
+// staleClass buckets the replica for read ranking: 0 fresh, 1 lagging
+// beyond maxLag (or a follower that has never caught up), 2 diverged.
+// Order within a class is left to rendezvous hashing.
+func (r *replica) staleClass(maxLag time.Duration) int {
+	if r.isDiverged() {
+		return 2
+	}
+	if r.follows.Load().(string) != "" {
+		lag := r.lagMS.Load()
+		if lag < 0 || time.Duration(lag)*time.Millisecond > maxLag {
+			return 1
+		}
+	}
+	return 0
 }
 
 // allow reports whether the breaker admits a request right now. An open
@@ -173,11 +207,17 @@ func (r *replica) onFailure(now time.Time, transitioned func(to string)) {
 }
 
 // readyBody is the subset of the backend's /readyz JSON the router uses.
+// The replication fields only appear on follower-configured replicas;
+// their absence means "not a follower" (ReplicationLag nil, not zero).
 type readyBody struct {
-	Status      string  `json:"status"`
-	Fingerprint string  `json:"fingerprint"`
-	WALSeq      uint64  `json:"wal_seq"`
-	SnapshotAge float64 `json:"snapshot_age_seconds"`
+	Status         string   `json:"status"`
+	Fingerprint    string   `json:"fingerprint"`
+	WALSeq         uint64   `json:"wal_seq"`
+	SnapshotAge    float64  `json:"snapshot_age_seconds"`
+	Role           string   `json:"role"`
+	Follows        string   `json:"follows"`
+	ReplicationLag *float64 `json:"replication_lag_seconds"`
+	Diverged       bool     `json:"diverged"`
 }
 
 // probe refreshes the replica's health from GET /readyz: 200 marks it
@@ -204,6 +244,13 @@ func (r *replica) probe(ctx context.Context, client *http.Client) bool {
 		} else {
 			r.snapAgeMS.Store(-1)
 		}
+		r.follows.Store(body.Follows)
+		if body.ReplicationLag != nil && *body.ReplicationLag >= 0 {
+			r.lagMS.Store(int64(*body.ReplicationLag * 1000))
+		} else {
+			r.lagMS.Store(-1)
+		}
+		r.divergedSelf.Store(body.Diverged)
 	}
 	ok := resp.StatusCode == http.StatusOK
 	r.healthy.Store(ok)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,12 @@ type Router struct {
 	relevanceMaxLen   int
 	relevanceMaxPaths int
 	pathWeights       map[string]float64
+
+	// Write routing (see primary.go).
+	pinnedPrimary string
+	maxReadLag    time.Duration
+	primary       atomic.Pointer[replica]
+	maxAckedSeq   atomic.Uint64
 
 	schema atomic.Pointer[hin.Schema] // set by option or fetched at Start; nil = raw-spec keys
 	logf   func(string, ...any)
@@ -131,6 +138,7 @@ func New(replicaURLs []string, opts ...Option) (*Router, error) {
 		breakerCooldown:   2 * time.Second,
 		healthEvery:       2 * time.Second,
 		maxBody:           1 << 20,
+		maxReadLag:        30 * time.Second,
 		relevanceMaxLen:   4,
 		relevanceMaxPaths: 16,
 		logf:              func(string, ...any) {},
@@ -148,10 +156,19 @@ func New(replicaURLs []string, opts ...Option) (*Router, error) {
 		seen[rep.base] = true
 		r.replicas = append(r.replicas, rep)
 	}
+	if r.pinnedPrimary != "" {
+		p := strings.TrimRight(r.pinnedPrimary, "/")
+		if !seen[p] {
+			return nil, fmt.Errorf("router: pinned primary %s is not a fleet member", r.pinnedPrimary)
+		}
+		r.pinnedPrimary = p
+	}
 	r.mux.HandleFunc("GET /healthz", r.handleHealth)
 	r.mux.HandleFunc("GET /readyz", r.handleReady)
 	r.mux.Handle("GET /metrics", obs.Default().Handler())
 	r.mux.HandleFunc("GET /v1/admin/replicas", r.handleReplicas)
+	r.mux.HandleFunc("GET /v1/admin/primary", r.handlePrimary)
+	r.mux.HandleFunc("POST /v1/admin/edges", r.handleWrite)
 	r.mux.HandleFunc("GET /v1/pair", r.proxyQuery)
 	r.mux.HandleFunc("GET /v1/topk", r.proxyQuery)
 	r.mux.HandleFunc("GET /v1/explain", r.proxyQuery)
@@ -212,6 +229,8 @@ func (r *Router) probeAll(ctx context.Context) {
 		}
 		metReplicaBreaker.With(rep.base).Set(open)
 	}
+	r.detectDivergence()
+	r.electPrimary()
 }
 
 // Handler returns the router's HTTP handler tree.
@@ -237,7 +256,7 @@ func routeLabel(path string) string {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/relevance",
 		"/v1/schema", "/v1/stats", "/v1/explain", "/v1/why",
-		"/v1/admin/replicas":
+		"/v1/admin/replicas", "/v1/admin/primary", "/v1/admin/edges":
 		return path
 	}
 	return "other"
@@ -271,10 +290,13 @@ func (r *Router) canonicalKey(spec string) string {
 	return spec
 }
 
-// rank orders the replicas for a key by rendezvous (highest-random-weight)
-// hashing: each replica scores fnv64(key ‖ 0 ‖ base) and the order is by
-// descending score. Every router instance computes the same order with no
-// coordination, and removing a replica only moves the keys it owned.
+// rank orders the replicas for a key: rendezvous (highest-random-weight)
+// hashing — each replica scores fnv64(key ‖ 0 ‖ base), descending — then a
+// stable sort by staleness class, so fresh replicas keep their hash
+// affinity among themselves while badly lagging or diverged followers
+// drop to the back of the line. Every router instance computes the same
+// order with no coordination, and removing a replica only moves the keys
+// it owned.
 func (r *Router) rank(key string) []*replica {
 	type scored struct {
 		rep   *replica
@@ -293,6 +315,7 @@ func (r *Router) rank(key string) []*replica {
 	for i, sc := range s {
 		out[i] = sc.rep
 	}
+	r.sortByFreshness(out)
 	return out
 }
 
@@ -307,20 +330,27 @@ type result struct {
 	transportMS float64
 }
 
-var errNoReplicas = errors.New("router: no replicas available")
+var (
+	errNoReplicas = errors.New("router: no replicas available")
+	errStaleFleet = errors.New("router: no replica has reached the requested wal_seq")
+)
 
 // forward routes one buffered request: pick a replica by rendezvous order
 // (healthy + breaker-admitted first, hash owner preferred), try it with an
 // optional hedge, and on retryable failure back off and move to the next
-// candidate. It returns the first final response; when every attempt
-// fails, the last retryable response (so the client sees the upstream's
-// 429/503 with its Retry-After) or errNoReplicas.
-func (r *Router) forward(ctx context.Context, key string, build func(base string) (*http.Request, error)) (*result, error) {
+// candidate. minSeq > 0 is the client's read-your-writes floor: only
+// replicas whose last probed (or write-acked) wal_seq has reached it are
+// candidates, with no forced fallback — a stale answer would silently
+// violate the session guarantee, so the caller turns errStaleFleet into a
+// 503 the client retries. It returns the first final response; when every
+// attempt fails, the last retryable response (so the client sees the
+// upstream's 429/503 with its Retry-After) or errNoReplicas.
+func (r *Router) forward(ctx context.Context, key string, minSeq uint64, build func(base string) (*http.Request, error)) (*result, error) {
 	order := r.rank(key)
 	attempts := r.policy.Retries + 1
 	var last *result
 	for attempt := 0; attempt < attempts; attempt++ {
-		rep, forced := r.pick(order, attempt)
+		rep, forced := r.pick(order, attempt, minSeq)
 		if rep == nil {
 			break
 		}
@@ -346,7 +376,7 @@ func (r *Router) forward(ctx context.Context, key string, build func(base string
 			case <-time.After(r.policy.Wait(attempt, retryAfter)):
 			}
 		}
-		res, err := r.attempt(ctx, rep, order, build)
+		res, err := r.attempt(ctx, rep, order, minSeq, build)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -364,15 +394,21 @@ func (r *Router) forward(ctx context.Context, key string, build func(base string
 	if last != nil {
 		return last, nil
 	}
+	if minSeq > 0 {
+		return nil, errStaleFleet
+	}
 	return nil, errNoReplicas
 }
 
 // pick chooses the replica for one attempt: walk the rendezvous order
 // starting at the attempt's offset (so retries rotate away from the
 // replica that just failed) and take the first healthy, breaker-admitted
-// one. When nothing is admitted the attempt's own slot is forced — a
-// last-ditch probe beats answering 503 from a router that tried nothing.
-func (r *Router) pick(order []*replica, attempt int) (rep *replica, forced bool) {
+// one at or past minSeq. When nothing is admitted and there is no seq
+// floor the attempt's own slot is forced — a last-ditch probe beats
+// answering 503 from a router that tried nothing. With a floor there is
+// no forcing: serving the request from a replica below minSeq would
+// break read-your-writes silently, which is worse than a retryable 503.
+func (r *Router) pick(order []*replica, attempt int, minSeq uint64) (rep *replica, forced bool) {
 	n := len(order)
 	if n == 0 {
 		return nil, false
@@ -380,9 +416,12 @@ func (r *Router) pick(order []*replica, attempt int) (rep *replica, forced bool)
 	now := time.Now()
 	for i := 0; i < n; i++ {
 		c := order[(attempt+i)%n]
-		if c.healthy.Load() && c.allow(now, r.transitionFn(c)) {
+		if c.healthy.Load() && c.walSeq.Load() >= minSeq && c.allow(now, r.transitionFn(c)) {
 			return c, false
 		}
+	}
+	if minSeq > 0 {
+		return nil, false
 	}
 	return order[attempt%n], true
 }
@@ -402,7 +441,7 @@ func (r *Router) transitionFn(rep *replica) func(string) {
 // next distinct replica when hedging is on and the primary is slower than
 // its p99-derived delay. The first final response wins; a retryable
 // outcome waits for the other leg before giving up the attempt.
-func (r *Router) attempt(ctx context.Context, primary *replica, order []*replica, build func(string) (*http.Request, error)) (*result, error) {
+func (r *Router) attempt(ctx context.Context, primary *replica, order []*replica, minSeq uint64, build func(string) (*http.Request, error)) (*result, error) {
 	if !r.hedge || len(order) < 2 {
 		return r.tryOnce(ctx, primary, build, false)
 	}
@@ -424,7 +463,7 @@ func (r *Router) attempt(ctx context.Context, primary *replica, order []*replica
 	for {
 		select {
 		case <-timer.C:
-			if sec := r.hedgeTarget(order, primary); sec != nil {
+			if sec := r.hedgeTarget(order, primary, minSeq); sec != nil {
 				metHedges.Inc()
 				launched++
 				go func() {
@@ -451,14 +490,15 @@ func (r *Router) attempt(ctx context.Context, primary *replica, order []*replica
 }
 
 // hedgeTarget picks the hedge replica: the first healthy, admitted replica
-// in rendezvous order that is not the primary.
-func (r *Router) hedgeTarget(order []*replica, primary *replica) *replica {
+// in rendezvous order that is not the primary and satisfies the client's
+// wal_seq floor.
+func (r *Router) hedgeTarget(order []*replica, primary *replica, minSeq uint64) *replica {
 	now := time.Now()
 	for _, c := range order {
 		if c == primary {
 			continue
 		}
-		if c.healthy.Load() && c.allow(now, r.transitionFn(c)) {
+		if c.healthy.Load() && c.walSeq.Load() >= minSeq && c.allow(now, r.transitionFn(c)) {
 			return c
 		}
 	}
@@ -548,10 +588,16 @@ func (r *Router) proxyWithKey(w http.ResponseWriter, req *http.Request, key stri
 	if req.URL.RawQuery != "" {
 		target += "?" + req.URL.RawQuery
 	}
-	res, err := r.forward(req.Context(), key, func(base string) (*http.Request, error) {
+	res, err := r.forward(req.Context(), key, minWALSeq(req), func(base string) (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, base+target, nil)
 	})
 	if err != nil {
+		if errors.Is(err, errStaleFleet) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "read-your-writes floor not yet replicated: " + err.Error(), Code: "stale_replicas"})
+			return
+		}
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorBody{Error: "no replica could answer: " + err.Error(), Code: "no_replicas"})
 		return
@@ -588,31 +634,48 @@ func (r *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
 type replicaBody struct {
 	URL         string  `json:"url"`
 	Healthy     bool    `json:"healthy"`
+	Primary     bool    `json:"primary"`
+	Diverged    bool    `json:"diverged"`
 	Breaker     string  `json:"breaker"`
 	WALSeq      uint64  `json:"wal_seq"`
-	SnapshotAge float64 `json:"snapshot_age_seconds"` // -1: never
+	SnapshotAge float64 `json:"snapshot_age_seconds"`    // -1: never
+	Lag         float64 `json:"replication_lag_seconds"` // -1: not a follower / unknown
+	Follows     string  `json:"follows,omitempty"`
 	Fingerprint string  `json:"fingerprint,omitempty"`
 	P50MS       float64 `json:"p50_ms"`
 	P99MS       float64 `json:"p99_ms"`
 }
 
 func (r *Router) handleReplicas(w http.ResponseWriter, _ *http.Request) {
+	primary := r.primary.Load()
 	out := make([]replicaBody, len(r.replicas))
 	for i, rep := range r.replicas {
 		age := -1.0
 		if ms := rep.snapAgeMS.Load(); ms >= 0 {
 			age = float64(ms) / 1000
 		}
+		lag := -1.0
+		if ms := rep.lagMS.Load(); ms >= 0 {
+			lag = float64(ms) / 1000
+		}
 		out[i] = replicaBody{
 			URL:         rep.base,
 			Healthy:     rep.healthy.Load(),
+			Primary:     rep == primary,
+			Diverged:    rep.isDiverged(),
 			Breaker:     breakerStateName(rep.state.Load()),
 			WALSeq:      rep.walSeq.Load(),
 			SnapshotAge: age,
+			Lag:         lag,
+			Follows:     rep.follows.Load().(string),
 			Fingerprint: rep.fingerprint.Load().(string),
 			P50MS:       float64(rep.lat.quantile(0.50)) / float64(time.Millisecond),
 			P99MS:       float64(rep.lat.quantile(0.99)) / float64(time.Millisecond),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"replicas": out})
+	body := map[string]any{"replicas": out, "max_acked_wal_seq": r.maxAckedSeq.Load()}
+	if primary != nil {
+		body["primary"] = primary.base
+	}
+	writeJSON(w, http.StatusOK, body)
 }

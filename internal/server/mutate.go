@@ -144,9 +144,11 @@ func (s *Server) OpenWAL() (*WALStatus, error) {
 		if b.Key != "" {
 			if _, dup := s.applied[b.Key]; dup {
 				// A client retry that raced a crash: the ack made it to the
-				// log twice, the mutation must land once.
+				// log twice, the mutation must land once. The replication
+				// position still advances — the batch is durably recorded.
 				metMutationDuplicates.Inc()
 				s.walBatches++
+				s.lastWalSeq.Store(b.Seq)
 				continue
 			}
 		}
@@ -328,6 +330,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Draining() {
 		writeJSON(w, http.StatusConflict, errorBody{Error: errDraining.Error(), Code: "draining"})
+		return
+	}
+	if s.refuseNotPrimary(w) {
 		return
 	}
 	var req mutateRequest

@@ -1,0 +1,567 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/obs"
+	"hetesim/internal/snapshot"
+	"hetesim/internal/wal"
+)
+
+// Primary/follower replication. The primary is the one replica that accepts
+// POST /v1/admin/edges; it exposes its write-ahead log as a tail-read
+// stream (GET /v1/admin/wal?from=seq) and its serving graph as a full
+// resync source (GET /v1/admin/graph). A follower polls the tail, records
+// each batch in its own log at the primary-assigned sequence, and applies
+// it through the same incremental path a direct mutation takes — so
+// /readyz's wal_seq means the same thing fleet-wide and scores converge
+// bit-identically (HeteSim is deterministic over a given graph). When the
+// follower's sequence reaches the stream head, fingerprints must match;
+// a mismatch is divergence: counted, flagged at /readyz, and self-healed
+// by a full resync, which is also the fallback when the requested sequence
+// was compacted away (HTTP 410).
+var (
+	metWALTailStreams = obs.Default().Counter("hetesim_wal_tail_streams_total",
+		"Replication tail reads served over GET /v1/admin/wal.")
+	metWALTailCompacted = obs.Default().Counter("hetesim_wal_tail_compacted_total",
+		"Tail reads refused with 410 because the requested sequence was compacted away.")
+	metGraphFetches = obs.Default().Counter("hetesim_graph_fetch_total",
+		"Full-graph resync downloads served over GET /v1/admin/graph.")
+	metFollowPulls = obs.Default().Counter("hetesim_follower_pulls_total",
+		"Replication pulls issued by follower mode.")
+	metFollowBatches = obs.Default().Counter("hetesim_follower_batches_total",
+		"Mutation batches applied from a replication stream.")
+	metFollowResyncs = obs.Default().Counter("hetesim_follower_resyncs_total",
+		"Full graph resyncs performed by follower mode (compaction overrun or divergence).")
+	metFollowDivergence = obs.Default().Counter("hetesim_follower_divergence_total",
+		"Fingerprint mismatches detected at stream head by follower mode.")
+	metNotPrimary = obs.Default().Counter("hetesim_mutation_not_primary_total",
+		"Mutation batches refused because this replica is a follower.")
+)
+
+const (
+	defaultTailBatches = 256  // batches per tail read unless ?max= says otherwise
+	maxTailBatches     = 1024 // hard cap per tail read, bounding walMu hold time
+	maxPullsPerTick    = 64   // catch-up pulls per follower tick before yielding
+	maxGraphFetchBytes = 1 << 31
+)
+
+// handleWALTail is GET /v1/admin/wal?from=seq[&max=n]: stream the log's
+// batches from the given sequence in the CRC-framed replication format,
+// fingerprint- and head-stamped. 410 means the sequence was compacted away
+// and the follower must full-resync. The read holds the write lock —
+// bounded by max, so a poll costs a writer at most one small scan.
+func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
+	if s.walPath == "" {
+		writeJSON(w, http.StatusNotImplemented,
+			errorBody{Error: "replication is disabled: no -wal-path configured", Code: "mutations_disabled"})
+		return
+	}
+	from := uint64(1)
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "from must be a non-negative integer", Code: "bad_request"})
+			return
+		}
+		from = n
+	}
+	maxBatches := defaultTailBatches
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "max must be a positive integer", Code: "bad_request"})
+			return
+		}
+		maxBatches = min(n, maxTailBatches)
+	}
+
+	s.walMu.Lock()
+	if s.wal == nil {
+		s.walMu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "write-ahead log is not open", Code: "wal_not_open"})
+		return
+	}
+	batches, err := s.wal.TailSince(from, maxBatches)
+	if errors.Is(err, wal.ErrCompacted) {
+		floor := s.wal.MinRetained()
+		s.walMu.Unlock()
+		metWALTailCompacted.Inc()
+		w.Header().Set("X-Hetesim-WAL-Floor", strconv.FormatUint(floor, 10))
+		writeJSON(w, http.StatusGone,
+			errorBody{Error: err.Error() + "; fetch /v1/admin/graph and re-follow", Code: "compacted"})
+		return
+	}
+	// Head and fingerprint are captured under the same lock as the batches,
+	// so the triple is consistent: applying every logged batch through head
+	// onto the log's base yields exactly the graph this fingerprint names.
+	stream := wal.Stream{
+		Fingerprint: s.current().fingerprint,
+		Head:        s.wal.LastSeq(),
+		Batches:     batches,
+	}
+	s.walMu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "reading wal tail: " + err.Error(), Code: "wal_tail_failed"})
+		return
+	}
+	raw, err := wal.EncodeStream(stream)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "encoding wal stream: " + err.Error(), Code: "wal_tail_failed"})
+		return
+	}
+	metWALTailStreams.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Hetesim-Fingerprint", fmt.Sprintf("%016x", stream.Fingerprint))
+	w.Header().Set("X-Hetesim-WAL-Seq", strconv.FormatUint(stream.Head, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.Write(raw)
+}
+
+// handleGraphFetch is GET /v1/admin/graph: the serving graph in its file
+// format, stamped with the fingerprint and WAL sequence it embodies — the
+// full-resync source for a follower that fell behind compaction or
+// diverged. The (graph, seq) pair is captured under the write lock so no
+// batch can land between the two; serialization happens outside the lock
+// against the immutable captured graph.
+func (s *Server) handleGraphFetch(w http.ResponseWriter, r *http.Request) {
+	s.walMu.Lock()
+	es := s.current()
+	seq := s.lastWalSeq.Load()
+	if s.wal != nil {
+		seq = s.wal.LastSeq()
+	}
+	s.walMu.Unlock()
+
+	var buf bytes.Buffer
+	if err := hin.Write(&buf, es.g); err != nil {
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "encoding graph: " + err.Error(), Code: "graph_encode_failed"})
+		return
+	}
+	metGraphFetches.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Hetesim-Fingerprint", fmt.Sprintf("%016x", es.fingerprint))
+	w.Header().Set("X-Hetesim-WAL-Seq", strconv.FormatUint(seq, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
+}
+
+// FollowerOptions configures RunFollower.
+type FollowerOptions struct {
+	// Target is what the follower polls: the primary's base URL directly,
+	// or a router's base URL — the follower asks GET /v1/admin/primary
+	// first and follows whatever the router elected (a target without that
+	// endpoint is taken to be the primary itself).
+	Target string
+	// Self is this replica's advertised base URL. When the router elects
+	// this very replica primary, follower mode stands down and the replica
+	// accepts writes. Empty means "never primary".
+	Self string
+	// Interval is the poll cadence (default 1s).
+	Interval time.Duration
+	// MaxBatch bounds batches per pull (default 256).
+	MaxBatch int
+	// Client issues the HTTP requests (default: 30s-timeout client).
+	Client *http.Client
+	// FetchSnapshot, when set, warms the chain cache from the primary after
+	// a full resync (wired to router.FetchSnapshot by the daemon). Failure
+	// is logged, not fatal — a resynced follower just starts colder.
+	FetchSnapshot func(ctx context.Context, base string) (*snapshot.Snapshot, error)
+	Logf          func(string, ...any)
+}
+
+// Follower-internal sentinels: both mean "incremental catch-up cannot
+// proceed; full-resync from the primary".
+var (
+	errFollowerDiverged = errors.New("server: follower diverged: fingerprint mismatch at stream head")
+	errFollowerForked   = errors.New("server: follower holds sequences past the primary's head")
+)
+
+// RunFollower pulls the primary's WAL tail every interval and applies it,
+// blocking until ctx is canceled. It owns the replica's replication state:
+// /readyz gains follows, replication_lag_seconds and diverged fields, and
+// POST /v1/admin/edges refuses with 503/not_primary unless the router
+// elected this replica primary. Call after OpenWAL (the local log position
+// is where following resumes).
+func (s *Server) RunFollower(ctx context.Context, o FollowerOptions) {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = defaultTailBatches
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	s.followCfg.Store(true)
+	t := time.NewTicker(o.Interval)
+	defer t.Stop()
+	for {
+		s.followTick(ctx, o)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// followTick is one resolve-pull-apply cycle.
+func (s *Server) followTick(ctx context.Context, o FollowerOptions) {
+	primary, err := s.resolvePrimary(ctx, o)
+	if err != nil {
+		o.Logf("server: follower: resolving primary via %s: %v", o.Target, err)
+		return
+	}
+	if primary == "" {
+		// Failover window: no primary elected. Hold position; keep serving
+		// reads at the current sequence.
+		s.setFollowing("")
+		s.actingPrimary.Store(false)
+		return
+	}
+	if o.Self != "" && primary == o.Self {
+		// The router elected us: stand down as follower, accept writes.
+		s.setFollowing("")
+		s.actingPrimary.Store(true)
+		s.diverged.Store(false)
+		s.lastCaughtUpAt.Store(time.Now().UnixNano())
+		return
+	}
+	s.actingPrimary.Store(false)
+	s.setFollowing(primary)
+
+	for i := 0; i < maxPullsPerTick; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		st, compacted, err := s.pullTail(ctx, o, primary)
+		if err != nil {
+			o.Logf("server: follower: pulling from %s: %v", primary, err)
+			return
+		}
+		if compacted {
+			o.Logf("server: follower: behind %s's compaction horizon, full resync", primary)
+			if err := s.resyncFromPrimary(ctx, o, primary); err != nil {
+				o.Logf("server: follower: resync from %s: %v", primary, err)
+			}
+			return
+		}
+		caughtUp, err := s.applyStream(ctx, st)
+		switch {
+		case errors.Is(err, errFollowerDiverged) || errors.Is(err, errFollowerForked):
+			s.diverged.Store(true)
+			metFollowDivergence.Inc()
+			o.Logf("server: follower: %v; full resync from %s", err, primary)
+			if rerr := s.resyncFromPrimary(ctx, o, primary); rerr != nil {
+				o.Logf("server: follower: resync from %s: %v", primary, rerr)
+			}
+			return
+		case err != nil:
+			o.Logf("server: follower: applying stream from %s: %v", primary, err)
+			return
+		case caughtUp:
+			s.diverged.Store(false)
+			s.lastCaughtUpAt.Store(time.Now().UnixNano())
+			return
+		}
+	}
+}
+
+// resolvePrimary asks the target who the primary is. A target without the
+// endpoint (a plain replica, or an old router) is itself the primary.
+func (s *Server) resolvePrimary(ctx context.Context, o FollowerOptions) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, o.Target+"/v1/admin/primary", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := o.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return o.Target, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /v1/admin/primary: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Primary string `json:"primary"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
+		return "", fmt.Errorf("decoding primary response: %w", err)
+	}
+	return body.Primary, nil
+}
+
+// pullTail fetches one bounded tail read from the primary. compacted=true
+// means 410: the follower's position predates the primary's retained floor.
+func (s *Server) pullTail(ctx context.Context, o FollowerOptions, primary string) (*wal.Stream, bool, error) {
+	from := s.lastWalSeq.Load() + 1
+	url := fmt.Sprintf("%s/v1/admin/wal?from=%d&max=%d", primary, from, o.MaxBatch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	metFollowPulls.Inc()
+	resp, err := o.Client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxGraphFetchBytes))
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return nil, true, nil
+	default:
+		return nil, false, fmt.Errorf("GET /v1/admin/wal: status %d: %s", resp.StatusCode, truncateBody(body))
+	}
+	st, err := wal.DecodeStream(body)
+	if err != nil {
+		return nil, false, err
+	}
+	return st, false, nil
+}
+
+func truncateBody(b []byte) string {
+	const n = 256
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// applyStream records and applies one replication pull under the write
+// lock. Batches at or below the local position are skipped (overlap is
+// harmless); a gap, a local position past the stream head, or a
+// fingerprint mismatch once caught up all abort — the first is a protocol
+// violation, the latter two are forks, and every abort path resolves by
+// full resync. Returns whether the follower is now caught up to the
+// stream's head.
+func (s *Server) applyStream(ctx context.Context, st *wal.Stream) (bool, error) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	my := s.lastWalSeq.Load()
+	if my > st.Head {
+		// We hold acked-but-never-replicated history from a deposed primary
+		// incarnation (or the fleet was rebuilt under us).
+		return false, fmt.Errorf("%w: local seq %d, primary head %d", errFollowerForked, my, st.Head)
+	}
+	for _, b := range st.Batches {
+		if b.Seq <= my {
+			continue
+		}
+		if b.Seq != my+1 {
+			return false, fmt.Errorf("server: replication gap: have %d, stream jumps to %d", my, b.Seq)
+		}
+		// Log first, apply second — the same ack-implies-durable order the
+		// primary uses, so a follower crash replays exactly what it recorded.
+		if s.wal != nil {
+			if err := s.wal.AppendBatch(b); err != nil {
+				return false, fmt.Errorf("server: logging replicated batch %d: %w", b.Seq, err)
+			}
+			metWALBytes.Set(float64(s.wal.Size()))
+		}
+		if b.Key != "" {
+			if _, dup := s.applied[b.Key]; dup {
+				// Crash-window duplicate the primary also skipped at its own
+				// replay; record position, do not re-apply.
+				metMutationDuplicates.Inc()
+				s.lastWalSeq.Store(b.Seq)
+				s.walBatches++
+				my = b.Seq
+				continue
+			}
+		}
+		if _, err := s.applyLocked(ctx, b.Key, b.Ops, b.Seq); err != nil {
+			return false, fmt.Errorf("server: applying replicated batch %d: %w", b.Seq, err)
+		}
+		metFollowBatches.Inc()
+		my = b.Seq
+	}
+	if my < st.Head {
+		return false, nil
+	}
+	if s.current().fingerprint != st.Fingerprint {
+		return false, fmt.Errorf("%w: local %016x, primary %016x at seq %d",
+			errFollowerDiverged, s.current().fingerprint, st.Fingerprint, my)
+	}
+	// Same compaction policy as the primary: fold the local log into the
+	// local base once it outgrows the threshold. Sequence numbering is
+	// monotonic across compactions, so the replication position survives.
+	if s.walCompactBytes > 0 && s.wal != nil && s.wal.Size() > s.walCompactBytes {
+		if err := s.compactLocked(); err != nil {
+			s.logf("server: follower wal compaction: %v", err)
+		}
+	}
+	return true, nil
+}
+
+// resyncFromPrimary replaces the follower's graph wholesale with the
+// primary's: fetch GET /v1/admin/graph, adopt it (durable base first, then
+// log reset, then serve — the same order compaction uses, so a crash at
+// any point leaves a coherent pair), move the replication position to the
+// stamped sequence, and best-effort warm the chain cache from the
+// primary's snapshot.
+func (s *Server) resyncFromPrimary(ctx context.Context, o FollowerOptions, primary string) error {
+	metFollowResyncs.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/v1/admin/graph", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := o.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxGraphFetchBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/admin/graph: status %d: %s", resp.StatusCode, truncateBody(body))
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get("X-Hetesim-WAL-Seq"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("parsing X-Hetesim-WAL-Seq: %w", err)
+	}
+	wantFP, err := strconv.ParseUint(resp.Header.Get("X-Hetesim-Fingerprint"), 16, 64)
+	if err != nil {
+		return fmt.Errorf("parsing X-Hetesim-Fingerprint: %w", err)
+	}
+	g, err := hin.Read(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("decoding fetched graph: %w", err)
+	}
+	if g.Fingerprint() != wantFP {
+		return fmt.Errorf("fetched graph fingerprint %016x does not match advertised %016x",
+			g.Fingerprint(), wantFP)
+	}
+
+	s.walMu.Lock()
+	next := s.newEngineSet(g)
+	if s.graphPath != "" {
+		if err := s.saveGraph(g); err != nil {
+			s.walMu.Unlock()
+			return fmt.Errorf("writing resynced base graph: %w", err)
+		}
+		s.lastSavedFP = next.fingerprint
+	}
+	if s.wal != nil && next.fingerprint != s.wal.Fingerprint() {
+		if err := s.wal.Reset(next.fingerprint, s.checkpointEntriesLocked()); err != nil {
+			s.walMu.Unlock()
+			return fmt.Errorf("rebinding wal to resynced graph: %w", err)
+		}
+		s.walBatches = 0
+		metWALBytes.Set(float64(s.wal.Size()))
+	}
+	s.cur.Store(next)
+	s.lastWalSeq.Store(seq)
+	s.walMu.Unlock()
+	o.Logf("server: follower: resynced from %s at seq %d (fingerprint %016x)", primary, seq, wantFP)
+
+	if o.FetchSnapshot != nil {
+		snap, err := o.FetchSnapshot(ctx, primary)
+		if err != nil {
+			o.Logf("server: follower: warming from %s after resync: %v", primary, err)
+			return nil
+		}
+		if n, err := s.ImportSnapshot(snap); err != nil {
+			o.Logf("server: follower: importing %s's snapshot after resync: %v", primary, err)
+		} else {
+			o.Logf("server: follower: warmed %d chains from %s after resync", n, primary)
+		}
+	}
+	return nil
+}
+
+// setFollowing records the primary currently being followed ("" = none).
+func (s *Server) setFollowing(p string) { s.followingPrimary.Store(&p) }
+
+// FollowingPrimary reports the primary this replica currently follows, ""
+// when none is elected, this replica is itself primary, or follower mode
+// is off.
+func (s *Server) FollowingPrimary() string {
+	if p := s.followingPrimary.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Diverged reports whether the last stream-head fingerprint comparison
+// failed and the follower has not yet converged again.
+func (s *Server) Diverged() bool { return s.diverged.Load() }
+
+// AcceptsWrites reports whether a mutation posted directly to this
+// replica would be admitted: always for a standalone daemon, and for a
+// follower-configured one only while it holds the primary election.
+func (s *Server) AcceptsWrites() bool {
+	return !s.followCfg.Load() || s.actingPrimary.Load()
+}
+
+// refuseNotPrimary answers a mutation with 503/not_primary when this
+// replica runs follower mode and has not been elected primary. The
+// X-Hetesim-Primary header names the place to write, when known.
+func (s *Server) refuseNotPrimary(w http.ResponseWriter) bool {
+	if !s.followCfg.Load() || s.actingPrimary.Load() {
+		return false
+	}
+	metNotPrimary.Inc()
+	if p := s.FollowingPrimary(); p != "" {
+		w.Header().Set("X-Hetesim-Primary", p)
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorBody{Error: "this replica is a follower; send writes to the primary (or through the router)", Code: "not_primary"})
+	return true
+}
+
+// replicationReadyFields adds the follower's replication view to the
+// /readyz body: the primary it follows, how stale it may be (seconds since
+// it last confirmed catch-up; -1 = never yet), and whether it detected
+// divergence. Emitted only in follower mode, and suppressed while acting
+// as the elected primary — absence of the fields is what tells the router
+// "not a follower, rank by other signals".
+func (s *Server) replicationReadyFields(body map[string]any) {
+	if !s.followCfg.Load() {
+		return
+	}
+	if s.actingPrimary.Load() {
+		body["role"] = "primary"
+		return
+	}
+	body["role"] = "follower"
+	body["follows"] = s.FollowingPrimary()
+	lag := -1.0
+	if t := s.lastCaughtUpAt.Load(); t > 0 {
+		lag = time.Since(time.Unix(0, t)).Seconds()
+	}
+	body["replication_lag_seconds"] = lag
+	body["diverged"] = s.diverged.Load()
+}

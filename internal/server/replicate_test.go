@@ -1,0 +1,297 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hetesim/internal/hin"
+	"hetesim/internal/wal"
+)
+
+// newWALServer builds a ready server over the generation-0 reload graph
+// with an open WAL (and optionally a base graph file for compaction),
+// served over httptest.
+func newWALServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "graph.bin")
+	writeGraphFile(t, graphPath, reloadGraph(t, 0))
+	all := append([]Option{
+		WithWALPath(filepath.Join(dir, "edges.wal")),
+		WithReloadFrom(graphPath),
+		WithLogf(t.Logf),
+	}, opts...)
+	srv := New(reloadGraph(t, 0), all...)
+	srv.MarkReady()
+	if _, err := srv.OpenWAL(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// startFollower runs srv's follower loop against target until test end.
+func startFollower(t *testing.T, srv *Server, target string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.RunFollower(ctx, FollowerOptions{
+			Target:   target,
+			Interval: 5 * time.Millisecond,
+			Logf:     t.Logf,
+		})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// waitConverged polls until follower matches primary in both sequence and
+// fingerprint.
+func waitConverged(t *testing.T, primary, follower *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if follower.lastWalSeq.Load() == primary.lastWalSeq.Load() &&
+			follower.current().fingerprint == primary.current().fingerprint &&
+			!follower.Diverged() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower did not converge: seq %d/%d, fingerprint %016x/%016x, diverged=%v",
+		follower.lastWalSeq.Load(), primary.lastWalSeq.Load(),
+		follower.current().fingerprint, primary.current().fingerprint, follower.Diverged())
+}
+
+// TestFollowerConvergence is the basic replication guarantee: batches
+// acked on the primary arrive on the follower through the WAL tail and
+// produce a bit-identical graph — same fingerprint, same scores — while
+// the follower reports its replication view at /readyz and refuses direct
+// writes.
+func TestFollowerConvergence(t *testing.T) {
+	primary, pts := newWALServer(t)
+	follower, fts := newWALServer(t)
+	startFollower(t, follower, pts.URL)
+
+	for i, ops := range mutationBatches() {
+		resp, mb := postMutation(t, pts.URL, fmt.Sprintf("rep-%d", i), ops)
+		if resp.StatusCode != http.StatusOK || mb.Status != "applied" {
+			t.Fatalf("batch %d = %d %+v", i, resp.StatusCode, mb)
+		}
+	}
+	waitConverged(t, primary, follower)
+
+	// Scores must be bit-identical across replicas (HeteSim is
+	// deterministic over a given graph; equality of fingerprints implies
+	// equality of graphs, this is the end-to-end check of it).
+	var pp, fp pairBody
+	getJSON(t, pts.URL+"/v1/pair?path=APC&source=Carl&target=KDD", http.StatusOK, &pp)
+	getJSON(t, fts.URL+"/v1/pair?path=APC&source=Carl&target=KDD", http.StatusOK, &fp)
+	if pp.Score != fp.Score || pp.Score <= 0 {
+		t.Fatalf("replicated score %v != primary score %v", fp.Score, pp.Score)
+	}
+
+	// The follower's /readyz carries its replication view.
+	var ready map[string]any
+	getJSON(t, fts.URL+"/readyz", http.StatusOK, &ready)
+	if ready["role"] != "follower" || ready["follows"] != pts.URL {
+		t.Errorf("follower readyz = %v", ready)
+	}
+	if lag, ok := ready["replication_lag_seconds"].(float64); !ok || lag < 0 || lag > 60 {
+		t.Errorf("replication_lag_seconds = %v", ready["replication_lag_seconds"])
+	}
+	if ready["diverged"] != false {
+		t.Errorf("diverged = %v", ready["diverged"])
+	}
+	// The primary is not follower-configured: no replication fields.
+	var pready map[string]any
+	getJSON(t, pts.URL+"/readyz", http.StatusOK, &pready)
+	if _, ok := pready["follows"]; ok {
+		t.Errorf("primary readyz leaked follower fields: %v", pready)
+	}
+
+	// Writes to the follower are refused and redirected.
+	resp, _ := postMutation(t, fts.URL, "direct", mutationBatches()[0])
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower write = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Hetesim-Primary"); got != pts.URL {
+		t.Errorf("X-Hetesim-Primary = %q, want %q", got, pts.URL)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("not_primary refusal has no Retry-After")
+	}
+
+	// Follower restart resumes from its own log, not from scratch.
+	seq := follower.lastWalSeq.Load()
+	if seq == 0 {
+		t.Fatal("follower position is 0 after convergence")
+	}
+}
+
+// TestFollowTailEndpoint pins the wire surface of GET /v1/admin/wal: a
+// decodable CRC-framed stream with consistent header stamps, bounded
+// reads, empty caught-up pulls, and parameter validation.
+func TestFollowTailEndpoint(t *testing.T) {
+	primary, pts := newWALServer(t)
+	for i, ops := range mutationBatches() {
+		if resp, _ := postMutation(t, pts.URL, fmt.Sprintf("t-%d", i), ops); resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d status %d", i, resp.StatusCode)
+		}
+	}
+
+	get := func(q string) *http.Response {
+		resp, err := http.Get(pts.URL + "/v1/admin/wal" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := get("?from=1")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tail status = %d", resp.StatusCode)
+	}
+	raw := make([]byte, 1<<20)
+	n, _ := io.ReadFull(resp.Body, raw)
+	st, err := wal.DecodeStream(raw[:n])
+	if err != nil {
+		t.Fatalf("decoding tail stream: %v", err)
+	}
+	if st.Head != 3 || len(st.Batches) != 3 || st.Fingerprint != primary.current().fingerprint {
+		t.Fatalf("stream = head %d, %d batches, fp %016x", st.Head, len(st.Batches), st.Fingerprint)
+	}
+	if got := resp.Header.Get("X-Hetesim-WAL-Seq"); got != "3" {
+		t.Errorf("X-Hetesim-WAL-Seq = %q", got)
+	}
+
+	// Bounded pull and caught-up pull.
+	resp = get("?from=2&max=1")
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if st, err = wal.DecodeStream(b); err != nil || len(st.Batches) != 1 || st.Batches[0].Seq != 2 || st.Head != 3 {
+		t.Fatalf("bounded pull = %+v, %v", st, err)
+	}
+	resp = get("?from=4")
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if st, err = wal.DecodeStream(b); err != nil || len(st.Batches) != 0 || st.Head != 3 {
+		t.Fatalf("caught-up pull = %+v, %v", st, err)
+	}
+
+	// Parameter validation.
+	for _, q := range []string{"?from=x", "?max=0", "?max=-1"} {
+		resp = get(q)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/admin/wal%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestFollowerResyncAfterCompaction covers compaction-while-following: the
+// primary compacts its log past a stale follower's position, the tail read
+// answers 410, and the follower falls back to a full graph fetch — ending
+// bit-identical, with its own base graph and log rebound to the new
+// generation.
+func TestFollowerResyncAfterCompaction(t *testing.T) {
+	primary, pts := newWALServer(t)
+	for i, ops := range mutationBatches() {
+		if resp, _ := postMutation(t, pts.URL, fmt.Sprintf("c-%d", i), ops); resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d status %d", i, resp.StatusCode)
+		}
+	}
+	// Fold everything into the base: a follower at position 0 is now behind
+	// the retained floor.
+	primary.walMu.Lock()
+	if err := primary.compactLocked(); err != nil {
+		primary.walMu.Unlock()
+		t.Fatal(err)
+	}
+	primary.walMu.Unlock()
+
+	resp, err := http.Get(pts.URL + "/v1/admin/wal?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("tail below floor = %d, want 410", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Hetesim-WAL-Floor") != "4" {
+		t.Errorf("X-Hetesim-WAL-Floor = %q, want 4", resp.Header.Get("X-Hetesim-WAL-Floor"))
+	}
+
+	follower, _ := newWALServer(t)
+	startFollower(t, follower, pts.URL)
+	waitConverged(t, primary, follower)
+	if follower.lastWalSeq.Load() != 3 {
+		t.Fatalf("resynced position = %d, want 3", follower.lastWalSeq.Load())
+	}
+	// The resync rebound the follower's own log to the adopted base, so new
+	// deltas replicate incrementally from here.
+	if follower.wal.Fingerprint() != primary.current().fingerprint {
+		t.Fatal("follower log not rebound to the resynced base")
+	}
+	if resp, mb := postMutation(t, pts.URL, "post-resync", []hin.Op{upsert("writes", "Dana", "p1", 1)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-resync write = %d %+v", resp.StatusCode, mb)
+	}
+	waitConverged(t, primary, follower)
+}
+
+// TestFollowerDivergenceSelfHeals deliberately corrupts a follower's
+// serving graph; the next caught-up poll's fingerprint comparison detects
+// the fork, flags it, and a full resync converges it back.
+func TestFollowerDivergenceSelfHeals(t *testing.T) {
+	primary, pts := newWALServer(t)
+	follower, fts := newWALServer(t)
+	startFollower(t, follower, pts.URL)
+
+	if resp, _ := postMutation(t, pts.URL, "d-0", mutationBatches()[0]); resp.StatusCode != http.StatusOK {
+		t.Fatal("seed write failed")
+	}
+	waitConverged(t, primary, follower)
+
+	// Corrupt the follower: swap in a graph it never replicated, keeping
+	// its replication position — equal wal_seq, different fingerprint.
+	follower.walMu.Lock()
+	bad, _, err := follower.current().g.Apply([]hin.Op{upsert("writes", "Tom", "p2", 9)})
+	if err != nil {
+		follower.walMu.Unlock()
+		t.Fatal(err)
+	}
+	follower.cur.Store(follower.newEngineSet(bad))
+	follower.walMu.Unlock()
+
+	// Within a poll interval the follower must notice (the caught-up pull
+	// compares fingerprints at equal seq), report it, and self-heal.
+	deadline := time.Now().Add(10 * time.Second)
+	sawDiverged := false
+	for time.Now().Before(deadline) && !sawDiverged {
+		var ready map[string]any
+		getJSON(t, fts.URL+"/readyz", http.StatusOK, &ready)
+		sawDiverged, _ = ready["diverged"].(bool)
+		if follower.current().fingerprint == primary.current().fingerprint {
+			break // already healed — the flag window can be shorter than our poll
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitConverged(t, primary, follower)
+	var pp, fp pairBody
+	getJSON(t, pts.URL+"/v1/pair?path=APC&source=Carl&target=KDD", http.StatusOK, &pp)
+	getJSON(t, fts.URL+"/v1/pair?path=APC&source=Carl&target=KDD", http.StatusOK, &fp)
+	if pp.Score != fp.Score {
+		t.Fatalf("post-heal score %v != primary %v", fp.Score, pp.Score)
+	}
+}

@@ -127,6 +127,18 @@ type Server struct {
 	// (unix nanos; 0 = never).
 	lastWalSeq  atomic.Uint64
 	snapSavedAt atomic.Int64
+
+	// Replication (follower-mode) state, owned by RunFollower — see
+	// replicate.go. followCfg: follower mode is on; actingPrimary: the
+	// router elected this very replica, so it accepts writes again;
+	// followingPrimary: base URL currently being followed; lastCaughtUpAt:
+	// unix nanos of the last confirmed fingerprint-matching catch-up;
+	// diverged: the last stream-head comparison failed.
+	followCfg        atomic.Bool
+	actingPrimary    atomic.Bool
+	followingPrimary atomic.Pointer[string]
+	lastCaughtUpAt   atomic.Int64
+	diverged         atomic.Bool
 }
 
 // Option configures a Server.
@@ -287,6 +299,8 @@ func New(g *hin.Graph, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/admin/edges", s.handleMutate)
 	s.mux.HandleFunc("GET /v1/admin/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/admin/wal", s.handleWALTail)
+	s.mux.HandleFunc("GET /v1/admin/graph", s.handleGraphFetch)
 	s.handler = s.buildHandler()
 	return s
 }
@@ -325,7 +339,8 @@ func routeLabel(path string) string {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/schema", "/v1/stats", "/v1/slowlog",
 		"/v1/pair", "/v1/topk", "/v1/batch", "/v1/relevance", "/v1/explain", "/v1/why",
-		"/v1/admin/reload", "/v1/admin/edges", "/v1/admin/snapshot":
+		"/v1/admin/reload", "/v1/admin/edges", "/v1/admin/snapshot",
+		"/v1/admin/wal", "/v1/admin/graph":
 		return path
 	}
 	return "other"
@@ -642,6 +657,7 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	} else {
 		body["snapshot_age_seconds"] = -1.0
 	}
+	s.replicationReadyFields(body)
 	if !s.Ready() {
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return

@@ -49,6 +49,69 @@ func FuzzWALDecode(f *testing.F) {
 	})
 }
 
+// FuzzWALStreamDecode drives the replication stream decoder (the body of
+// GET /v1/admin/wal) with arbitrary bytes. Seeds cover the interesting
+// failure surface: truncations at header and record boundaries, CRC bit
+// flips in header and payload, a fingerprint mismatch relative to the log
+// seed (which must still decode — fingerprint gating is the follower's
+// job, not the parser's), and a checkpoint record smuggled into a stream.
+// Invariants: never panic; anything that decodes holds the format's
+// declared properties (ascending seqs bounded by head) and — the format
+// being canonical — re-encodes to the identical byte string.
+func FuzzWALStreamDecode(f *testing.F) {
+	mk := func(s Stream) []byte {
+		b, err := EncodeStream(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	full := mk(Stream{Fingerprint: testFP, Head: 9, Batches: []Batch{
+		{Seq: 3, Key: "idem-1", Ops: testOpsF()},
+		{Seq: 4, Ops: testOpsF()[:1]},
+		{Seq: 9, Key: "idem-2", Ops: testOpsF()[:2]},
+	}})
+	f.Add(full)
+	f.Add(mk(Stream{Fingerprint: testFP, Head: 9}))        // caught-up pull
+	f.Add(mk(Stream{Fingerprint: testFP ^ 0xff, Head: 9})) // fingerprint mismatch vs follower expectation
+	f.Add(full[:streamHeaderSize])                         // header only, records truncated away
+	f.Add(full[:streamHeaderSize-5])                       // torn header
+	f.Add(full[:len(full)-1])                              // torn last record
+	flip := func(i int) []byte {
+		b := append([]byte(nil), full...)
+		b[i] ^= 0x01
+		return b
+	}
+	f.Add(flip(25))                   // header CRC flip
+	f.Add(flip(streamHeaderSize + 5)) // payload flip → record CRC mismatch
+	f.Add(flip(len(full) - 1))        // record CRC flip
+	if p, err := encodeCheckpoint([]CheckpointEntry{{Key: "a", Seq: 1}}); err == nil {
+		hdr := mk(Stream{Fingerprint: testFP, Head: 9})
+		f.Add(append(append([]byte(nil), hdr...), frameRecord(p)...)) // checkpoint in stream
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeStream(data)
+		if err != nil {
+			return
+		}
+		prev := uint64(0)
+		for _, b := range s.Batches {
+			if b.Seq <= prev || b.Seq > s.Head {
+				t.Fatalf("accepted stream violates seq invariants: %+v", s)
+			}
+			prev = b.Seq
+		}
+		reenc, eerr := EncodeStream(*s)
+		if eerr != nil {
+			t.Fatalf("decoded stream does not re-encode: %v", eerr)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("non-canonical decode: %x round-trips to %x", data, reenc)
+		}
+	})
+}
+
 func testOpsF() []hin.Op {
 	return []hin.Op{
 		{Kind: hin.OpUpsertEdge, Relation: "writes", Src: "Ann", Dst: "p7", Weight: 2.5},

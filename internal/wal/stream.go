@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+var streamMagic = [4]byte{'H', 'W', 'T', 'S'}
+
+// StreamVersion is the current replication stream format version.
+const StreamVersion = 1
+
+const streamHeaderSize = 28
+
+// Stream is one replication pull — the body of GET /v1/admin/wal: the
+// primary's identity and a bounded, strictly ascending run of batches.
+//
+// Wire layout (little-endian):
+//
+//	header  magic "HWTS" | version u32 | fingerprint u64 | head u64 |
+//	        headerCRC u32 (CRC-32/IEEE of the 24 bytes above)
+//	then    zero or more framed batch records (same framing and payload
+//	        encoding as the on-disk log; checkpoint records are invalid)
+//
+// Fingerprint is the primary's serving-graph fingerprint after applying
+// every batch through head; head is the primary's last assigned sequence at
+// encode time. The stream may carry fewer batches than reach head (bounded
+// pulls) — a follower compares fingerprints only once its own sequence
+// equals head, which is the divergence check. Decode is strict and
+// all-or-nothing: an HTTP body has no torn-tail story, so any framing or
+// CRC failure rejects the whole stream rather than salvaging a prefix.
+type Stream struct {
+	Fingerprint uint64 // primary's serving-graph fingerprint as of Head
+	Head        uint64 // primary's last assigned batch sequence at encode time
+	Batches     []Batch
+}
+
+// EncodeStream serializes a replication pull. Batches must be strictly
+// ascending by sequence and must not exceed Head — both invariants hold by
+// construction on the primary and are enforced here so a buggy caller
+// cannot emit a stream DecodeStream would reject.
+func EncodeStream(s Stream) ([]byte, error) {
+	out := make([]byte, 0, streamHeaderSize)
+	out = append(out, streamMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, StreamVersion)
+	out = binary.LittleEndian.AppendUint64(out, s.Fingerprint)
+	out = binary.LittleEndian.AppendUint64(out, s.Head)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	prev := uint64(0)
+	for i, b := range s.Batches {
+		if b.Seq <= prev {
+			return nil, fmt.Errorf("%w: stream batch %d seq %d not ascending (prev %d)", ErrCorrupt, i, b.Seq, prev)
+		}
+		if b.Seq > s.Head {
+			return nil, fmt.Errorf("%w: stream batch %d seq %d past head %d", ErrCorrupt, i, b.Seq, s.Head)
+		}
+		prev = b.Seq
+		payload, err := encodeBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frameRecord(payload)...)
+	}
+	return out, nil
+}
+
+// DecodeStream parses a replication stream with the same defensiveness as
+// log replay — strict caps, allocation bounded by bytes present — but
+// all-or-nothing: any framing error, CRC mismatch, checkpoint record,
+// non-ascending sequence, or sequence past head is ErrCorrupt for the whole
+// stream. A decoded stream re-encodes to the identical bytes (the format is
+// canonical), which the fuzzer pins.
+func DecodeStream(b []byte) (*Stream, error) {
+	if len(b) < streamHeaderSize {
+		return nil, fmt.Errorf("%w: %d stream header bytes, want %d", ErrCorrupt, len(b), streamHeaderSize)
+	}
+	if [4]byte(b[:4]) != streamMagic {
+		return nil, fmt.Errorf("%w: stream magic %q", ErrCorrupt, b[:4])
+	}
+	if got := crc32.ChecksumIEEE(b[:24]); got != binary.LittleEndian.Uint32(b[24:28]) {
+		return nil, fmt.Errorf("%w: stream header CRC mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != StreamVersion {
+		return nil, fmt.Errorf("%w: stream version %d, want %d", ErrCorrupt, v, StreamVersion)
+	}
+	s := &Stream{
+		Fingerprint: binary.LittleEndian.Uint64(b[8:16]),
+		Head:        binary.LittleEndian.Uint64(b[16:24]),
+	}
+	off := streamHeaderSize
+	prev := uint64(0)
+	for off < len(b) {
+		payload, n, err := nextRecord(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: stream offset %d: %v", ErrCorrupt, off, err)
+		}
+		batch, _, derr := DecodePayload(payload)
+		if derr != nil {
+			return nil, fmt.Errorf("%w: stream offset %d: %v", ErrCorrupt, off, derr)
+		}
+		if batch == nil {
+			return nil, fmt.Errorf("%w: checkpoint record in replication stream", ErrCorrupt)
+		}
+		if batch.Seq <= prev {
+			return nil, fmt.Errorf("%w: stream seq %d not ascending (prev %d)", ErrCorrupt, batch.Seq, prev)
+		}
+		if batch.Seq > s.Head {
+			return nil, fmt.Errorf("%w: stream seq %d past head %d", ErrCorrupt, batch.Seq, s.Head)
+		}
+		prev = batch.Seq
+		s.Batches = append(s.Batches, *batch)
+		off += n
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCompacted marks a tail read whose starting sequence predates the
+// retained floor: compaction folded those batches into the base graph, so
+// the only way to catch up from there is a full resync (fetch the base,
+// then re-follow from its sequence).
+var ErrCompacted = errors.New("wal: compacted")
+
+// MinRetained reports the smallest batch sequence a tail read can start
+// from without ErrCompacted. Equal to LastSeq()+1 when the log holds no
+// batches. Callers synchronize with appenders, as for LastSeq.
+func (l *Log) MinRetained() uint64 { return l.minRetained }
+
+// TailSince reads back up to maxBatches durable batches with sequence
+// numbers >= fromSeq, in log order — the primary half of replication.
+// fromSeq of 0 is treated as 1 (everything retained). A fromSeq below the
+// retained floor returns ErrCompacted; a fromSeq past the last assigned
+// sequence returns an empty tail. Checkpoint records are skipped: followers
+// build their own idempotency tables from the batches themselves.
+//
+// The read re-scans the log file rather than caching decoded batches: tail
+// reads are rare relative to appends (one poll per follower per interval,
+// and the common caught-up poll exits before touching the file), and the
+// file's valid prefix is exactly what Open would replay, so there is one
+// source of truth. Callers synchronize with appenders (the server holds its
+// write lock across the call).
+func (l *Log) TailSince(fromSeq uint64, maxBatches int) ([]Batch, error) {
+	if l.f == nil {
+		return nil, ErrClosed
+	}
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	if fromSeq < l.minRetained {
+		return nil, fmt.Errorf("%w: seq %d predates retained floor %d", ErrCompacted, fromSeq, l.minRetained)
+	}
+	if maxBatches <= 0 || fromSeq >= l.nextSeq {
+		return nil, nil
+	}
+	data, err := readFile(l.fsys, l.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: tail read of %s: %w", l.path, err)
+	}
+	// Bound the scan to the durable prefix; bytes past l.size would only
+	// exist if an in-flight append tore, and those are not acknowledged.
+	if int64(len(data)) > l.size {
+		data = data[:l.size]
+	}
+	if _, err := ParseHeader(data); err != nil {
+		return nil, fmt.Errorf("wal: tail read of %s: %w", l.path, err)
+	}
+	var out []Batch
+	off := headerSize
+	for off < len(data) && len(out) < maxBatches {
+		payload, n, rerr := nextRecord(data[off:])
+		if rerr != nil {
+			return nil, fmt.Errorf("wal: tail read of %s at offset %d: %w", l.path, off, rerr)
+		}
+		batch, _, derr := DecodePayload(payload)
+		if derr != nil {
+			return nil, fmt.Errorf("wal: tail read of %s at offset %d: %w", l.path, off, derr)
+		}
+		if batch != nil && batch.Seq >= fromSeq {
+			out = append(out, *batch)
+		}
+		off += n
+	}
+	return out, nil
+}

@@ -121,6 +121,10 @@ type Log struct {
 	f       snapshot.File // append handle; nil when closed/poisoned
 	size    int64         // bytes of valid, synced log
 	nextSeq uint64
+	// minRetained is the smallest batch sequence still present in the log
+	// file — the tail-read floor. Equal to nextSeq when the log holds no
+	// batches (fresh, or every batch folded into the base by compaction).
+	minRetained uint64
 }
 
 // Open binds (creating if absent) the log at path to the graph identified
@@ -129,7 +133,7 @@ type Log struct {
 // path+".stale" and a fresh log is started — see Replay for what happened.
 func Open(fsys snapshot.FS, path string, baseFingerprint uint64) (*Log, *Replay, error) {
 	rep := &Replay{}
-	l := &Log{fsys: fsys, path: path, fingerprint: baseFingerprint, nextSeq: 1}
+	l := &Log{fsys: fsys, path: path, fingerprint: baseFingerprint, nextSeq: 1, minRetained: 1}
 
 	data, err := readFile(fsys, path)
 	switch {
@@ -177,6 +181,9 @@ func Open(fsys snapshot.FS, path string, baseFingerprint uint64) (*Log, *Replay,
 			break
 		}
 		if batch != nil {
+			if len(rep.Batches) == 0 {
+				l.minRetained = batch.Seq
+			}
 			rep.Batches = append(rep.Batches, *batch)
 			if batch.Seq >= l.nextSeq {
 				l.nextSeq = batch.Seq + 1
@@ -201,6 +208,9 @@ func Open(fsys snapshot.FS, path string, baseFingerprint uint64) (*Log, *Replay,
 		}
 	}
 	l.size = valid
+	if len(rep.Batches) == 0 {
+		l.minRetained = l.nextSeq // only checkpoints survive: tail starts at the next assignment
+	}
 
 	f, err := fsys.OpenAppend(path)
 	if err != nil {
@@ -240,11 +250,34 @@ func (l *Log) Append(key string, ops []hin.Op) (uint64, error) {
 		return 0, ErrClosed
 	}
 	seq := l.nextSeq
-	payload, err := encodeBatch(Batch{Seq: seq, Key: key, Ops: ops})
-	if err != nil {
-		return 0, err
+	return seq, l.AppendBatch(Batch{Seq: seq, Key: key, Ops: ops})
+}
+
+// AppendBatch logs a batch at its already-assigned sequence number — the
+// follower half of replication, where the primary assigned the sequence and
+// the follower must record it verbatim so /readyz freshness and later tail
+// reads line up fleet-wide. Sequences must not regress; gaps are allowed at
+// this layer (the server enforces contiguity before applying). Durability
+// contract matches Append.
+func (l *Log) AppendBatch(b Batch) error {
+	if l.f == nil {
+		return ErrClosed
 	}
-	return seq, l.appendRecord(payload, func() { l.nextSeq = seq + 1 })
+	if b.Seq < l.nextSeq {
+		return fmt.Errorf("%w: batch seq %d regresses below next seq %d", ErrCorrupt, b.Seq, l.nextSeq)
+	}
+	payload, err := encodeBatch(b)
+	if err != nil {
+		return err
+	}
+	return l.appendRecord(payload, func() {
+		if l.minRetained == l.nextSeq && b.Seq > l.minRetained {
+			// The log held no batches and this one opens a gap after a
+			// compaction horizon: the retained tail starts here.
+			l.minRetained = b.Seq
+		}
+		l.nextSeq = b.Seq + 1
+	})
 }
 
 // AppendCheckpoint logs an idempotency checkpoint with the same
@@ -337,6 +370,7 @@ func (l *Log) Reset(newFingerprint uint64, entries []CheckpointEntry) error {
 	l.f = f
 	l.size = int64(len(buf))
 	l.fingerprint = newFingerprint
+	l.minRetained = l.nextSeq // every batch below nextSeq is now folded into the base
 	return nil
 }
 
